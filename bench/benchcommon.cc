@@ -1,0 +1,131 @@
+#include "bench/benchcommon.hh"
+
+namespace cisa
+{
+namespace benchutil
+{
+
+const std::vector<double> &
+mpPowerBudgets()
+{
+    static const std::vector<double> v = {20, 40, 60, 0};
+    return v;
+}
+
+const std::vector<double> &
+areaBudgets()
+{
+    static const std::vector<double> v = {48, 64, 80, 0};
+    return v;
+}
+
+const std::vector<double> &
+stPowerBudgets()
+{
+    // One core active at a time; our calibrated cores span
+    // 4.9-22.3 W, so the "tight" budget is 8 W (the paper's 5 W
+    // with its 4.8 W floor).
+    static const std::vector<double> v = {8, 12, 16, 0};
+    return v;
+}
+
+Budget
+powerBudget(double watts, bool dynamic_multicore)
+{
+    Budget b;
+    if (watts > 0)
+        b.powerW = watts;
+    b.dynamicMulticore = dynamic_multicore;
+    return b;
+}
+
+Budget
+areaBudget(double mm2)
+{
+    Budget b;
+    if (mm2 > 0)
+        b.areaMm2 = mm2;
+    return b;
+}
+
+std::string
+budgetLabel(double v, const char *unit)
+{
+    if (v <= 0)
+        return "Unlimited";
+    return strfmt("%.0f%s", v, unit);
+}
+
+const std::vector<Family> &
+allFamilies()
+{
+    static const std::vector<Family> v = {
+        Family::Homogeneous, Family::SingleIsaHetero,
+        Family::MultiVendor, Family::CompositeXized,
+        Family::CompositeFull};
+    return v;
+}
+
+double
+exactScore(const MulticoreDesign &d, Objective obj)
+{
+    return designScore(d, obj, 0);
+}
+
+std::vector<ConstrainedCase>
+featureConstraints()
+{
+    std::vector<ConstrainedCase> v;
+    for (int depth : {8, 16, 32, 64}) {
+        v.push_back({"Register Depth", strfmt("<=%d", depth),
+                     [depth](const FeatureSet &f) {
+                         return f.regDepth <= depth;
+                     }});
+    }
+    v.push_back({"Register Width", "32b only",
+                 [](const FeatureSet &f) {
+                     return f.width == RegWidth::W32;
+                 }});
+    v.push_back({"Register Width", "64b only",
+                 [](const FeatureSet &f) {
+                     return f.width == RegWidth::W64;
+                 }});
+    v.push_back({"Instruction Complexity", "microx86 only",
+                 [](const FeatureSet &f) {
+                     return f.complexity == Complexity::MicroX86;
+                 }});
+    v.push_back({"Instruction Complexity", "x86 only",
+                 [](const FeatureSet &f) {
+                     return f.complexity == Complexity::X86;
+                 }});
+    v.push_back({"Predication", "partial only",
+                 [](const FeatureSet &f) {
+                     return !f.fullPredication();
+                 }});
+    v.push_back({"Predication", "full only",
+                 [](const FeatureSet &f) {
+                     return f.fullPredication();
+                 }});
+    return v;
+}
+
+SearchResult
+constrainedSearch(const ConstrainedCase &c)
+{
+    Budget b = areaBudget(48);
+    return searchDesign(Family::CompositeFull,
+                        Objective::MpThroughput, b, 2019, c.filter);
+}
+
+void
+printNormalizedRow(Table &t, const std::string &label,
+                   const std::vector<double> &values, double baseline)
+{
+    std::vector<std::string> row = {label};
+    for (double v : values)
+        row.push_back(Table::num(v / baseline, 3));
+    t.row(row);
+}
+
+} // namespace benchutil
+} // namespace cisa

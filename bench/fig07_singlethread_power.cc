@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 7 reproduction: single-thread performance and EDP under
+ * peak-power budgets with a dynamic multicore (one core powered at a
+ * time), normalized to homogeneous x86-64. Paper headlines: ~19.5%
+ * speedup and ~27.8% EDP reduction over single-ISA heterogeneous
+ * designs; under the tightest budget the composite design even beats
+ * the vendor-ISA CMP by ~14.6%.
+ */
+
+#include <cstdio>
+
+#include "bench/benchcommon.hh"
+
+using namespace cisa;
+using namespace cisa::benchutil;
+
+namespace
+{
+
+double
+stTime(const MulticoreDesign &d, Objective obj, double &edp)
+{
+    double t = 0;
+    edp = 0;
+    for (int b = 0; b < int(specSuite().size()); b++) {
+        StOutcome o = runSingleThread(d, b, obj);
+        t += o.time;
+        edp += o.edp;
+    }
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Figure 7: single-thread performance and EDP vs "
+                "peak-power budget (one active core) ==\n\n");
+
+    const auto &budgets = stPowerBudgets();
+    Table tp("single-thread speedup (normalized to homogeneous)");
+    Table te("single-thread EDP (normalized; lower is better)");
+    std::vector<std::string> hdr = {"design"};
+    for (double b : budgets)
+        hdr.push_back(budgetLabel(b, "W"));
+    tp.header(hdr);
+    te.header(hdr);
+
+    std::vector<std::vector<double>> times(allFamilies().size());
+    std::vector<std::vector<double>> edps(allFamilies().size());
+    for (size_t fi = 0; fi < allFamilies().size(); fi++) {
+        for (double b : budgets) {
+            Budget bud = powerBudget(b, true);
+            SearchResult rp = searchDesign(allFamilies()[fi],
+                                           Objective::StPerf, bud,
+                                           2019);
+            SearchResult re = searchDesign(allFamilies()[fi],
+                                           Objective::StEdp, bud,
+                                           2019);
+            double edp_d = 0, dummy = 0;
+            times[fi].push_back(
+                rp.feasible ? stTime(rp.design, Objective::StPerf,
+                                     dummy)
+                            : 0);
+            if (re.feasible)
+                stTime(re.design, Objective::StEdp, edp_d);
+            edps[fi].push_back(re.feasible ? edp_d : 0);
+        }
+    }
+
+    for (size_t fi = 0; fi < allFamilies().size(); fi++) {
+        std::vector<std::string> rp = {familyName(allFamilies()[fi])};
+        std::vector<std::string> re = rp;
+        for (size_t bi = 0; bi < budgets.size(); bi++) {
+            rp.push_back(times[fi][bi] > 0 && times[0][bi] > 0
+                             ? Table::num(times[0][bi] /
+                                              times[fi][bi],
+                                          3)
+                             : std::string("infeas"));
+            re.push_back(edps[fi][bi] > 0 && edps[0][bi] > 0
+                             ? Table::num(edps[fi][bi] /
+                                              edps[0][bi],
+                                          3)
+                             : std::string("infeas"));
+        }
+        tp.row(rp);
+        te.row(re);
+    }
+    tp.print();
+    std::printf("\n");
+    te.print();
+
+    double sp = 0, ed = 0;
+    int n = 0;
+    for (size_t bi = 0; bi < budgets.size(); bi++) {
+        if (times[4][bi] > 0 && times[1][bi] > 0) {
+            sp += times[1][bi] / times[4][bi] - 1.0;
+            ed += 1.0 - edps[4][bi] / edps[1][bi];
+            n++;
+        }
+    }
+    std::printf("\ncomposite (full) vs single-ISA heterogeneous: "
+                "speedup %+.1f%% (paper +19.5%%), EDP -%.1f%% "
+                "(paper -27.8%%)\n",
+                100.0 * sp / std::max(1, n),
+                100.0 * ed / std::max(1, n));
+    if (times[4][0] > 0 && times[2][0] > 0) {
+        std::printf("tightest budget, composite vs vendor "
+                    "heterogeneous-ISA: %+.1f%% (paper +14.6%%)\n",
+                    100.0 * (times[2][0] / times[4][0] - 1.0));
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 10 reproduction: transistor investment (combined core area
+ * without caches, split into fetch / decode / branch predictor /
+ * scheduler / register file / functional units) for each of the ten
+ * constrained-optimal designs of Figure 9, normalized to the
+ * unconstrained composite design.
+ *
+ * Paper observations: the microx86-only design spends the least core
+ * area (and is the only all-out-of-order design); the x86-only
+ * design spends the most, mostly on functional units (SIMD); the
+ * 64-bit-only design is register-file- and scheduler-heavy.
+ */
+
+#include <cstdio>
+
+#include "bench/benchcommon.hh"
+
+using namespace cisa;
+using namespace cisa::benchutil;
+
+namespace
+{
+
+struct AreaRow
+{
+    double fetch = 0, decode = 0, bpred = 0, sched = 0, rf = 0,
+           fu = 0;
+
+    double total() const
+    {
+        return fetch + decode + bpred + sched + rf + fu;
+    }
+};
+
+AreaRow
+areaOf(const MulticoreDesign &d)
+{
+    AreaRow r;
+    for (const auto &core : d.cores) {
+        VendorModel vm = core.vendorModel();
+        CoreBreakdown b = coreArea(
+            core.coreConfig(),
+            core.vendor == VendorIsa::Composite ? nullptr : &vm);
+        r.fetch += b.fetchGroup() - b.l1i; // no caches in this plot
+        r.decode += b.decodeGroup();
+        r.bpred += b.bpredGroup();
+        r.sched += b.schedulerGroup();
+        r.rf += b.regfileGroup();
+        r.fu += b.fuGroup();
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Figure 10: transistor investment by processor "
+                "area (no caches), normalized to the unconstrained "
+                "composite design ==\n\n");
+
+    Budget bud = areaBudget(48);
+    SearchResult free_r = searchDesign(
+        Family::CompositeFull, Objective::MpThroughput, bud, 2019);
+    AreaRow base = areaOf(free_r.design);
+
+    Table t("combined 4-core area by structure (fraction of the "
+            "unconstrained design's core area)");
+    t.header({"constraint", "fetch", "decode", "bpred", "sched",
+              "regfile", "FUs", "total", "#OoO cores"});
+    auto printRow = [&](const std::string &label,
+                        const MulticoreDesign &d) {
+        AreaRow r = areaOf(d);
+        int ooo = 0;
+        for (const auto &c : d.cores)
+            ooo += c.uarch().outOfOrder;
+        t.row({label, Table::num(r.fetch / base.total(), 3),
+               Table::num(r.decode / base.total(), 3),
+               Table::num(r.bpred / base.total(), 3),
+               Table::num(r.sched / base.total(), 3),
+               Table::num(r.rf / base.total(), 3),
+               Table::num(r.fu / base.total(), 3),
+               Table::num(r.total() / base.total(), 3),
+               Table::num(int64_t(ooo))});
+    };
+
+    for (const auto &c : featureConstraints()) {
+        SearchResult r = constrainedSearch(c);
+        if (r.feasible)
+            printRow(c.group + " " + c.label, r.design);
+    }
+    printRow("(unconstrained)", free_r.design);
+    t.print();
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 11 reproduction: processor energy breakdown by pipeline
+ * stage for the constrained-optimal designs of Figure 9, normalized
+ * to the unconstrained composite design.
+ *
+ * Paper observations: the fetch unit outspends the decoder at run
+ * time (the micro-op cache gates the decode pipeline); the
+ * depth-8-constrained design burns extra fetch energy on spill/
+ * refill/rematerialization bloat; x86-only designs' SIMD investment
+ * doesn't show up proportionally in energy (vectors are
+ * intermittent); 64-bit-only designs keep high register-file energy.
+ */
+
+#include <cstdio>
+
+#include "bench/benchcommon.hh"
+
+using namespace cisa;
+using namespace cisa::benchutil;
+
+namespace
+{
+
+struct StageEnergy
+{
+    double fetch = 0, decode = 0, bpred = 0, sched = 0, rf = 0,
+           fu = 0, mem = 0;
+
+    double total() const
+    {
+        return fetch + decode + bpred + sched + rf + fu + mem;
+    }
+};
+
+/**
+ * Energy of running every phase (weighted) once on each core of the
+ * design — a workload-representative activity mix.
+ */
+StageEnergy
+energyOf(const MulticoreDesign &d)
+{
+    StageEnergy s;
+    for (const auto &core : d.cores) {
+        CoreConfig cc = core.coreConfig();
+        // Every third phase keeps the bench under a minute while
+        // still covering all eight benchmarks.
+        for (int ph = 0; ph < phaseCount(); ph += 3) {
+            PhaseRun r = evaluatePhase(ph, cc.isa, cc.uarch, 2500);
+            double w = allPhases()[size_t(ph)].weight;
+            s.fetch += w * r.energy.fetch;
+            s.decode += w * (r.energy.decode + r.energy.rename);
+            s.bpred += w * r.energy.bpred;
+            s.sched += w * r.energy.scheduler;
+            s.rf += w * r.energy.regfile;
+            s.fu += w * r.energy.fu;
+            s.mem += w * r.energy.lsq;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Figure 11: processor energy breakdown by stage, "
+                "normalized to the unconstrained composite design "
+                "==\n\n");
+
+    Budget bud = areaBudget(48);
+    SearchResult free_r = searchDesign(
+        Family::CompositeFull, Objective::MpThroughput, bud, 2019);
+    StageEnergy base = energyOf(free_r.design);
+
+    Table t("energy by stage (fraction of the unconstrained "
+            "design's total)");
+    t.header({"constraint", "fetch", "decode", "bpred", "sched",
+              "regfile", "FUs", "mem", "total"});
+    auto printRow = [&](const std::string &label,
+                        const MulticoreDesign &d) {
+        StageEnergy e = energyOf(d);
+        t.row({label, Table::num(e.fetch / base.total(), 3),
+               Table::num(e.decode / base.total(), 3),
+               Table::num(e.bpred / base.total(), 3),
+               Table::num(e.sched / base.total(), 3),
+               Table::num(e.rf / base.total(), 3),
+               Table::num(e.fu / base.total(), 3),
+               Table::num(e.mem / base.total(), 3),
+               Table::num(e.total() / base.total(), 3)});
+    };
+
+    for (const auto &c : featureConstraints()) {
+        SearchResult r = constrainedSearch(c);
+        if (r.feasible)
+            printRow(c.group + " " + c.label, r.design);
+    }
+    printRow("(unconstrained)", free_r.design);
+    t.print();
+    return 0;
+}

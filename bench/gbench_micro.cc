@@ -1,0 +1,166 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the infrastructure itself:
+ * compiler throughput, functional-execution rate, timing-simulation
+ * rate, and the predictor/cache primitives. These guard against
+ * performance regressions that would make the design-space campaign
+ * intractable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/cisa.hh"
+#include "uarch/bpred.hh"
+#include "uarch/cache.hh"
+
+using namespace cisa;
+
+namespace
+{
+
+const IrModule &
+module0()
+{
+    return phaseModule(0);
+}
+
+const Trace &
+trace0()
+{
+    static const Trace t = [] {
+        CompiledRun run = compileAndRun(module0(),
+                                        FeatureSet::x86_64());
+        return run.trace;
+    }();
+    return t;
+}
+
+void
+BM_Compile(benchmark::State &state)
+{
+    FeatureSet fs = FeatureSet::byId(int(state.range(0)));
+    CompileOptions opts;
+    opts.target = fs;
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        MachineProgram p = compile(module0(), opts);
+        instrs += p.stats.instrs;
+        benchmark::DoNotOptimize(p.stats.codeBytes);
+    }
+    state.counters["instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    CompileOptions opts;
+    opts.target = FeatureSet::x86_64();
+    IrModule ir;
+    MachineProgram prog = compile(module0(), opts, nullptr, &ir);
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        MemImage img = MemImage::build(ir, 64);
+        ExecResult r = executeMachine(prog, img);
+        ops += r.dynInstrs;
+        benchmark::DoNotOptimize(r.intChecksum);
+    }
+    state.counters["macroops/s"] = benchmark::Counter(
+        double(ops), benchmark::Counter::kIsRate);
+}
+
+void
+BM_IrInterpreter(benchmark::State &state)
+{
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        MemImage img = MemImage::build(module0(), 64);
+        ExecResult r = interpret(module0(), img);
+        ops += r.dynInstrs;
+        benchmark::DoNotOptimize(r.retVal);
+    }
+    state.counters["ops/s"] = benchmark::Counter(
+        double(ops), benchmark::Counter::kIsRate);
+}
+
+void
+BM_TimingSimulation(benchmark::State &state)
+{
+    bool ooo = state.range(0) != 0;
+    MicroArchConfig ua;
+    for (const auto &c : MicroArchConfig::enumerate()) {
+        if (c.outOfOrder == ooo && c.width == 2 &&
+            c.bpred == BpKind::Tournament && c.uopCache) {
+            ua = c;
+            break;
+        }
+    }
+    CoreConfig cc{FeatureSet::x86_64(), ua};
+    uint64_t uops = 0;
+    for (auto _ : state) {
+        PerfResult r = simulateCore(cc, trace0(), 20000, 2000);
+        uops += r.stats.uops;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["uops/s"] = benchmark::Counter(
+        double(uops), benchmark::Counter::kIsRate);
+}
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    auto bp = BranchPredictor::create(BpKind(state.range(0)));
+    uint64_t n = 0;
+    uint64_t pc = 0x400000;
+    for (auto _ : state) {
+        bool taken = (n & 7) != 0;
+        bool p = bp->predict(pc + (n % 64) * 8);
+        bp->update(pc + (n % 64) * 8, taken);
+        benchmark::DoNotOptimize(p);
+        n++;
+    }
+    state.SetItemsProcessed(int64_t(n));
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache c(32, 4);
+    uint64_t n = 0;
+    for (auto _ : state) {
+        bool hit = c.access((n * 64) & 0xFFFFF, false);
+        benchmark::DoNotOptimize(hit);
+        n++;
+    }
+    state.SetItemsProcessed(int64_t(n));
+}
+
+void
+BM_WorkloadSynthesis(benchmark::State &state)
+{
+    const PhaseProfile &p = allPhases()[size_t(state.range(0))];
+    for (auto _ : state) {
+        IrModule m = buildPhase(p);
+        benchmark::DoNotOptimize(m.funcs[0].numVregs);
+    }
+}
+
+// Pre-warm shared fixtures so setup cost never lands inside a
+// single timed iteration.
+const bool g_warm = [] {
+    module0();
+    trace0();
+    return true;
+}();
+
+} // namespace
+
+BENCHMARK(BM_Compile)->Arg(0)->Arg(25);
+BENCHMARK(BM_FunctionalExecution);
+BENCHMARK(BM_IrInterpreter);
+BENCHMARK(BM_TimingSimulation)->Arg(0)->Arg(1);
+BENCHMARK(BM_BranchPredictor)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_WorkloadSynthesis)->Arg(0)->Arg(25);
+
+BENCHMARK_MAIN();

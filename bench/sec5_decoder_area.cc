@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Section V decoder analysis: the synthesized decode-engine area and
+ * peak-power deltas across feature sets — what the paper measured
+ * with Synopsys Design Compiler RTL synthesis, here from the
+ * structural gate model.
+ */
+
+#include <cstdio>
+
+#include "bench/benchcommon.hh"
+#include "decoder/decodemodel.hh"
+
+using namespace cisa;
+
+int
+main()
+{
+    std::printf("== Section V: decoder synthesis results ==\n\n");
+
+    MicroArchConfig ua;
+    ua.simpleDecoders = 3;
+    auto x86 = DecodeEngine::build(FeatureSet::x86_64(), ua);
+    auto micro = DecodeEngine::build(FeatureSet::minimal(), ua);
+    auto sup = DecodeEngine::build(FeatureSet::superset(), ua);
+    auto alpha = DecodeEngine::build(FeatureSet::alphaLike(), ua,
+                                     true);
+
+    auto rel = [](double a, double b) {
+        return strfmt("%+.2f%%", (a / b - 1.0) * 100.0);
+    };
+
+    Table t("decode engine vs the x86-64 decoder");
+    t.header({"comparison", "area", "power", "paper (area/power)"});
+    t.row({"microx86 decode stage",
+           rel(micro.decodeStage().areaMm2,
+               x86.decodeStage().areaMm2),
+           rel(micro.decodeStage().peakPowerW,
+               x86.decodeStage().peakPowerW),
+           "-15.1% / -9.8%"});
+    t.row({"microx86-32 full engine",
+           rel(micro.engine().areaMm2, x86.engine().areaMm2),
+           rel(micro.engine().peakPowerW, x86.engine().peakPowerW),
+           "-1.12% / -0.66%"});
+    t.row({"superset full engine",
+           rel(sup.engine().areaMm2, x86.engine().areaMm2),
+           rel(sup.engine().peakPowerW, x86.engine().peakPowerW),
+           "+0.46% / +0.30%"});
+    t.row({"superset ILD mods",
+           rel(sup.ild.areaMm2, x86.ild.areaMm2),
+           rel(sup.ild.peakPowerW, x86.ild.peakPowerW),
+           "+0.65% / +0.87%"});
+    t.print();
+
+    Table a("absolute front-end costs");
+    a.header({"engine", "area (mm^2)", "peak power (W)"});
+    a.row({"x86-64 (incl. ILD)", Table::num(x86.total().areaMm2, 4),
+           Table::num(x86.total().peakPowerW, 4)});
+    a.row({"superset (incl. ILD)",
+           Table::num(sup.total().areaMm2, 4),
+           Table::num(sup.total().peakPowerW, 4)});
+    a.row({"microx86-32 (incl. ILD)",
+           Table::num(micro.total().areaMm2, 4),
+           Table::num(micro.total().peakPowerW, 4)});
+    a.row({"Alpha-like (fixed length, no ILD)",
+           Table::num(alpha.total().areaMm2, 4),
+           Table::num(alpha.total().peakPowerW, 4)});
+    a.print();
+    return 0;
+}

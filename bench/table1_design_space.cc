@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table I reproduction: the feature exploration space — 5 ISA axes,
+ * the microarchitectural dimensions, the pruned configuration count
+ * (180 x 26 = 4680 design points), and the per-core peak-power and
+ * area ranges the paper reports (4.8-23.4 W, 9.4-28.6 mm^2).
+ */
+
+#include <cstdio>
+
+#include "bench/benchcommon.hh"
+
+using namespace cisa;
+
+int
+main()
+{
+    Table isa("Table I (a): ISA feature space");
+    isa.header({"parameter", "options"});
+    isa.row({"Register depth", "8, 16, 32, 64 registers"});
+    isa.row({"Register width", "32-bit, 64-bit"});
+    isa.row({"Instruction complexity",
+             "microx86 (1:1 load-store) vs full x86 (1:n)"});
+    isa.row({"Predication", "partial (cmov) vs full"});
+    isa.row({"Data parallelism", "scalar vs packed SIMD (x86 only)"});
+    isa.row({"viable feature sets",
+             Table::num(int64_t(FeatureSet::count()))});
+    isa.print();
+
+    Table ua("Table I (b): microarchitecture space (pruned)");
+    ua.header({"parameter", "options"});
+    ua.row({"Execution semantics", "in-order, out-of-order"});
+    ua.row({"Fetch/issue width", "1, 2, 4"});
+    ua.row({"Branch predictors", "2-level local, gshare, tournament"});
+    ua.row({"INT ALUs / MULs", "1,3,6 / 1,1,2 (tied to width)"});
+    ua.row({"FP-SIMD ALUs", "1, 2, 4 (tied to width)"});
+    ua.row({"IQ / ROB", "32/64, 64/128 (out-of-order)"});
+    ua.row({"PRF (INT/FP)", "96/64, 192/160 (out-of-order)"});
+    ua.row({"LSQ", "16, 32"});
+    ua.row({"Micro-op optimizations", "uop cache + fusion on/off"});
+    ua.row({"L1I = L1D", "32KB/4w, 64KB/4w"});
+    ua.row({"Shared L2", "4MB/4w, 8MB/8w (4-banked)"});
+    ua.row({"configurations",
+            Table::num(int64_t(MicroArchConfig::enumerate().size()))});
+    ua.print();
+
+    double amin = 1e18, amax = 0, pmin = 1e18, pmax = 0;
+    for (const auto &u : MicroArchConfig::enumerate()) {
+        for (const auto &fs : FeatureSet::enumerate()) {
+            CoreConfig cc{fs, u};
+            double a = coreAreaMm2(cc);
+            double p = corePeakPowerW(cc);
+            amin = std::min(amin, a);
+            amax = std::max(amax, a);
+            pmin = std::min(pmin, p);
+            pmax = std::max(pmax, p);
+        }
+    }
+
+    Table r("design-point ranges");
+    r.header({"metric", "measured", "paper"});
+    r.row({"design points",
+           Table::num(int64_t(FeatureSet::count() *
+                              int(MicroArchConfig::enumerate()
+                                      .size()))),
+           "4680"});
+    r.row({"peak power (W)",
+           strfmt("%.1f - %.1f", pmin, pmax), "4.8 - 23.4"});
+    r.row({"core area (mm^2)",
+           strfmt("%.1f - %.1f", amin, amax), "9.4 - 28.6"});
+    r.print();
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * ISA affinity explorer: for each benchmark, rank the composite
+ * feature sets by single-thread performance and by energy on a fixed
+ * microarchitecture — the per-application view behind the paper's
+ * Section VII.C.
+ *
+ * Run: ./build/examples/isa_affinity [bench-name]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/cisa.hh"
+
+using namespace cisa;
+
+int
+main(int argc, char **argv)
+{
+    std::string which = argc > 1 ? argv[1] : "";
+
+    MicroArchConfig ua;
+    for (const auto &c : MicroArchConfig::enumerate()) {
+        if (c.outOfOrder && c.width == 2 &&
+            c.bpred == BpKind::Tournament && c.iqSize == 64 &&
+            c.uopCache && c.l1iKB == 32) {
+            ua = c;
+            break;
+        }
+    }
+
+    int at = 0;
+    for (const auto &b : specSuite()) {
+        int first = at;
+        at += int(b.phases.size());
+        if (!which.empty() && b.name != which)
+            continue;
+
+        struct Entry
+        {
+            std::string isa;
+            double time;
+            double energy;
+        };
+        std::vector<Entry> es;
+        for (const auto &fs : FeatureSet::enumerate()) {
+            double t = 0, e = 0;
+            // First two phases keep the sweep quick; the benches use
+            // the full campaign for exact results.
+            int phases = std::min<int>(2, int(b.phases.size()));
+            for (int p = 0; p < phases; p++) {
+                PhaseRun r = evaluatePhase(first + p, fs, ua);
+                t += r.timePerRunSec;
+                e += r.energyPerRunJ;
+            }
+            es.push_back({fs.name(), t, e});
+        }
+        std::sort(es.begin(), es.end(),
+                  [](const Entry &a, const Entry &bb) {
+                      return a.time < bb.time;
+                  });
+
+        Table t(b.name + ": feature-set affinity (top 5 by "
+                         "performance, of 26)");
+        t.header({"rank", "feature set", "rel. speed",
+                  "rel. energy"});
+        double t0 = es[0].time;
+        double e0 = es[0].energy;
+        for (int i = 0; i < 5; i++) {
+            t.row({Table::num(int64_t(i + 1)), es[size_t(i)].isa,
+                   Table::num(t0 / es[size_t(i)].time, 3),
+                   Table::num(es[size_t(i)].energy / e0, 3)});
+        }
+        t.row({"26", es.back().isa,
+               Table::num(t0 / es.back().time, 3),
+               Table::num(es.back().energy / e0, 3)});
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SimPoint-style phase discovery: execute a benchmark, collect
+ * basic-block vectors per interval, cluster them with k-means, and
+ * report the representative simulation points — the methodology that
+ * produces the 49 phases used throughout the evaluation.
+ *
+ * Run: ./build/examples/phase_discovery [bench-name]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "core/cisa.hh"
+
+using namespace cisa;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "milc";
+    int bi = benchIndex(bench);
+    if (bi < 0) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n",
+                     bench.c_str());
+        return 1;
+    }
+
+    // Stitch the benchmark's phases into one long program run, like
+    // executing the full application.
+    std::printf("tracing %s...\n", bench.c_str());
+    Trace all;
+    int at = 0;
+    for (int b = 0; b < bi; b++)
+        at += int(specSuite()[size_t(b)].phases.size());
+    for (size_t p = 0; p < specSuite()[size_t(bi)].phases.size();
+         p++) {
+        CompiledRun run = compileAndRun(phaseModule(at + int(p)),
+                                        FeatureSet::x86_64());
+        for (const auto &op : run.trace.ops)
+            all.ops.push_back(op);
+    }
+    std::printf("trace: %zu macro-ops\n", all.ops.size());
+
+    uint64_t interval = 20000;
+    SimpointResult sp = findSimpoints(all, interval, 10);
+
+    Table t(bench + ": discovered simulation points");
+    t.header({"cluster", "weight", "representative interval",
+              "starts at macro-op"});
+    for (int c = 0; c < sp.k; c++) {
+        t.row({Table::num(int64_t(c)),
+               Table::num(sp.weights[size_t(c)], 3),
+               Table::num(int64_t(sp.simpoints[size_t(c)])),
+               Table::num(int64_t(sp.simpoints[size_t(c)]) *
+                          int64_t(interval))});
+    }
+    t.print();
+    std::printf("\nchose k = %d clusters over %zu intervals; the "
+                "workload generator's\nper-benchmark phase counts "
+                "mirror this structure.\n",
+                sp.k, sp.assignment.size());
+    return 0;
+}

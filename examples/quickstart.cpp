@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: compile one workload phase for two composite feature
+ * sets, run both on the same microarchitecture, and compare
+ * generated code, performance, and energy.
+ *
+ * Build:  cmake -B build -G Ninja && cmake --build build
+ * Run:    ./build/examples/quickstart [phase-index]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "core/cisa.hh"
+
+using namespace cisa;
+
+int
+main(int argc, char **argv)
+{
+    int phase = argc > 1 ? std::atoi(argv[1]) : 0;
+    if (phase < 0 || phase >= phaseCount()) {
+        std::fprintf(stderr, "phase must be in [0, %d)\n",
+                     phaseCount());
+        return 1;
+    }
+
+    std::printf("%s\n", versionString());
+    std::printf("workload phase: %s\n\n",
+                allPhases()[size_t(phase)].name().c_str());
+
+    // A mid-range out-of-order microarchitecture (2-wide,
+    // tournament predictor, micro-op cache on).
+    MicroArchConfig ua;
+    for (const auto &c : MicroArchConfig::enumerate()) {
+        if (c.outOfOrder && c.width == 2 &&
+            c.bpred == BpKind::Tournament && c.iqSize == 64 &&
+            c.uopCache) {
+            ua = c;
+            break;
+        }
+    }
+
+    Table t("one phase, two composite feature sets");
+    t.header({"metric", "microx86-16D-32W-P", "x86-64D-64W-F"});
+
+    FeatureSet lean = FeatureSet::parse("microx86-16D-32W-P");
+    FeatureSet rich = FeatureSet::superset();
+    PhaseRun a = evaluatePhase(phase, lean, ua);
+    PhaseRun b = evaluatePhase(phase, rich, ua);
+
+    auto row = [&](const char *name, double va, double vb,
+                   int prec = 3) {
+        t.row({name, Table::num(va, prec), Table::num(vb, prec)});
+    };
+    row("static instructions", double(a.code.instrs),
+        double(b.code.instrs), 0);
+    row("static code bytes", double(a.code.codeBytes),
+        double(b.code.codeBytes), 0);
+    row("spill loads+stores",
+        double(a.code.spillLoads + a.code.spillStores),
+        double(b.code.spillLoads + b.code.spillStores), 0);
+    row("dynamic uops / run", double(a.mix.uops),
+        double(b.mix.uops), 0);
+    row("branches / run", double(a.mix.branches),
+        double(b.mix.branches), 0);
+    row("IPC", a.perf.ipc, b.perf.ipc);
+    row("mispredict rate", a.perf.stats.mispredictRate(),
+        b.perf.stats.mispredictRate(), 4);
+    row("time per run (us)", a.timePerRunSec * 1e6,
+        b.timePerRunSec * 1e6, 1);
+    row("energy per run (uJ)", a.energyPerRunJ * 1e6,
+        b.energyPerRunJ * 1e6, 1);
+    row("core area (mm^2)", a.areaMm2, b.areaMm2, 1);
+    row("core peak power (W)", a.peakPowerW, b.peakPowerW, 1);
+    t.print();
+
+    std::printf("\nThe richer feature set trades decoder/register "
+                "area for fewer\nspills, fewer branches (full "
+                "predication), and SIMD throughput;\nwhich one wins "
+                "depends on the phase - exactly the diversity a\n"
+                "composite-ISA CMP exploits.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+namespace cisa
+{
+
+int64_t
+envInt(const char *name, int64_t dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    return std::strtoll(v, nullptr, 10);
+}
+
+std::string
+envStr(const char *name, const std::string &dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    return v;
+}
+
+uint64_t
+simUopBudget()
+{
+    return uint64_t(envInt("CISA_SIM_UOPS", 6000));
+}
+
+uint64_t
+simWarmupUops()
+{
+    return uint64_t(envInt("CISA_SIM_WARMUP", 1500));
+}
+
+std::string
+dseCachePath()
+{
+    return envStr("CISA_DSE_CACHE", "dse_cache.bin");
+}
+
+int
+searchRestarts()
+{
+    return int(envInt("CISA_SEARCH_RESTARTS", 2));
+}
+
+} // namespace cisa

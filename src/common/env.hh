@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Environment-variable quality knobs shared by tests, benches, and
+ * examples. Defaults are chosen so the full benchmark suite completes
+ * on a single laptop core; raising CISA_SIM_UOPS tightens results.
+ */
+
+#ifndef CISA_COMMON_ENV_HH
+#define CISA_COMMON_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cisa
+{
+
+/** Integer env var with a default. */
+int64_t envInt(const char *name, int64_t dflt);
+
+/** String env var with a default. */
+std::string envStr(const char *name, const std::string &dflt);
+
+/** Timed micro-ops per (phase, design-point) simulation. */
+uint64_t simUopBudget();
+
+/** Warm-up micro-ops before timing starts. */
+uint64_t simWarmupUops();
+
+/** Path of the design-space-exploration result cache. */
+std::string dseCachePath();
+
+/** Hill-climbing restarts in the multicore search. */
+int searchRestarts();
+
+} // namespace cisa
+
+#endif // CISA_COMMON_ENV_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All stochastic parts
+ * of the system (workload synthesis, trace behaviour) derive from
+ * seeded Pcg32 streams so every experiment is exactly reproducible.
+ */
+
+#ifndef CISA_COMMON_RNG_HH
+#define CISA_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace cisa
+{
+
+/**
+ * PCG-XSH-RR 32-bit generator (O'Neill, 2014). Small state, good
+ * statistical quality, and streams are cheap to fork.
+ */
+class Pcg32
+{
+  public:
+    Pcg32() : Pcg32(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+
+    /** Construct from a seed and an optional stream selector. */
+    explicit Pcg32(uint64_t seed, uint64_t stream = 1)
+    {
+        state_ = 0;
+        inc_ = (stream << 1u) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    uint32_t
+    next()
+    {
+        uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        uint32_t xorshifted = uint32_t(((old >> 18u) ^ old) >> 27u);
+        uint32_t rot = uint32_t(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** Uniform integer in [0, bound) with Lemire rejection. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        if (bound <= 1)
+            return 0;
+        uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + int64_t(below(uint32_t(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** 64-bit raw value. */
+    uint64_t
+    next64()
+    {
+        return (uint64_t(next()) << 32) | next();
+    }
+
+    /**
+     * Fork a statistically-independent child stream; used to give each
+     * phase / structure its own stream without cross-coupling.
+     */
+    Pcg32
+    fork(uint64_t salt)
+    {
+        return Pcg32(next64() ^ (salt * 0x9e3779b97f4a7c15ULL),
+                     next64() | 1);
+    }
+
+  private:
+    uint64_t state_;
+    uint64_t inc_;
+};
+
+/** SplitMix64 hash step; used for stable config fingerprints. */
+inline uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Order-dependent combiner for building hashes of structs. */
+inline uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    return splitmix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) +
+                           (h >> 2)));
+}
+
+} // namespace cisa
+
+#endif // CISA_COMMON_RNG_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tiny binary serialization used by the design-space-exploration
+ * result cache. Format: little-endian PODs with a magic/version
+ * header; a stale version simply invalidates the cache.
+ */
+
+#ifndef CISA_COMMON_SERIALIZE_HH
+#define CISA_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cisa
+{
+
+/** Streaming binary writer over a file. */
+class BinWriter
+{
+  public:
+    /** Open @p path for writing; ok() reports failure. */
+    explicit BinWriter(const std::string &path);
+    ~BinWriter();
+
+    BinWriter(const BinWriter &) = delete;
+    BinWriter &operator=(const BinWriter &) = delete;
+
+    bool ok() const { return f_ != nullptr && !err_; }
+
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f64(double v);
+    void str(const std::string &s);
+
+    /** Write a vector of doubles with a length prefix. */
+    void vecF64(const std::vector<double> &v);
+
+  private:
+    void raw(const void *p, size_t n);
+
+    std::FILE *f_ = nullptr;
+    bool err_ = false;
+};
+
+/** Streaming binary reader over a file. */
+class BinReader
+{
+  public:
+    /** Open @p path for reading; ok() reports failure. */
+    explicit BinReader(const std::string &path);
+    ~BinReader();
+
+    BinReader(const BinReader &) = delete;
+    BinReader &operator=(const BinReader &) = delete;
+
+    bool ok() const { return f_ != nullptr && !err_; }
+
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    std::string str();
+    std::vector<double> vecF64();
+
+  private:
+    void raw(void *p, size_t n);
+
+    std::FILE *f_ = nullptr;
+    bool err_ = false;
+};
+
+} // namespace cisa
+
+#endif // CISA_COMMON_SERIALIZE_HH

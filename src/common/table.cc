@@ -1,0 +1,93 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cisa
+{
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    panic_if(!header_.empty() && cells.size() != header_.size(),
+             "row arity %zu != header arity %zu", cells.size(),
+             header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    return strfmt("%.*f", prec, v);
+}
+
+std::string
+Table::num(int64_t v)
+{
+    return strfmt("%lld", static_cast<long long>(v));
+}
+
+std::string
+Table::pct(double ratio, int prec)
+{
+    return strfmt("%+.*f%%", prec, ratio * 100.0);
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &r) {
+        if (widths.size() < r.size())
+            widths.resize(r.size(), 0);
+        for (size_t i = 0; i < r.size(); i++)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto fmtRow = [&](const std::vector<std::string> &r) {
+        std::string line;
+        for (size_t i = 0; i < r.size(); i++) {
+            line += "| ";
+            line += r[i];
+            line += std::string(widths[i] - r[i].size() + 1, ' ');
+        }
+        line += "|";
+        return line;
+    };
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    std::string rule;
+    for (size_t w : widths)
+        rule += "+" + std::string(w + 2, '-');
+    rule += "+";
+    if (!header_.empty()) {
+        os << rule << "\n" << fmtRow(header_) << "\n";
+    }
+    os << rule << "\n";
+    for (const auto &r : rows_)
+        os << fmtRow(r) << "\n";
+    os << rule << "\n";
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace cisa

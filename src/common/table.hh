@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII table formatting for benchmark/report output. All figure and
+ * table reproductions print through this so rows line up and can be
+ * grepped or diffed against EXPERIMENTS.md.
+ */
+
+#ifndef CISA_COMMON_TABLE_HH
+#define CISA_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cisa
+{
+
+/**
+ * A simple column-aligned table. Cells are strings; numeric helpers
+ * format with fixed precision.
+ */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a data row (must match header arity if one was set). */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 3);
+
+    /** Format an integer. */
+    static std::string num(int64_t v);
+
+    /** Format a ratio as a percentage string, e.g. "+12.3%". */
+    static std::string pct(double ratio, int prec = 1);
+
+    /** Render the whole table. */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cisa
+
+#endif // CISA_COMMON_TABLE_HH

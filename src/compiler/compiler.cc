@@ -1,0 +1,72 @@
+#include "compiler/compiler.hh"
+
+#include "common/logging.hh"
+#include "compiler/interp.hh"
+#include "compiler/passes/dce.hh"
+#include "compiler/passes/encode.hh"
+#include "compiler/passes/isel.hh"
+#include "compiler/passes/regalloc.hh"
+#include "compiler/passes/sched.hh"
+
+namespace cisa
+{
+
+MachineProgram
+compile(const IrModule &m, const CompileOptions &opts,
+        CompileReport *report, IrModule *transformed_ir)
+{
+    const FeatureSet &t = opts.target;
+    panic_if(!t.isViable(), "compiling for non-viable feature set");
+
+    IrModule work = m; // passes mutate a private copy
+    CompileReport rep;
+
+    for (auto &f : work.funcs) {
+        if (opts.enableLvn) {
+            LvnStats s = runLvn(f, t.regDepth);
+            rep.lvn.exprsEliminated += s.exprsEliminated;
+            rep.lvn.loadsEliminated += s.loadsEliminated;
+            rep.lvn.skippedForPressure += s.skippedForPressure;
+            rep.dceRemoved += runDce(f);
+        }
+        if (opts.enableVectorize && t.simd()) {
+            VectorizeStats s = runVectorize(f);
+            rep.vec.loopsVectorized += s.loopsVectorized;
+            rep.vec.loopsRejected += s.loopsRejected;
+        }
+        if (opts.enableIfConvert && t.fullPredication()) {
+            IfConvertParams p = opts.ifParams;
+            p.regDepth = t.regDepth;
+            IfConvertStats s = runIfConvert(f, p);
+            rep.ifc.diamondsConverted += s.diamondsConverted;
+            rep.ifc.trianglesConverted += s.trianglesConverted;
+            rep.ifc.rejectedUnprofitable += s.rejectedUnprofitable;
+            rep.ifc.rejectedShape += s.rejectedShape;
+        }
+    }
+    work.validate();
+
+    MachineProgram prog;
+    prog.name = work.name;
+    prog.target = t;
+
+    std::vector<uint64_t> bases = regionLayout(work, t.widthBits());
+    for (const auto &f : work.funcs) {
+        MachineFunction mf = runIsel(f, work, bases, t);
+        runRegalloc(mf, t);
+        if (opts.enableSchedule) {
+            SchedStats s = runSchedule(mf);
+            rep.blocksScheduled += s.blocksScheduled;
+        }
+        prog.funcs.push_back(std::move(mf));
+    }
+    runEncode(prog);
+
+    if (report)
+        *report = rep;
+    if (transformed_ir)
+        *transformed_ir = std::move(work);
+    return prog;
+}
+
+} // namespace cisa

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The compiler driver: orchestrates the pass pipeline that lowers one
+ * target-independent IrModule onto one composite feature set.
+ *
+ * Pipeline (Section IV.A): pressure-sensitive LVN -> loop
+ * vectorization (SIMD targets) -> if-conversion (fully-predicated
+ * targets) -> instruction selection (folding on full x86; 64-on-32
+ * legalization) -> linear-scan register allocation at the target's
+ * register depth -> layout + encoding.
+ *
+ * compile() optionally returns the transformed IR, which is the
+ * semantic reference the machine code must match exactly — the
+ * equivalence harness in the tests interprets it and compares
+ * checksums against machine execution.
+ */
+
+#ifndef CISA_COMPILER_COMPILER_HH
+#define CISA_COMPILER_COMPILER_HH
+
+#include "compiler/ir.hh"
+#include "compiler/machine.hh"
+#include "compiler/passes/ifconvert.hh"
+#include "compiler/passes/lvn.hh"
+#include "compiler/passes/vectorize.hh"
+#include "isa/features.hh"
+
+namespace cisa
+{
+
+/** Per-compilation knobs. */
+struct CompileOptions
+{
+    FeatureSet target = FeatureSet::superset();
+    bool enableLvn = true;
+    bool enableVectorize = true; ///< effective only with SIMD
+    bool enableIfConvert = true; ///< effective only with full pred.
+    bool enableSchedule = true;  ///< post-RA list scheduling
+    IfConvertParams ifParams;    ///< regDepth is filled from target
+};
+
+/** Aggregate pass statistics for one compilation. */
+struct CompileReport
+{
+    LvnStats lvn;
+    VectorizeStats vec;
+    IfConvertStats ifc;
+    int dceRemoved = 0;
+    int blocksScheduled = 0;
+};
+
+/**
+ * Compile @p m for @p opts.target.
+ *
+ * @param transformed_ir if non-null, receives the post-optimization
+ *        IR whose interpretation the machine code reproduces.
+ */
+MachineProgram compile(const IrModule &m, const CompileOptions &opts,
+                       CompileReport *report = nullptr,
+                       IrModule *transformed_ir = nullptr);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_COMPILER_HH

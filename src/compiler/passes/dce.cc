@@ -1,0 +1,65 @@
+#include "compiler/passes/dce.hh"
+
+#include "compiler/analysis.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+bool
+sideEffectFree(const IrInstr &i)
+{
+    switch (i.op) {
+      case IrOp::Store:
+      case IrOp::VStore:
+      case IrOp::Call:
+      case IrOp::Br:
+      case IrOp::Jmp:
+      case IrOp::Ret:
+        return false;
+      default:
+        // A predicated definition merges with the old value; removing
+        // it would still be safe if unused, but keep it simple.
+        return i.predVreg < 0;
+    }
+}
+
+} // namespace
+
+int
+runDce(IrFunction &f)
+{
+    int removed = 0;
+    bool changed = true;
+    std::vector<int> uses;
+    while (changed) {
+        changed = false;
+        std::vector<uint32_t> use_count(size_t(f.numVregs), 0);
+        for (const auto &b : f.blocks) {
+            for (const auto &i : b.instrs) {
+                irUses(i, uses);
+                for (int u : uses)
+                    use_count[size_t(u)]++;
+            }
+        }
+        for (auto &b : f.blocks) {
+            std::vector<IrInstr> keep;
+            keep.reserve(b.instrs.size());
+            for (const auto &i : b.instrs) {
+                if (i.hasDst() && sideEffectFree(i) &&
+                    use_count[size_t(i.dst)] == 0) {
+                    removed++;
+                    changed = true;
+                    continue;
+                }
+                keep.push_back(i);
+            }
+            b.instrs = std::move(keep);
+        }
+    }
+    return removed;
+}
+
+} // namespace cisa

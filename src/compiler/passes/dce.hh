@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Dead-code elimination: removes side-effect-free instructions whose
+ * destination is never read anywhere in the function. Runs after LVN
+ * so that copy-propagated moves and superseded recomputations
+ * actually leave the instruction stream (the paper's "aggressive
+ * redundancy elimination" integer-instruction reduction).
+ */
+
+#ifndef CISA_COMPILER_PASSES_DCE_HH
+#define CISA_COMPILER_PASSES_DCE_HH
+
+#include "compiler/ir.hh"
+
+namespace cisa
+{
+
+/** Remove dead instructions from @p f; returns how many. */
+int runDce(IrFunction &f);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_DCE_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Code layout and encoding: assigns a code address, encoded length,
+ * and micro-op expansion to every machine instruction.
+ *
+ * Lengths come from the superset encoding model (isa/encoding.hh);
+ * branch displacements are iteratively narrowed to rel8 where they
+ * fit, mirroring an assembler's relaxation loop. On microx86 targets
+ * the pass also verifies the 1:1 macro-op/micro-op invariant.
+ */
+
+#ifndef CISA_COMPILER_PASSES_ENCODE_HH
+#define CISA_COMPILER_PASSES_ENCODE_HH
+
+#include "compiler/machine.hh"
+
+namespace cisa
+{
+
+/** Base virtual address of the code segment. */
+constexpr uint64_t kCodeBase = 0x400000;
+
+/** Lay out and encode all functions of @p prog. */
+void runEncode(MachineProgram &prog);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_ENCODE_HH

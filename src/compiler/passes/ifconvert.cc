@@ -1,0 +1,180 @@
+#include "compiler/passes/ifconvert.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "compiler/analysis.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** True if every instruction of the block body may be predicated. */
+bool
+predicable(const IrBlock &b, int cond_vreg)
+{
+    for (size_t k = 0; k + 1 < b.instrs.size(); k++) {
+        const IrInstr &i = b.instrs[k];
+        switch (i.op) {
+          case IrOp::Call:
+          case IrOp::Br:
+          case IrOp::Jmp:
+          case IrOp::Ret:
+            return false;
+          default:
+            break;
+        }
+        if (i.predVreg >= 0)
+            return false; // already predicated (nested hammock)
+        if (i.dst == cond_vreg)
+            return false; // side redefines the predicate
+    }
+    return true;
+}
+
+/** Expected misprediction rate from the branch's profile hints. */
+double
+mispredictRate(const IrInstr &br)
+{
+    if (br.predictable)
+        return 0.02;
+    double p = std::clamp(br.prob, 0.0, 1.0);
+    // An unpredictable branch mispredicts roughly min(p, 1-p) with a
+    // good predictor.
+    return std::min(p, 1.0 - p) * 0.9 + 0.02;
+}
+
+} // namespace
+
+IfConvertStats
+runIfConvert(IrFunction &f, const IfConvertParams &p)
+{
+    IfConvertStats st;
+    bool changed = true;
+    int rounds = 0;
+
+    while (changed && rounds++ < 8) {
+        changed = false;
+        Cfg cfg = Cfg::build(f);
+        Liveness lv = Liveness::build(f, cfg);
+
+        for (size_t ai = 0; ai < f.blocks.size(); ai++) {
+            if (cfg.rpoIndex[ai] < 0)
+                continue;
+            IrBlock &A = f.blocks[ai];
+            IrInstr &br = A.instrs.back();
+            if (br.op != IrOp::Br)
+                continue;
+            int t = br.succ0;
+            int fb = br.succ1;
+            if (t == fb || t == int(ai) || fb == int(ai))
+                continue;
+
+            IrBlock &T = f.blocks[size_t(t)];
+            IrBlock &F = f.blocks[size_t(fb)];
+
+            bool t_single = cfg.preds[size_t(t)].size() == 1;
+            bool f_single = cfg.preds[size_t(fb)].size() == 1;
+
+            // Diamond: A -> {T, F} -> J with T, F single-pred,
+            // straight-line, rejoining at the same block.
+            bool diamond =
+                t_single && f_single &&
+                T.terminator().op == IrOp::Jmp &&
+                F.terminator().op == IrOp::Jmp &&
+                T.terminator().succ0 == F.terminator().succ0 &&
+                T.terminator().succ0 != t &&
+                T.terminator().succ0 != fb;
+
+            // Triangle: A -> T -> F with T single-pred.
+            bool triangle =
+                !diamond && t_single &&
+                T.terminator().op == IrOp::Jmp &&
+                T.terminator().succ0 == fb;
+
+            if (!diamond && !triangle) {
+                st.rejectedShape++;
+                continue;
+            }
+
+            int cond = br.a;
+            size_t body = (T.instrs.size() - 1) +
+                          (diamond ? F.instrs.size() - 1 : 0);
+            if (body == 0 || int(body) > p.maxHammockInstrs ||
+                !predicable(T, cond) ||
+                (diamond && !predicable(F, cond))) {
+                st.rejectedShape++;
+                continue;
+            }
+
+            // Profitability: saved misprediction cycles vs the extra
+            // slots the wrong side occupies, plus the expected spill
+            // cost of lengthening live ranges on a register file that
+            // is already under pressure (the mechanism that makes
+            // LLVM "seldom turn on predication" on shallow files).
+            double mr = mispredictRate(br);
+            double extra = diamond
+                ? br.prob * double(F.instrs.size() - 1) +
+                  (1 - br.prob) * double(T.instrs.size() - 1)
+                : (1 - br.prob) * double(T.instrs.size() - 1);
+            int pressure = std::max(lv.maxPressure(f, int(ai)),
+                                    std::max(lv.maxPressure(f, t),
+                                             lv.maxPressure(f, fb)));
+            extra += 0.25 * std::max(0, pressure + 2 - p.regDepth);
+            // One instruction saved: the branch itself goes away.
+            double benefit = mr * double(p.pipelineDepth) + 1.0;
+            if (mr < p.minMispredictRate || benefit <= extra) {
+                st.rejectedUnprofitable++;
+                continue;
+            }
+
+            // --- Convert ---
+            int join = diamond ? T.terminator().succ0 : fb;
+            std::vector<IrInstr> merged;
+            for (size_t k = 0; k + 1 < T.instrs.size(); k++) {
+                IrInstr i = T.instrs[k];
+                i.predVreg = cond;
+                i.predSense = true;
+                merged.push_back(i);
+            }
+            if (diamond) {
+                for (size_t k = 0; k + 1 < F.instrs.size(); k++) {
+                    IrInstr i = F.instrs[k];
+                    i.predVreg = cond;
+                    i.predSense = false;
+                    merged.push_back(i);
+                }
+            }
+
+            A.instrs.pop_back(); // drop the branch
+            for (auto &i : merged)
+                A.instrs.push_back(i);
+            IrInstr j;
+            j.op = IrOp::Jmp;
+            j.succ0 = join;
+            A.instrs.push_back(j);
+
+            // Detach the absorbed blocks (they become unreachable).
+            T.instrs.clear();
+            T.instrs.push_back(j);
+            if (diamond) {
+                F.instrs.clear();
+                F.instrs.push_back(j);
+            }
+
+            if (diamond)
+                st.diamondsConverted++;
+            else
+                st.trianglesConverted++;
+            // Keep scanning with slightly stale analyses: edges only
+            // disappear under this transform, so the single-pred and
+            // pressure checks stay conservative.
+            changed = true;
+        }
+    }
+    return st;
+}
+
+} // namespace cisa

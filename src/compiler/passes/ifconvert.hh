@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Machine-independent if-conversion for fully-predicated feature
+ * sets, modelled on LLVM's early if-conversion framework the paper
+ * re-purposes (Section IV.A).
+ *
+ * Handles diamond (if/else rejoining) and triangle (if falling
+ * through) hammocks: the branch is deleted and both sides execute
+ * predicated on the branch condition. Profitability weighs the
+ * expected misprediction cost (from the profile hints carried on the
+ * branch) against the extra instruction slots predication issues, and
+ * is suppressed when register pressure leaves no slack — LLVM
+ * "seldom turns on predication with 8 registers".
+ */
+
+#ifndef CISA_COMPILER_PASSES_IFCONVERT_HH
+#define CISA_COMPILER_PASSES_IFCONVERT_HH
+
+#include "compiler/ir.hh"
+
+namespace cisa
+{
+
+/** Tunables for if-conversion profitability. */
+struct IfConvertParams
+{
+    int regDepth = 64;        ///< target register depth
+    int pipelineDepth = 14;   ///< misprediction penalty estimate
+    int maxHammockInstrs = 12;///< size cap per converted region
+    double minMispredictRate = 0.04; ///< below this, keep the branch
+};
+
+/** Statistics of one if-conversion run. */
+struct IfConvertStats
+{
+    int diamondsConverted = 0;
+    int trianglesConverted = 0;
+    int rejectedUnprofitable = 0;
+    int rejectedShape = 0;
+};
+
+/** Run if-conversion on @p f. Mutates the function in place. */
+IfConvertStats runIfConvert(IrFunction &f, const IfConvertParams &p);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_IFCONVERT_HH

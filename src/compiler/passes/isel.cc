@@ -1,0 +1,1084 @@
+#include "compiler/passes/isel.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "compiler/analysis.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** True for machine ops whose register operands commute. */
+bool
+commutative(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Mul:
+      case Op::FAdd:
+      case Op::FMul:
+      case Op::VAdd:
+      case Op::VMul:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Machine op for an integer IR binop. */
+Op
+intMachineOp(IrOp op)
+{
+    switch (op) {
+      case IrOp::Add: return Op::Add;
+      case IrOp::Sub: return Op::Sub;
+      case IrOp::Mul: return Op::Mul;
+      case IrOp::Div: return Op::Div;
+      case IrOp::And: return Op::And;
+      case IrOp::Or:  return Op::Or;
+      case IrOp::Xor: return Op::Xor;
+      case IrOp::Shl: return Op::Shl;
+      case IrOp::Shr: return Op::Shr;
+      default: panic("not an int binop: %s", irOpName(op));
+    }
+}
+
+/** Machine op for an FP / vector IR op. */
+Op
+fpMachineOp(IrOp op)
+{
+    switch (op) {
+      case IrOp::FAdd: return Op::FAdd;
+      case IrOp::FSub: return Op::FSub;
+      case IrOp::FMul: return Op::FMul;
+      case IrOp::FDiv: return Op::FDiv;
+      case IrOp::VAdd: return Op::VAdd;
+      case IrOp::VSub: return Op::VSub;
+      case IrOp::VMul: return Op::VMul;
+      default: panic("not an fp binop: %s", irOpName(op));
+    }
+}
+
+/** Whether a folded memory source operand is legal for this op. */
+bool
+loadFoldableInto(const IrInstr &user, int load_dst)
+{
+    switch (user.op) {
+      case IrOp::Add:
+      case IrOp::And:
+      case IrOp::Or:
+      case IrOp::Xor:
+      case IrOp::Mul:
+      case IrOp::FAdd:
+      case IrOp::FMul:
+      case IrOp::VAdd:
+      case IrOp::VMul:
+        return user.a == load_dst || user.b == load_dst;
+      case IrOp::Sub:
+      case IrOp::FSub:
+      case IrOp::VSub:
+        return user.b == load_dst;
+      case IrOp::ICmp:
+        return user.b == load_dst;
+      default:
+        return false;
+    }
+}
+
+struct FoldPlan
+{
+    std::vector<bool> skip;        ///< instruction replaced elsewhere
+    std::unordered_map<int, int> loadFor; ///< user idx -> load idx
+    std::unordered_map<int, int> gepFor;  ///< mem-user idx -> gep idx
+    std::vector<bool> isRmwHead;   ///< Load starting a l/op/st triple
+};
+
+/** Selection context for one function. */
+struct Sel
+{
+    const IrFunction &ir;
+    const IrModule &mod;
+    const std::vector<uint64_t> &regionBase;
+    FeatureSet target;
+    bool w32;
+    int ptrBits;
+
+    MachineFunction mf;
+    std::vector<Type> vregType;
+    std::vector<int> useCount;
+    std::vector<int> mlo, mhi;
+    // Single-def ConstInt/BaseAddr vregs: their values fold into
+    // absolute addressing, like x86 globals.
+    std::vector<char> isConst;
+    std::vector<int64_t> constVal;
+    MachineBlock *blk = nullptr;
+
+    // Per-instruction predication context.
+    int predReg = -1;
+    bool predSense = true;
+    bool wideData = false;
+
+    // Fused compare feeding the block terminator.
+    Cond pendingCond = Cond::Eq;
+    bool havePending = false;
+
+    Sel(const IrFunction &f, const IrModule &m,
+        const std::vector<uint64_t> &rb, const FeatureSet &t)
+        : ir(f), mod(m), regionBase(rb), target(t),
+          w32(t.width == RegWidth::W32), ptrBits(t.widthBits())
+    {}
+
+    bool isPair(int v) const
+    {
+        return w32 && vregType[size_t(v)] == Type::I64;
+    }
+
+    bool isFpType(Type t) const
+    {
+        return t == Type::F64 || t == Type::V128;
+    }
+
+    int bitsOf(Type t) const
+    {
+        switch (t) {
+          case Type::I32:    return 32;
+          case Type::I64:    return w32 ? 32 : 64;
+          case Type::PtrInt: return ptrBits;
+          default:           return 64;
+        }
+    }
+
+    int
+    mv(int v, bool hi = false)
+    {
+        panic_if(v < 0, "isel: bad vreg");
+        auto &slot = hi ? mhi : mlo;
+        if (slot[size_t(v)] < 0) {
+            bool fp = isFpType(vregType[size_t(v)]);
+            slot[size_t(v)] = mf.newVreg(fp);
+        }
+        return slot[size_t(v)];
+    }
+
+    int mtmp(bool fp) { return mf.newVreg(fp); }
+
+    MachineInstr &
+    out(MachineInstr m)
+    {
+        m.predReg = m.predReg >= 0 ? m.predReg : predReg;
+        if (predReg >= 0)
+            m.predSense = predSense;
+        m.wideData = wideData && !m.fp;
+        blk->instrs.push_back(m);
+        return blk->instrs.back();
+    }
+
+    MachineInstr
+    mk(Op op, int bits, bool fp = false)
+    {
+        MachineInstr m;
+        m.op = op;
+        m.opBits = uint8_t(bits);
+        m.fp = fp;
+        return m;
+    }
+
+    void
+    emitMov(int dst, int src, int bits, bool fp)
+    {
+        if (dst == src)
+            return;
+        MachineInstr m = mk(Op::Mov, bits, fp);
+        m.dst = dst;
+        m.src1 = src;
+        out(m);
+    }
+
+    void
+    emitMovImm(int dst, int64_t imm, int bits)
+    {
+        MachineInstr m = mk(Op::MovImm, bits);
+        m.dst = dst;
+        m.imm = imm;
+        m.hasImm = true;
+        out(m);
+    }
+
+    /**
+     * Two-address binary op: dst = a OP b (b may be an immediate or
+     * a folded memory operand).
+     */
+    void
+    emitBin(Op mop, int dst, int a, int b, int64_t imm, int bits,
+            bool fp, bool vec = false, const MemOperand *fold = nullptr)
+    {
+        bool use_imm = b < 0 && !fold;
+        if (dst != a && !use_imm && !fold && dst == b) {
+            if (commutative(mop)) {
+                std::swap(a, b);
+            } else {
+                int t = mtmp(fp);
+                emitMov(t, a, bits, fp);
+                MachineInstr m = mk(mop, bits, fp);
+                m.vec = vec;
+                m.dst = t;
+                m.src1 = b;
+                out(m);
+                emitMov(dst, t, bits, fp);
+                return;
+            }
+        }
+        emitMov(dst, a, bits, fp);
+        MachineInstr m = mk(mop, bits, fp);
+        m.vec = vec;
+        m.dst = dst;
+        if (fold) {
+            m.form = MemForm::LoadOp;
+            m.mem = *fold;
+        } else if (use_imm) {
+            m.imm = imm;
+            m.hasImm = true;
+        } else {
+            m.src1 = b;
+        }
+        out(m);
+    }
+
+    void
+    emitCmp(int a, int b, int64_t imm, int bits,
+            const MemOperand *fold = nullptr)
+    {
+        MachineInstr m = mk(Op::Cmp, bits);
+        m.src1 = a;
+        if (fold) {
+            m.form = MemForm::LoadOp;
+            m.mem = *fold;
+        } else if (b >= 0) {
+            m.src2 = b;
+        } else {
+            m.imm = imm;
+            m.hasImm = true;
+        }
+        out(m);
+    }
+
+    void
+    emitSet(int dst, Cond c, int bits)
+    {
+        MachineInstr m = mk(Op::Set, bits);
+        m.dst = dst;
+        m.cond = c;
+        out(m);
+    }
+
+    void
+    emitLoad(int dst, const MemOperand &mem, int bits, bool fp,
+             bool vec = false)
+    {
+        MachineInstr m = mk(Op::Load, bits, fp);
+        m.vec = vec;
+        m.form = MemForm::Load;
+        m.dst = dst;
+        m.mem = mem;
+        out(m);
+    }
+
+    void
+    emitStore(const MemOperand &mem, int src, int bits, bool fp,
+              bool vec = false)
+    {
+        MachineInstr m = mk(Op::Store, bits, fp);
+        m.vec = vec;
+        m.form = MemForm::Store;
+        m.src1 = src;
+        m.mem = mem;
+        out(m);
+    }
+
+    void analyze();
+    FoldPlan planFolds(const IrBlock &b);
+    MemOperand memFor(const IrBlock &b, const FoldPlan &fp, int idx,
+                      int addr_vreg, int64_t extra_disp);
+    void lowerLt64(int dst, int alo, int ahi, int blo, int bhi);
+    void lowerICmp64(const IrInstr &i);
+    void select(const IrBlock &b, FoldPlan &fp);
+    MachineFunction run();
+};
+
+void
+Sel::analyze()
+{
+    vregType.assign(size_t(ir.numVregs), Type::I32);
+    useCount.assign(size_t(ir.numVregs), 0);
+    mlo.assign(size_t(ir.numVregs), -1);
+    mhi.assign(size_t(ir.numVregs), -1);
+    isConst.assign(size_t(ir.numVregs), 0);
+    constVal.assign(size_t(ir.numVregs), 0);
+
+    std::vector<int> def_count(size_t(ir.numVregs), 0);
+    std::vector<int> uses;
+    for (const auto &b : ir.blocks) {
+        for (const auto &i : b.instrs) {
+            if (i.hasDst()) {
+                def_count[size_t(i.dst)]++;
+                bool pair64 = w32 && i.type == Type::I64;
+                if (i.op == IrOp::BaseAddr && !pair64) {
+                    isConst[size_t(i.dst)] = 1;
+                    constVal[size_t(i.dst)] =
+                        int64_t(regionBase[size_t(i.imm)]);
+                } else if (i.op == IrOp::ConstInt && !pair64) {
+                    isConst[size_t(i.dst)] = 1;
+                    constVal[size_t(i.dst)] = i.imm;
+                } else {
+                    isConst[size_t(i.dst)] = 0;
+                }
+                // Types are stable per vreg except for bool-ish I32
+                // temps; take the widest definition.
+                Type t = i.type;
+                if (i.op == IrOp::ICmp)
+                    t = Type::I32;
+                Type &slot = vregType[size_t(i.dst)];
+                if (slot == Type::I32)
+                    slot = t;
+            }
+            irUses(i, uses);
+            for (int u : uses)
+                useCount[size_t(u)]++;
+        }
+    }
+    // Multiply-defined vregs are not constants.
+    for (int v = 0; v < ir.numVregs; v++) {
+        if (def_count[size_t(v)] != 1)
+            isConst[size_t(v)] = 0;
+    }
+}
+
+FoldPlan
+Sel::planFolds(const IrBlock &b)
+{
+    FoldPlan fp;
+    size_t n = b.instrs.size();
+    fp.skip.assign(n, false);
+    fp.isRmwHead.assign(n, false);
+    bool x86 = target.complexity == Complexity::X86;
+
+    auto samePred = [&](const IrInstr &x, const IrInstr &y) {
+        return x.predVreg == y.predVreg && x.predSense == y.predSense;
+    };
+
+    // 1. Read-modify-write triples (full x86 only).
+    if (x86) {
+        for (size_t k = 0; k + 2 < n; k++) {
+            const IrInstr &ld = b.instrs[k];
+            const IrInstr &op = b.instrs[k + 1];
+            const IrInstr &st = b.instrs[k + 2];
+            if (ld.op != IrOp::Load || st.op != IrOp::Store)
+                continue;
+            if (isFpType(ld.type) || isPair(ld.dst))
+                continue;
+            if (st.a != ld.a || st.b != op.dst || st.type != ld.type)
+                continue;
+            bool fold_op;
+            switch (op.op) {
+              case IrOp::Add: case IrOp::And: case IrOp::Or:
+              case IrOp::Xor:
+                fold_op = op.a == ld.dst ||
+                          (op.b == ld.dst && op.a != ld.dst);
+                break;
+              case IrOp::Sub:
+                fold_op = op.a == ld.dst;
+                break;
+              default:
+                fold_op = false;
+            }
+            if (!fold_op)
+                continue;
+            if (op.dst == ld.a || op.dst == ld.dst)
+                continue;
+            if (useCount[size_t(ld.dst)] != 1 ||
+                useCount[size_t(op.dst)] != 1) {
+                continue;
+            }
+            if (!samePred(ld, op) || !samePred(op, st))
+                continue;
+            fp.isRmwHead[k] = true;
+            fp.skip[k + 1] = true;
+            fp.skip[k + 2] = true;
+            k += 2;
+        }
+    }
+
+    // 2. Single-use load folding into arithmetic (full x86 only).
+    if (x86) {
+        for (size_t k = 0; k < n; k++) {
+            const IrInstr &ld = b.instrs[k];
+            bool vec_ld = ld.op == IrOp::VLoad;
+            if ((ld.op != IrOp::Load && !vec_ld) || fp.isRmwHead[k] ||
+                fp.skip[k]) {
+                continue;
+            }
+            if (!vec_ld && isPair(ld.dst))
+                continue;
+            if (useCount[size_t(ld.dst)] != 1)
+                continue;
+            for (size_t j = k + 1; j < n && j < k + 9; j++) {
+                const IrInstr &u = b.instrs[j];
+                if (fp.skip[j])
+                    break;
+                bool uses = u.a == ld.dst || u.b == ld.dst ||
+                            u.c == ld.dst || u.predVreg == ld.dst;
+                if (uses) {
+                    if (loadFoldableInto(u, ld.dst) &&
+                        samePred(ld, u) && u.dst != ld.a &&
+                        !fp.loadFor.count(int(j))) {
+                        fp.loadFor[int(j)] = int(k);
+                        fp.skip[k] = true;
+                    }
+                    break;
+                }
+                if (u.op == IrOp::Store || u.op == IrOp::VStore ||
+                    u.op == IrOp::Call || fp.isRmwHead[j] ||
+                    u.dst == ld.dst || u.dst == ld.a ||
+                    irIsTerminator(u.op)) {
+                    break;
+                }
+            }
+        }
+    }
+
+    // 3. Address folding (both complexities: the load/store micro-op
+    //    carries a full AGEN).
+    for (size_t k = 0; k < n; k++) {
+        const IrInstr &g = b.instrs[k];
+        if (g.op != IrOp::Gep || fp.skip[k])
+            continue;
+        if (g.imm2 != 1 && g.imm2 != 2 && g.imm2 != 4 && g.imm2 != 8)
+            continue;
+        // Collect uses within the block as pure address operands.
+        std::vector<int> users;
+        bool other_use = false;
+        for (size_t j = k + 1; j < n; j++) {
+            const IrInstr &u = b.instrs[j];
+            if (u.dst == g.a || (g.b >= 0 && u.dst == g.b)) {
+                // Address inputs change; later uses see different
+                // values and cannot fold this gep.
+                for (size_t j2 = j; j2 < n; j2++) {
+                    const IrInstr &u2 = b.instrs[j2];
+                    if (u2.a == g.dst || u2.b == g.dst ||
+                        u2.c == g.dst)
+                        other_use = true;
+                }
+                break;
+            }
+            bool addr_use =
+                (u.op == IrOp::Load || u.op == IrOp::VLoad ||
+                 u.op == IrOp::Store || u.op == IrOp::VStore) &&
+                u.a == g.dst;
+            if (addr_use && u.b != g.dst)
+                users.push_back(int(j));
+            else if (u.a == g.dst || u.b == g.dst || u.c == g.dst ||
+                     u.predVreg == g.dst)
+                other_use = true;
+            if (u.dst == g.dst && int(j) != int(k))
+                break;
+        }
+        if (other_use)
+            continue;
+        if (int(users.size()) != useCount[size_t(g.dst)])
+            continue; // used outside this window/block
+        if (users.empty())
+            continue;
+        for (int j : users)
+            fp.gepFor[j] = int(k);
+        fp.skip[k] = true;
+    }
+    return fp;
+}
+
+MemOperand
+Sel::memFor(const IrBlock &b, const FoldPlan &fp, int idx,
+            int addr_vreg, int64_t extra_disp)
+{
+    MemOperand m;
+    auto it = fp.gepFor.find(idx);
+    if (it != fp.gepFor.end()) {
+        const IrInstr &g = b.instrs[size_t(it->second)];
+        if (isConst[size_t(g.a)]) {
+            m.base = -1;
+            m.disp = constVal[size_t(g.a)] + g.imm + extra_disp;
+        } else {
+            m.base = mv(g.a);
+            m.disp = g.imm + extra_disp;
+        }
+        m.index = g.b >= 0 ? mv(g.b) : -1;
+        m.scale = int(g.imm2);
+    } else if (isConst[size_t(addr_vreg)]) {
+        m.base = -1;
+        m.disp = constVal[size_t(addr_vreg)] + extra_disp;
+    } else {
+        m.base = mv(addr_vreg);
+        m.disp = extra_disp;
+    }
+    return m;
+}
+
+/** dst = (ahi:alo <s bhi:blo) as 0/1, on a 32-bit target. */
+void
+Sel::lowerLt64(int dst, int alo, int ahi, int blo, int bhi)
+{
+    int s_lt = mtmp(false);
+    int s_eq = mtmp(false);
+    int s_ult = mtmp(false);
+    emitCmp(ahi, bhi, 0, 32);
+    emitSet(s_lt, Cond::Lt, 32);
+    emitSet(s_eq, Cond::Eq, 32);
+    emitCmp(alo, blo, 0, 32);
+    emitSet(s_ult, Cond::Ult, 32);
+    emitBin(Op::And, s_eq, s_eq, s_ult, 0, 32, false);
+    emitBin(Op::Or, dst, s_lt, s_eq, 0, 32, false);
+}
+
+void
+Sel::lowerICmp64(const IrInstr &i)
+{
+    int alo = mv(i.a), ahi = mv(i.a, true);
+    int blo, bhi;
+    if (i.b >= 0) {
+        blo = mv(i.b);
+        bhi = mv(i.b, true);
+    } else {
+        blo = mtmp(false);
+        bhi = mtmp(false);
+        emitMovImm(blo, int32_t(uint32_t(uint64_t(i.imm))), 32);
+        emitMovImm(bhi, int32_t(uint32_t(uint64_t(i.imm) >> 32)), 32);
+    }
+    int dst = mv(i.dst);
+    switch (i.cond) {
+      case Cond::Eq:
+      case Cond::Ne: {
+        int t = mtmp(false);
+        int u = mtmp(false);
+        emitBin(Op::Xor, t, alo, blo, 0, 32, false);
+        emitBin(Op::Xor, u, ahi, bhi, 0, 32, false);
+        emitBin(Op::Or, t, t, u, 0, 32, false);
+        emitCmp(t, -1, 0, 32);
+        emitSet(dst, i.cond, 32);
+        break;
+      }
+      case Cond::Lt:
+        lowerLt64(dst, alo, ahi, blo, bhi);
+        break;
+      case Cond::Gt:
+        lowerLt64(dst, blo, bhi, alo, ahi);
+        break;
+      case Cond::Ge:
+        lowerLt64(dst, alo, ahi, blo, bhi);
+        emitBin(Op::Xor, dst, dst, -1, 1, 32, false);
+        break;
+      case Cond::Le:
+        lowerLt64(dst, blo, bhi, alo, ahi);
+        emitBin(Op::Xor, dst, dst, -1, 1, 32, false);
+        break;
+      default:
+        panic("isel: unsupported 64-bit compare %s",
+              condName(i.cond));
+    }
+}
+
+void
+Sel::select(const IrBlock &b, FoldPlan &fp)
+{
+    havePending = false;
+    size_t n = b.instrs.size();
+
+    for (size_t k = 0; k < n; k++) {
+        const IrInstr &i = b.instrs[k];
+        if (fp.skip[size_t(k)])
+            continue;
+
+        predReg = i.predVreg >= 0 ? mv(i.predVreg) : -1;
+        predSense = i.predSense;
+        wideData = !w32 && i.type == Type::I64;
+
+        if (fp.isRmwHead[size_t(k)]) {
+            // Emit the whole load/op/store triple as one RMW macro.
+            const IrInstr &op = b.instrs[k + 1];
+            MachineInstr m = mk(intMachineOp(op.op), bitsOf(i.type));
+            m.form = MemForm::LoadOpStore;
+            m.mem = memFor(b, fp, int(k), i.a, 0);
+            int x = op.a == i.dst ? op.b : op.a;
+            if (x >= 0) {
+                m.src1 = mv(x);
+            } else {
+                m.imm = op.imm;
+                m.hasImm = true;
+            }
+            out(m);
+            continue;
+        }
+
+        // Folded memory operand feeding this instruction, if any.
+        const MemOperand *fold = nullptr;
+        MemOperand fold_storage;
+        int fold_src = -1;
+        auto lf = fp.loadFor.find(int(k));
+        if (lf != fp.loadFor.end()) {
+            const IrInstr &ld = b.instrs[size_t(lf->second)];
+            fold_storage =
+                memFor(b, fp, lf->second, ld.a, 0);
+            fold = &fold_storage;
+            fold_src = ld.dst;
+        }
+
+        switch (i.op) {
+          case IrOp::ConstInt:
+            if (isPair(i.dst)) {
+                emitMovImm(mv(i.dst),
+                           int32_t(uint32_t(uint64_t(i.imm))), 32);
+                emitMovImm(mv(i.dst, true),
+                           int32_t(uint32_t(uint64_t(i.imm) >> 32)),
+                           32);
+            } else {
+                emitMovImm(mv(i.dst), i.imm, bitsOf(i.type));
+            }
+            break;
+
+          case IrOp::ConstF: {
+            uint64_t bits;
+            __builtin_memcpy(&bits, &i.fimm, 8);
+            if (!w32) {
+                int g = mtmp(false);
+                emitMovImm(g, int64_t(bits), 64);
+                MachineInstr m = mk(Op::FMovI, 64, true);
+                m.dst = mv(i.dst);
+                m.src1 = g;
+                out(m);
+            } else {
+                // Build the double through the reserved scratch slot.
+                int g = mtmp(false);
+                MemOperand lo{0 /* sp vreg */, -1, 1, 0};
+                MemOperand hi{0, -1, 1, 4};
+                emitMovImm(g, int32_t(uint32_t(bits)), 32);
+                emitStore(lo, g, 32, false);
+                int g2 = mtmp(false);
+                emitMovImm(g2, int32_t(uint32_t(bits >> 32)), 32);
+                emitStore(hi, g2, 32, false);
+                emitLoad(mv(i.dst), lo, 64, true);
+            }
+            break;
+          }
+
+          case IrOp::BaseAddr:
+            emitMovImm(mv(i.dst),
+                       int64_t(regionBase[size_t(i.imm)]), ptrBits);
+            break;
+
+          case IrOp::Add: case IrOp::Sub: case IrOp::Mul:
+          case IrOp::Div: case IrOp::And: case IrOp::Or:
+          case IrOp::Xor: case IrOp::Shl: case IrOp::Shr: {
+            // Register-to-register move pattern (builder move or an
+            // LVN-inserted copy; the value may live in either file).
+            if (i.op == IrOp::Or && i.a == i.b && i.a >= 0) {
+                if (isPair(i.dst)) {
+                    emitMov(mv(i.dst), mv(i.a), 32, false);
+                    emitMov(mv(i.dst, true), mv(i.a, true), 32, false);
+                } else {
+                    bool fp_copy = isFpType(vregType[size_t(i.dst)]);
+                    emitMov(mv(i.dst), mv(i.a),
+                            fp_copy ? 64
+                                    : bitsOf(vregType[size_t(i.dst)]),
+                            fp_copy);
+                }
+                break;
+            }
+            panic_if(isFpType(vregType[size_t(i.dst)]),
+                     "isel: integer binop on an FP value");
+            if (!isPair(i.dst)) {
+                int bv = -1;
+                if (fold && fold_src == i.b) {
+                    bv = -1;
+                } else if (fold && fold_src == i.a) {
+                    // Commutative fold with the load on the left;
+                    // the other operand may be an immediate.
+                    if (i.b >= 0) {
+                        emitBin(intMachineOp(i.op), mv(i.dst),
+                                mv(i.b), -1, 0, bitsOf(i.type),
+                                false, false, fold);
+                    } else {
+                        emitMovImm(mv(i.dst), i.imm,
+                                   bitsOf(i.type));
+                        emitBin(intMachineOp(i.op), mv(i.dst),
+                                mv(i.dst), -1, 0, bitsOf(i.type),
+                                false, false, fold);
+                    }
+                    break;
+                } else if (i.b >= 0) {
+                    bv = mv(i.b);
+                }
+                emitBin(intMachineOp(i.op), mv(i.dst), mv(i.a), bv,
+                        i.imm, bitsOf(i.type), false, false,
+                        fold && fold_src == i.b ? fold : nullptr);
+                break;
+            }
+            // --- 64-bit pair lowering on a 32-bit target ---
+            int alo = mv(i.a), ahi = mv(i.a, true);
+            int blo = -1, bhi = -1;
+            int64_t ilo = 0, ihi = 0;
+            if (i.b >= 0) {
+                blo = mv(i.b);
+                bhi = mv(i.b, true);
+            } else {
+                ilo = int32_t(uint32_t(uint64_t(i.imm)));
+                ihi = int32_t(uint32_t(uint64_t(i.imm) >> 32));
+            }
+            int dlo = mv(i.dst), dhi = mv(i.dst, true);
+            switch (i.op) {
+              case IrOp::Add:
+                emitBin(Op::Add, dlo, alo, blo, ilo, 32, false);
+                emitBin(Op::Adc, dhi, ahi, bhi, ihi, 32, false);
+                break;
+              case IrOp::Sub:
+                emitBin(Op::Sub, dlo, alo, blo, ilo, 32, false);
+                emitBin(Op::Sbb, dhi, ahi, bhi, ihi, 32, false);
+                break;
+              case IrOp::And: case IrOp::Or: case IrOp::Xor:
+                emitBin(intMachineOp(i.op), dlo, alo, blo, ilo, 32,
+                        false);
+                emitBin(intMachineOp(i.op), dhi, ahi, bhi, ihi, 32,
+                        false);
+                break;
+              case IrOp::Mul: {
+                if (blo < 0) {
+                    blo = mtmp(false);
+                    bhi = mtmp(false);
+                    emitMovImm(blo, ilo, 32);
+                    emitMovImm(bhi, ihi, 32);
+                }
+                int t1 = mtmp(false), t2 = mtmp(false),
+                    t3 = mtmp(false), t4 = mtmp(false);
+                emitBin(Op::MulHi, t1, alo, blo, 0, 32, false);
+                emitBin(Op::Mul, t2, alo, bhi, 0, 32, false);
+                emitBin(Op::Mul, t3, ahi, blo, 0, 32, false);
+                emitBin(Op::Mul, t4, alo, blo, 0, 32, false);
+                emitBin(Op::Add, t1, t1, t2, 0, 32, false);
+                emitBin(Op::Add, t1, t1, t3, 0, 32, false);
+                emitMov(dlo, t4, 32, false);
+                emitMov(dhi, t1, 32, false);
+                break;
+              }
+              case IrOp::Shl: {
+                panic_if(i.b >= 0,
+                         "isel: variable 64-bit shift on 32-bit");
+                int64_t s = i.imm & 63;
+                if (s == 0) {
+                    emitMov(dlo, alo, 32, false);
+                    emitMov(dhi, ahi, 32, false);
+                } else if (s < 32) {
+                    int t = mtmp(false);
+                    emitBin(Op::Shr, t, alo, -1, 32 - s, 32, false);
+                    emitBin(Op::Shl, dhi, ahi, -1, s, 32, false);
+                    emitBin(Op::Or, dhi, dhi, t, 0, 32, false);
+                    emitBin(Op::Shl, dlo, alo, -1, s, 32, false);
+                } else {
+                    emitBin(Op::Shl, dhi, alo, -1, s - 32, 32, false);
+                    emitMovImm(dlo, 0, 32);
+                }
+                break;
+              }
+              case IrOp::Shr: {
+                panic_if(i.b >= 0,
+                         "isel: variable 64-bit shift on 32-bit");
+                int64_t s = i.imm & 63;
+                if (s == 0) {
+                    emitMov(dlo, alo, 32, false);
+                    emitMov(dhi, ahi, 32, false);
+                } else if (s < 32) {
+                    int t = mtmp(false);
+                    emitBin(Op::Shl, t, ahi, -1, 32 - s, 32, false);
+                    emitBin(Op::Shr, dlo, alo, -1, s, 32, false);
+                    emitBin(Op::Or, dlo, dlo, t, 0, 32, false);
+                    emitBin(Op::Shr, dhi, ahi, -1, s, 32, false);
+                } else {
+                    emitBin(Op::Shr, dlo, ahi, -1, s - 32, 32, false);
+                    emitMovImm(dhi, 0, 32);
+                }
+                break;
+              }
+              default:
+                panic("isel: 64-bit %s unsupported on 32-bit target",
+                      irOpName(i.op));
+            }
+            break;
+          }
+
+          case IrOp::FAdd: case IrOp::FSub: case IrOp::FMul:
+          case IrOp::FDiv: case IrOp::VAdd: case IrOp::VSub:
+          case IrOp::VMul: {
+            bool vec = i.type == Type::V128;
+            Op mop = fpMachineOp(i.op);
+            if (fold && fold_src == i.a && commutative(mop)) {
+                emitBin(mop, mv(i.dst), mv(i.b), -1, 0, 64, true, vec,
+                        fold);
+            } else {
+                emitBin(mop, mv(i.dst), mv(i.a),
+                        fold && fold_src == i.b ? -1 : mv(i.b), 0, 64,
+                        true, vec,
+                        fold && fold_src == i.b ? fold : nullptr);
+            }
+            break;
+          }
+
+          case IrOp::FSqrt: {
+            MachineInstr m = mk(Op::FSqrt, 64, true);
+            m.dst = mv(i.dst);
+            m.src1 = mv(i.a);
+            out(m);
+            break;
+          }
+
+          case IrOp::I2F: {
+            panic_if(isPair(i.a), "isel: i2f of a 64-bit pair");
+            MachineInstr m = mk(Op::I2F, 64, true);
+            m.dst = mv(i.dst);
+            m.src1 = mv(i.a);
+            out(m);
+            break;
+          }
+
+          case IrOp::F2I: {
+            panic_if(isPair(i.dst), "isel: f2i to a 64-bit pair");
+            MachineInstr m = mk(Op::F2I, bitsOf(i.type), false);
+            m.dst = mv(i.dst);
+            m.src1 = mv(i.a);
+            out(m);
+            break;
+          }
+
+          case IrOp::Gep: {
+            MachineInstr m = mk(Op::Lea, ptrBits);
+            m.dst = mv(i.dst);
+            if (isConst[size_t(i.a)]) {
+                m.mem.base = -1;
+                m.mem.disp = constVal[size_t(i.a)] + i.imm;
+            } else {
+                m.mem.base = mv(i.a);
+                m.mem.disp = i.imm;
+            }
+            m.mem.index = i.b >= 0 ? mv(i.b) : -1;
+            m.mem.scale = int(i.imm2);
+            if (m.mem.base < 0 && m.mem.index < 0) {
+                // Degenerates to a constant.
+                MachineInstr mi = mk(Op::MovImm, ptrBits);
+                mi.dst = m.dst;
+                mi.imm = m.mem.disp;
+                mi.hasImm = true;
+                out(mi);
+                break;
+            }
+            out(m);
+            break;
+          }
+
+          case IrOp::Load:
+            if (isPair(i.dst)) {
+                MemOperand lo = memFor(b, fp, int(k), i.a, 0);
+                MemOperand hi = memFor(b, fp, int(k), i.a, 4);
+                emitLoad(mv(i.dst), lo, 32, false);
+                emitLoad(mv(i.dst, true), hi, 32, false);
+            } else {
+                emitLoad(mv(i.dst), memFor(b, fp, int(k), i.a, 0),
+                         bitsOf(i.type), isFpType(i.type));
+            }
+            break;
+
+          case IrOp::VLoad:
+            emitLoad(mv(i.dst), memFor(b, fp, int(k), i.a, 0), 64,
+                     true, true);
+            break;
+
+          case IrOp::Store:
+            if (isPair(i.b)) {
+                emitStore(memFor(b, fp, int(k), i.a, 0), mv(i.b), 32,
+                          false);
+                emitStore(memFor(b, fp, int(k), i.a, 4),
+                          mv(i.b, true), 32, false);
+            } else {
+                emitStore(memFor(b, fp, int(k), i.a, 0), mv(i.b),
+                          bitsOf(i.type), isFpType(i.type));
+            }
+            break;
+
+          case IrOp::VStore:
+            emitStore(memFor(b, fp, int(k), i.a, 0), mv(i.b), 64,
+                      true, true);
+            break;
+
+          case IrOp::ICmp: {
+            if (isPair(i.a)) {
+                lowerICmp64(i);
+                break;
+            }
+            int bits = bitsOf(vregType[size_t(i.a)]);
+            bool fuse = false;
+            if (k + 1 == n - 1 && i.predVreg < 0 &&
+                useCount[size_t(i.dst)] == 1) {
+                const IrInstr &t = b.instrs[n - 1];
+                fuse = t.op == IrOp::Br && t.a == i.dst;
+            }
+            emitCmp(mv(i.a),
+                    fold && fold_src == i.b ? -1
+                    : i.b >= 0              ? mv(i.b)
+                                            : -1,
+                    i.imm, bits, fold && fold_src == i.b ? fold
+                                                         : nullptr);
+            if (fuse) {
+                pendingCond = i.cond;
+                havePending = true;
+            } else {
+                emitSet(mv(i.dst), i.cond, 32);
+            }
+            break;
+          }
+
+          case IrOp::Select: {
+            panic_if(isFpType(i.type),
+                     "isel: FP select not supported");
+            bool pair = isPair(i.dst);
+            int bits = pair ? 32 : bitsOf(i.type);
+            auto sel_one = [&](int dst, int tv, int fv) {
+                int work = dst;
+                bool alias = dst == tv || dst == mv(i.a);
+                if (alias)
+                    work = mtmp(false);
+                emitMov(work, fv, bits, false);
+                emitCmp(mv(i.a), -1, 0, 32);
+                MachineInstr m = mk(Op::Cmov, bits);
+                m.cond = Cond::Ne;
+                m.dst = work;
+                m.src1 = tv;
+                out(m);
+                if (alias)
+                    emitMov(dst, work, bits, false);
+            };
+            if (pair) {
+                sel_one(mv(i.dst), mv(i.b), mv(i.c));
+                sel_one(mv(i.dst, true), mv(i.b, true),
+                        mv(i.c, true));
+            } else {
+                sel_one(mv(i.dst), mv(i.b), mv(i.c));
+            }
+            break;
+          }
+
+          case IrOp::VSplat: {
+            MachineInstr m = mk(Op::VSplat, 64, true);
+            m.vec = true;
+            m.dst = mv(i.dst);
+            m.src1 = mv(i.a);
+            out(m);
+            break;
+          }
+
+          case IrOp::VPack: {
+            emitMov(mv(i.dst), mv(i.a), 64, true);
+            MachineInstr m = mk(Op::VPack, 64, true);
+            m.vec = true;
+            m.dst = mv(i.dst);
+            m.src1 = mv(i.b);
+            out(m);
+            break;
+          }
+
+          case IrOp::VReduce: {
+            MachineInstr m = mk(Op::VReduce, 64, true);
+            m.vec = true;
+            m.dst = mv(i.dst);
+            m.src1 = mv(i.a);
+            out(m);
+            break;
+          }
+
+          case IrOp::Br: {
+            MachineInstr m = mk(Op::Branch, 32);
+            if (havePending) {
+                m.cond = pendingCond;
+                havePending = false;
+            } else {
+                emitCmp(mv(i.a), -1, 0, 32);
+                m.cond = Cond::Ne;
+            }
+            m.succ0 = i.succ0;
+            m.succ1 = i.succ1;
+            m.prob = i.prob;
+            m.predictable = i.predictable;
+            out(m);
+            break;
+          }
+
+          case IrOp::Jmp: {
+            MachineInstr m = mk(Op::Jump, 32);
+            m.succ0 = i.succ0;
+            out(m);
+            break;
+          }
+
+          case IrOp::Call: {
+            MachineInstr m = mk(Op::Call, ptrBits);
+            m.callee = int(i.imm);
+            out(m);
+            break;
+          }
+
+          case IrOp::Ret: {
+            MachineInstr m = mk(Op::Ret, ptrBits);
+            if (i.a >= 0)
+                m.src1 = mv(i.a);
+            out(m);
+            break;
+          }
+
+          default:
+            panic("isel: unhandled IR op %s", irOpName(i.op));
+        }
+    }
+}
+
+MachineFunction
+Sel::run()
+{
+    mf.name = ir.name;
+    int sp = mf.newVreg(false);
+    panic_if(sp != 0, "stack-pointer vreg must be 0");
+
+    analyze();
+    // Reserve a scratch slot for 32-bit FP-constant materialization.
+    mf.frameBytes = w32 ? 16 : 0;
+
+    mf.blocks.resize(ir.blocks.size());
+    for (size_t bi = 0; bi < ir.blocks.size(); bi++) {
+        blk = &mf.blocks[bi];
+        FoldPlan fp = planFolds(ir.blocks[bi]);
+        select(ir.blocks[bi], fp);
+        panic_if(blk->instrs.empty(), "isel: empty machine block");
+    }
+    return mf;
+}
+
+} // namespace
+
+MachineFunction
+runIsel(const IrFunction &f, const IrModule &mod,
+        const std::vector<uint64_t> &region_base,
+        const FeatureSet &target)
+{
+    Sel sel(f, mod, region_base, target);
+    return sel.run();
+}
+
+} // namespace cisa

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Instruction selection: IR to machine code for one feature set.
+ *
+ * This pass is where three of the five ISA axes bite:
+ *
+ * - Instruction complexity: on full-x86 targets, single-use loads
+ *   fold into arithmetic memory operands (MemForm::LoadOp) and
+ *   adjacent load/op/store triples become read-modify-write macros
+ *   (MemForm::LoadOpStore); microx86 targets keep the RISC-style
+ *   ld-compute-st shape, where every macro-op is exactly one
+ *   micro-op. Address expressions (Gep) fold into base+index*scale+
+ *   disp operands on both, since the load/store micro-op carries a
+ *   full AGEN.
+ * - Register width: on 32-bit targets, 64-bit IR values lower to
+ *   register pairs using adc/sbb carry chains, widening multiplies,
+ *   split shifts, and two-part memory accesses.
+ * - SIMD: packed IR ops lower to SSE2-style macro-ops (only present
+ *   when the vectorizer ran, i.e. the target has SIMD).
+ *
+ * Output uses machine virtual registers; vreg 0 is pre-colored to the
+ * stack pointer.
+ */
+
+#ifndef CISA_COMPILER_PASSES_ISEL_HH
+#define CISA_COMPILER_PASSES_ISEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "compiler/machine.hh"
+#include "isa/features.hh"
+
+namespace cisa
+{
+
+/**
+ * Select instructions for @p f.
+ *
+ * @param f the IR function (after LVN/vectorize/if-convert)
+ * @param mod enclosing module (region table)
+ * @param region_base concrete base address per region
+ * @param target the feature set to compile for
+ */
+MachineFunction runIsel(const IrFunction &f, const IrModule &mod,
+                        const std::vector<uint64_t> &region_base,
+                        const FeatureSet &target);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_ISEL_HH

@@ -1,0 +1,237 @@
+#include "compiler/passes/lvn.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "compiler/analysis.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** Structural key of a pure expression. */
+struct ExprKey
+{
+    IrOp op;
+    Type type;
+    Cond cond;
+    int vnA;
+    int vnB;      ///< -1 when the immediate is used
+    int64_t imm;
+    int64_t imm2;
+
+    bool operator==(const ExprKey &o) const = default;
+};
+
+struct ExprKeyHash
+{
+    size_t
+    operator()(const ExprKey &k) const
+    {
+        uint64_t h = 1469598103934665603ULL;
+        auto mix = [&](uint64_t v) { h = (h ^ v) * 1099511628211ULL; };
+        mix(uint64_t(k.op));
+        mix(uint64_t(k.type));
+        mix(uint64_t(k.cond));
+        mix(uint64_t(uint32_t(k.vnA)));
+        mix(uint64_t(uint32_t(k.vnB)));
+        mix(uint64_t(k.imm));
+        mix(uint64_t(k.imm2));
+        return size_t(h);
+    }
+};
+
+/** True for ops LVN may value-number (pure, no control effects). */
+bool
+pureOp(IrOp op)
+{
+    switch (op) {
+      case IrOp::ConstInt:
+      case IrOp::ConstF:
+      case IrOp::BaseAddr:
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::Mul:
+      case IrOp::Div:
+      case IrOp::And:
+      case IrOp::Or:
+      case IrOp::Xor:
+      case IrOp::Shl:
+      case IrOp::Shr:
+      case IrOp::Gep:
+      case IrOp::ICmp:
+      case IrOp::FAdd:
+      case IrOp::FSub:
+      case IrOp::FMul:
+      case IrOp::FDiv:
+      case IrOp::FSqrt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+LvnStats
+runLvn(IrFunction &f, int reg_depth)
+{
+    LvnStats st;
+    Cfg cfg = Cfg::build(f);
+    Liveness lv = Liveness::build(f, cfg);
+
+    for (size_t bi = 0; bi < f.blocks.size(); bi++) {
+        if (cfg.rpoIndex[bi] < 0)
+            continue; // unreachable
+
+        // Budget: how many extra values we may keep alive in this
+        // block before redundancy elimination stops paying for
+        // itself in spills. Two registers are held back as slack.
+        int pressure = lv.maxPressure(f, int(bi));
+        int budget = reg_depth - 2 - pressure;
+
+        // Value numbering state, local to the block.
+        std::unordered_map<int, int> vregVn;   // vreg -> value number
+        std::unordered_map<int, int> vnHolder; // vn -> live vreg
+        std::unordered_map<ExprKey, int, ExprKeyHash> exprs;
+        std::unordered_map<ExprKey, int, ExprKeyHash> loads;
+        int next_vn = 0;
+
+        auto vnOf = [&](int vreg) {
+            auto it = vregVn.find(vreg);
+            if (it != vregVn.end())
+                return it->second;
+            int vn = next_vn++;
+            vregVn[vreg] = vn;
+            vnHolder[vn] = vreg;
+            return vn;
+        };
+
+        // Local copy propagation: maps a copy destination to its
+        // source while both stay unchanged, so LVN-inserted copies
+        // (and builder-emitted moves) fall dead for DCE to collect.
+        std::unordered_map<int, int> cp;
+        auto cpInvalidate = [&](int vreg) {
+            cp.erase(vreg);
+            for (auto it = cp.begin(); it != cp.end();) {
+                if (it->second == vreg)
+                    it = cp.erase(it);
+                else
+                    ++it;
+            }
+        };
+        auto cpResolve = [&](int v) {
+            auto it = cp.find(v);
+            return it == cp.end() ? v : it->second;
+        };
+
+        auto redefine = [&](int vreg, int new_vn) {
+            auto it = vregVn.find(vreg);
+            if (it != vregVn.end()) {
+                // The old value number loses its holder if this vreg
+                // was it.
+                auto h = vnHolder.find(it->second);
+                if (h != vnHolder.end() && h->second == vreg)
+                    vnHolder.erase(h);
+            }
+            vregVn[vreg] = new_vn;
+            if (!vnHolder.count(new_vn))
+                vnHolder[new_vn] = vreg;
+        };
+
+        for (auto &i : f.blocks[bi].instrs) {
+            // Rewrite operands through known copies first.
+            if (i.a >= 0)
+                i.a = cpResolve(i.a);
+            if (i.b >= 0)
+                i.b = cpResolve(i.b);
+            if (i.c >= 0)
+                i.c = cpResolve(i.c);
+            if (i.predVreg >= 0)
+                i.predVreg = cpResolve(i.predVreg);
+            if (i.hasDst())
+                cpInvalidate(i.dst);
+            // Builder-emitted move: or dst, a, a.
+            if (i.op == IrOp::Or && i.a >= 0 && i.a == i.b &&
+                i.dst != i.a) {
+                cp[i.dst] = i.a;
+            }
+
+            if (i.op == IrOp::Store || i.op == IrOp::Call ||
+                i.op == IrOp::VStore) {
+                // Conservative alias handling: memory writes kill all
+                // remembered loads.
+                loads.clear();
+                if (i.op == IrOp::Call)
+                    exprs.clear();
+                continue;
+            }
+
+            bool is_load = i.op == IrOp::Load;
+            if (!pureOp(i.op) && !is_load) {
+                if (i.hasDst())
+                    redefine(i.dst, next_vn++);
+                continue;
+            }
+
+            ExprKey key;
+            key.op = i.op;
+            key.type = i.type;
+            key.cond = i.op == IrOp::ICmp ? i.cond : Cond::Eq;
+            key.vnA = i.a >= 0 && i.op != IrOp::ConstInt &&
+                      i.op != IrOp::ConstF && i.op != IrOp::BaseAddr
+                          ? vnOf(i.a)
+                          : -1;
+            key.vnB = i.b >= 0 ? vnOf(i.b) : -1;
+            if (i.op == IrOp::ConstF) {
+                static_assert(sizeof(double) == sizeof(int64_t));
+                __builtin_memcpy(&key.imm, &i.fimm, sizeof(key.imm));
+            } else {
+                key.imm = i.imm;
+            }
+            key.imm2 = i.imm2;
+
+            auto &table = is_load ? loads : exprs;
+            auto it = table.find(key);
+            if (it != table.end()) {
+                auto h = vnHolder.find(it->second);
+                if (h != vnHolder.end()) {
+                    if (budget <= 0) {
+                        st.skippedForPressure++;
+                    } else {
+                        // Replace with a copy from the holder.
+                        int holder = h->second;
+                        int vn = it->second;
+                        if (is_load)
+                            st.loadsEliminated++;
+                        else
+                            st.exprsEliminated++;
+                        budget--;
+                        IrInstr copy;
+                        copy.op = IrOp::Or;
+                        copy.type = i.type;
+                        copy.dst = i.dst;
+                        copy.a = holder;
+                        copy.b = holder;
+                        int dst = i.dst;
+                        i = copy;
+                        redefine(dst, vn);
+                        if (dst != holder)
+                            cp[dst] = holder;
+                        continue;
+                    }
+                }
+            }
+
+            int vn = next_vn++;
+            if (i.hasDst())
+                redefine(i.dst, vn);
+            table[key] = vn;
+        }
+    }
+    return st;
+}
+
+} // namespace cisa

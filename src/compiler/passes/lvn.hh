@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Register-pressure-sensitive local value numbering.
+ *
+ * Eliminates redundant recomputation (arithmetic, address and compare
+ * expressions) and redundant loads within a basic block, but only
+ * while the block's live-register pressure leaves slack under the
+ * target's register depth. On shallow feature sets the pass keeps
+ * recomputation (rematerialization) instead, which is the paper's
+ * mechanism for the extra integer instructions observed at small
+ * register depths (Section III, "Register Depth").
+ */
+
+#ifndef CISA_COMPILER_PASSES_LVN_HH
+#define CISA_COMPILER_PASSES_LVN_HH
+
+#include "compiler/ir.hh"
+
+namespace cisa
+{
+
+/** Statistics of one LVN run. */
+struct LvnStats
+{
+    int exprsEliminated = 0;
+    int loadsEliminated = 0;
+    int skippedForPressure = 0;
+};
+
+/**
+ * Run LVN on @p f for a target with @p reg_depth registers.
+ * Mutates the function in place; semantics are preserved.
+ */
+LvnStats runLvn(IrFunction &f, int reg_depth);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_LVN_HH

@@ -1,0 +1,681 @@
+#include "compiler/passes/regalloc.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** Register operands read by a machine instruction. */
+void
+instrUses(const MachineInstr &i, std::vector<int> &out)
+{
+    out.clear();
+    auto add = [&](int r) {
+        if (r >= 0)
+            out.push_back(r);
+    };
+    add(i.src1);
+    add(i.src2);
+    add(i.mem.base);
+    add(i.mem.index);
+    add(i.predReg);
+    // Two-address arithmetic and conditional/predicated writes read
+    // the destination.
+    if (i.dst >= 0) {
+        bool reads_dst = i.predReg >= 0;
+        switch (i.op) {
+          case Op::Mov: case Op::MovImm: case Op::Load: case Op::Set:
+          case Op::Lea: case Op::FMovI: case Op::I2F: case Op::F2I:
+          case Op::FSqrt: case Op::VSplat: case Op::VReduce:
+            break;
+          case Op::Cmov: case Op::VPack:
+            reads_dst = true;
+            break;
+          default:
+            reads_dst = true;
+            break;
+        }
+        if (reads_dst)
+            add(i.dst);
+    }
+}
+
+int
+instrDef(const MachineInstr &i)
+{
+    return i.dst;
+}
+
+struct Interval
+{
+    int vreg = -1;
+    int start = 0;
+    int end = 0;
+    bool fp = false;
+    int assigned = -1;
+    bool spilled = false;
+};
+
+/** Whole-function liveness over machine vregs. */
+struct MLiveness
+{
+    std::vector<std::vector<uint64_t>> liveIn, liveOut;
+    size_t words = 0;
+
+    static MLiveness
+    build(const MachineFunction &mf)
+    {
+        MLiveness lv;
+        size_t n = mf.blocks.size();
+        int nv = mf.numVregs;
+        lv.words = size_t((nv + 63) / 64);
+        lv.liveIn.assign(n, std::vector<uint64_t>(lv.words, 0));
+        lv.liveOut.assign(n, std::vector<uint64_t>(lv.words, 0));
+
+        auto set = [&](std::vector<uint64_t> &bs, int v) {
+            bs[size_t(v) / 64] |= uint64_t(1) << (v % 64);
+        };
+        auto get = [&](const std::vector<uint64_t> &bs, int v) {
+            return (bs[size_t(v) / 64] >> (v % 64)) & 1;
+        };
+        (void)get;
+
+        std::vector<std::vector<uint64_t>> use(
+            n, std::vector<uint64_t>(lv.words, 0));
+        std::vector<std::vector<uint64_t>> def(
+            n, std::vector<uint64_t>(lv.words, 0));
+        std::vector<int> uses;
+        for (size_t b = 0; b < n; b++) {
+            for (const auto &i : mf.blocks[b].instrs) {
+                instrUses(i, uses);
+                for (int u : uses) {
+                    if (!((def[b][size_t(u) / 64] >> (u % 64)) & 1))
+                        set(use[b], u);
+                }
+                int d = instrDef(i);
+                if (d >= 0)
+                    set(def[b], d);
+            }
+        }
+
+        // Successors from terminators.
+        std::vector<std::vector<int>> succs(n);
+        for (size_t b = 0; b < n; b++) {
+            const MachineInstr &t = mf.blocks[b].instrs.back();
+            if (t.op == Op::Branch)
+                succs[b] = {t.succ0, t.succ1};
+            else if (t.op == Op::Jump)
+                succs[b] = {t.succ0};
+        }
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t bb = n; bb-- > 0;) {
+                for (int s : succs[bb]) {
+                    for (size_t w = 0; w < lv.words; w++) {
+                        uint64_t nvw = lv.liveOut[bb][w] |
+                                       lv.liveIn[size_t(s)][w];
+                        if (nvw != lv.liveOut[bb][w]) {
+                            lv.liveOut[bb][w] = nvw;
+                            changed = true;
+                        }
+                    }
+                }
+                for (size_t w = 0; w < lv.words; w++) {
+                    uint64_t in = use[bb][w] |
+                                  (lv.liveOut[bb][w] & ~def[bb][w]);
+                    if ((lv.liveIn[bb][w] | in) != lv.liveIn[bb][w]) {
+                        lv.liveIn[bb][w] |= in;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        return lv;
+    }
+};
+
+/** One allocation attempt; fills @p spills when registers run out. */
+bool
+scanOnce(MachineFunction &mf, int k_int, int k_fp,
+         const std::vector<int> &int_regs,
+         const std::vector<int> &fp_regs,
+         std::vector<Interval> &out_intervals,
+         std::vector<int> &spills)
+{
+    MLiveness lv = MLiveness::build(mf);
+    int nv = mf.numVregs;
+
+    // Linear positions and interval extents.
+    std::vector<int> start(size_t(nv), -1), end(size_t(nv), -1);
+    auto extend = [&](int v, int pos) {
+        if (v <= 0)
+            return; // vreg 0 is the pre-colored stack pointer
+        if (start[size_t(v)] < 0)
+            start[size_t(v)] = pos;
+        start[size_t(v)] = std::min(start[size_t(v)], pos);
+        end[size_t(v)] = std::max(end[size_t(v)], pos);
+    };
+
+    std::vector<int> call_pos;
+    int pos = 0;
+    std::vector<int> uses;
+    for (size_t b = 0; b < mf.blocks.size(); b++) {
+        int bstart = pos;
+        for (int v = 1; v < nv; v++) {
+            if ((lv.liveIn[b][size_t(v) / 64] >> (v % 64)) & 1)
+                extend(v, bstart);
+        }
+        for (const auto &i : mf.blocks[b].instrs) {
+            instrUses(i, uses);
+            for (int u : uses)
+                extend(u, pos);
+            if (i.dst > 0)
+                extend(i.dst, pos);
+            if (i.op == Op::Call)
+                call_pos.push_back(pos);
+            pos++;
+        }
+        int bend = pos - 1;
+        for (int v = 1; v < nv; v++) {
+            if ((lv.liveOut[b][size_t(v) / 64] >> (v % 64)) & 1)
+                extend(v, bend);
+        }
+    }
+
+    std::vector<Interval> ivs;
+    for (int v = 1; v < nv; v++) {
+        if (start[size_t(v)] < 0)
+            continue;
+        Interval iv;
+        iv.vreg = v;
+        iv.start = start[size_t(v)];
+        iv.end = end[size_t(v)];
+        iv.fp = mf.vregFp[size_t(v)];
+        ivs.push_back(iv);
+    }
+    std::sort(ivs.begin(), ivs.end(), [](const Interval &a,
+                                         const Interval &b) {
+        return a.start < b.start ||
+               (a.start == b.start && a.vreg < b.vreg);
+    });
+
+    spills.clear();
+    (void)call_pos;
+
+    // Linear scan per class.
+    struct Active
+    {
+        int end;
+        int reg;
+        size_t idx;
+    };
+    std::vector<Active> act_int, act_fp;
+    std::vector<bool> used_int(size_t(int_regs.size()), false);
+    std::vector<bool> used_fp(size_t(fp_regs.size()), false);
+
+    auto expire = [&](std::vector<Active> &act, std::vector<bool> &used,
+                      int at) {
+        for (size_t k = 0; k < act.size();) {
+            if (act[k].end < at) {
+                used[size_t(act[k].reg)] = false;
+                act[k] = act.back();
+                act.pop_back();
+            } else {
+                k++;
+            }
+        }
+    };
+
+    for (size_t n_iv = 0; n_iv < ivs.size(); n_iv++) {
+        Interval &iv = ivs[n_iv];
+        if (iv.spilled)
+            continue;
+        auto &act = iv.fp ? act_fp : act_int;
+        auto &used = iv.fp ? used_fp : used_int;
+        const auto &regs = iv.fp ? fp_regs : int_regs;
+        int kmax = iv.fp ? k_fp : k_int;
+        expire(act, used, iv.start);
+
+        int got = -1;
+        for (int r = 0; r < kmax; r++) {
+            if (!used[size_t(r)]) {
+                got = r;
+                break;
+            }
+        }
+        if (got >= 0) {
+            used[size_t(got)] = true;
+            iv.assigned = regs[size_t(got)];
+            act.push_back({iv.end, got, n_iv});
+            continue;
+        }
+        // Spill the interval ending last.
+        size_t victim = act.size();
+        int worst_end = iv.end;
+        for (size_t k = 0; k < act.size(); k++) {
+            if (act[k].end > worst_end) {
+                worst_end = act[k].end;
+                victim = k;
+            }
+        }
+        if (victim == act.size()) {
+            iv.spilled = true;
+            spills.push_back(iv.vreg);
+        } else {
+            Interval &v = ivs[act[victim].idx];
+            v.spilled = true;
+            v.assigned = -1;
+            spills.push_back(v.vreg);
+            int reg_slot = act[victim].reg;
+            act[victim] = {iv.end, reg_slot, n_iv};
+            iv.assigned = regs[size_t(reg_slot)];
+        }
+    }
+
+    out_intervals = std::move(ivs);
+    return spills.empty();
+}
+
+/** Rewrite spilled vregs into short-range temps around each access. */
+void
+insertSpillCode(MachineFunction &mf, const std::vector<int> &spills,
+                const FeatureSet &target, int reuse_limit)
+{
+    int ptr_bits = target.widthBits();
+
+    // Slot assignment and remat detection.
+    std::unordered_map<int, int64_t> slot;
+    std::unordered_map<int, MachineInstr> remat;
+    std::unordered_map<int, int> def_count;
+    std::unordered_map<int, bool> is_vec;
+
+    std::vector<char> spilled(size_t(mf.numVregs), 0);
+    for (int v : spills)
+        spilled[size_t(v)] = 1;
+
+    for (const auto &b : mf.blocks) {
+        for (const auto &i : b.instrs) {
+            if (i.dst > 0 && spilled[size_t(i.dst)]) {
+                def_count[i.dst]++;
+                if (i.op == Op::MovImm && i.predReg < 0)
+                    remat[i.dst] = i;
+                if (i.vec)
+                    is_vec[i.dst] = true;
+            }
+            if (i.vec) {
+                if (i.src1 > 0 && spilled[size_t(i.src1)])
+                    is_vec[i.src1] = true;
+            }
+        }
+    }
+
+    for (int v : spills) {
+        if (def_count[v] == 1 && remat.count(v)) {
+            continue; // pure remat: no slot needed
+        }
+        remat.erase(v);
+        int64_t sz = is_vec.count(v) ? 16 : 8;
+        mf.frameBytes = (mf.frameBytes + sz - 1) & ~(sz - 1);
+        slot[v] = mf.frameBytes;
+        mf.frameBytes += sz;
+    }
+
+    auto bits_for = [&](int v) {
+        return mf.vregFp[size_t(v)] ? 64 : ptr_bits;
+    };
+
+    for (auto &b : mf.blocks) {
+        std::vector<MachineInstr> out;
+        out.reserve(b.instrs.size() * 2);
+        // Block-local value cache: a spilled vreg reloaded (or
+        // defined) once stays usable from its temp for the rest of
+        // the block — the local reuse even simple spillers provide.
+        std::unordered_map<int, int> local; // spilled vreg -> temp
+        for (auto &i : b.instrs) {
+            // Bound the cache so the long-lived temps it creates fit
+            // the register file (shallow files keep little or none).
+            while (int(local.size()) > reuse_limit)
+                local.erase(local.begin());
+
+            auto mapUse = [&](int &field) {
+                if (field <= 0 || !spilled[size_t(field)])
+                    return;
+                int v = field;
+                auto it = local.find(v);
+                if (it != local.end()) {
+                    field = it->second;
+                    return;
+                }
+                int t = mf.newVreg(mf.vregFp[size_t(v)]);
+                spilled.push_back(0);
+                auto rm = remat.find(v);
+                if (rm != remat.end()) {
+                    MachineInstr c = rm->second;
+                    c.dst = t;
+                    c.predReg = -1;
+                    out.push_back(c);
+                    mf.stats.remats++;
+                } else {
+                    MachineInstr ld;
+                    ld.op = Op::Load;
+                    ld.form = MemForm::Load;
+                    ld.opBits = uint8_t(bits_for(v));
+                    ld.fp = mf.vregFp[size_t(v)];
+                    ld.vec = is_vec.count(v) > 0;
+                    ld.dst = t;
+                    ld.mem.base = 0; // SP
+                    ld.mem.disp = slot[v];
+                    out.push_back(ld);
+                    mf.stats.spillLoads++;
+                }
+                local[v] = t;
+                field = t;
+            };
+
+            // The destination of a dst-reading op is also a use.
+            std::vector<int> dummy;
+            instrUses(i, dummy);
+            bool dst_read = false;
+            for (int u : dummy) {
+                if (u == i.dst)
+                    dst_read = true;
+            }
+
+            mapUse(i.src1);
+            mapUse(i.src2);
+            mapUse(i.mem.base);
+            mapUse(i.mem.index);
+            mapUse(i.predReg);
+
+            int v = i.dst;
+            bool spill_def = v > 0 && spilled[size_t(v)];
+            if (spill_def && dst_read)
+                mapUse(i.dst);
+
+            if (spill_def && remat.count(v)) {
+                // The defining MovImm of a remat vreg disappears.
+                mf.stats.remats++;
+                local.erase(v);
+                continue;
+            }
+
+            if (spill_def) {
+                int t;
+                if (dst_read) {
+                    t = i.dst; // already a fresh temp via mapUse
+                } else {
+                    t = mf.newVreg(mf.vregFp[size_t(v)]);
+                    spilled.push_back(0);
+                    i.dst = t;
+                }
+                out.push_back(i);
+                MachineInstr st;
+                st.op = Op::Store;
+                st.form = MemForm::Store;
+                st.opBits = uint8_t(bits_for(v));
+                st.fp = mf.vregFp[size_t(v)];
+                st.vec = is_vec.count(v) > 0;
+                st.src1 = t;
+                st.mem.base = 0;
+                st.mem.disp = slot[v];
+                st.predReg = i.predReg;
+                st.predSense = i.predSense;
+                out.push_back(st);
+                mf.stats.spillStores++;
+                // The temp now mirrors the slot (predicated defs
+                // read the old value first, so this holds even when
+                // the write is squashed).
+                local[v] = t;
+            } else {
+                out.push_back(i);
+            }
+        }
+        b.instrs = std::move(out);
+    }
+}
+
+} // namespace
+
+void
+runRegalloc(MachineFunction &mf, const FeatureSet &target)
+{
+    int depth = target.regDepth;
+    std::vector<int> int_regs;
+    for (int r = 0; r < depth; r++) {
+        if (r != kSpReg)
+            int_regs.push_back(r);
+    }
+    int k_int = int(int_regs.size());
+    int k_fp = target.width == RegWidth::W64 ? kXmmRegs : 8;
+    std::vector<int> fp_regs;
+    for (int r = 0; r < k_fp; r++)
+        fp_regs.push_back(r);
+
+    std::vector<Interval> ivs;
+    std::vector<int> spills;
+    int iter = 0;
+    for (;;) {
+        bool ok = scanOnce(mf, k_int, k_fp, int_regs, fp_regs, ivs,
+                           spills);
+        if (ok)
+            break;
+        panic_if(++iter > 16,
+                 "register allocation failed to converge on %s",
+                 target.name().c_str());
+        // Later iterations shrink the reuse window so replacement
+        // temps always converge to per-use ranges.
+        int floor_reuse = iter > 6 ? 0
+                          : k_int >= 10 ? 2
+                          : k_int >= 7  ? 1
+                                        : 0;
+        int reuse = std::max(floor_reuse, k_int - 8 - 2 * iter);
+        insertSpillCode(mf, spills, target, reuse);
+    }
+
+    // Apply the assignment.
+    std::vector<int> assign(size_t(mf.numVregs), -1);
+    assign[0] = kSpReg;
+    for (const auto &iv : ivs) {
+        panic_if(iv.spilled, "spilled interval survived convergence");
+        assign[size_t(iv.vreg)] = iv.assigned;
+    }
+    auto map = [&](int &f) {
+        if (f < 0)
+            return;
+        panic_if(assign[size_t(f)] < 0, "vreg v%d never assigned", f);
+        f = assign[size_t(f)];
+    };
+    for (auto &b : mf.blocks) {
+        for (auto &i : b.instrs) {
+            map(i.dst);
+            map(i.src1);
+            map(i.src2);
+            map(i.mem.base);
+            map(i.mem.index);
+            map(i.predReg);
+        }
+    }
+
+    // Caller-saved convention: at every call site, save and restore
+    // the architectural registers holding values that live across
+    // the call (the callee was allocated independently and may
+    // clobber them). This is the call overhead a splitting allocator
+    // pays instead of spilling whole loop-spanning intervals.
+    {
+        // Arch-reg -> save slot, allocated lazily.
+        std::unordered_map<int, int64_t> slot_int, slot_fp;
+        auto slotFor = [&](int reg, bool fp) {
+            auto &m = fp ? slot_fp : slot_int;
+            auto it = m.find(reg);
+            if (it != m.end())
+                return it->second;
+            mf.frameBytes = (mf.frameBytes + 15) & ~int64_t(15);
+            int64_t off = mf.frameBytes;
+            mf.frameBytes += 16;
+            m[reg] = off;
+            return off;
+        };
+
+        int pos = 0;
+        for (auto &b : mf.blocks) {
+            std::vector<MachineInstr> out;
+            out.reserve(b.instrs.size());
+            for (auto &i : b.instrs) {
+                if (i.op != Op::Call) {
+                    out.push_back(i);
+                    pos++;
+                    continue;
+                }
+                // Registers live across this call.
+                std::vector<std::pair<int, bool>> saves;
+                for (const auto &iv : ivs) {
+                    if (iv.start < pos && iv.end > pos)
+                        saves.push_back({assign[size_t(iv.vreg)],
+                                         iv.fp});
+                }
+                for (auto &sv : saves) {
+                    MachineInstr st_i;
+                    st_i.op = Op::Store;
+                    st_i.form = MemForm::Store;
+                    st_i.opBits = 64;
+                    st_i.fp = sv.second;
+                    st_i.vec = sv.second;
+                    st_i.src1 = sv.first;
+                    st_i.mem.base = kSpReg;
+                    st_i.mem.disp = slotFor(sv.first, sv.second);
+                    out.push_back(st_i);
+                    mf.stats.spillStores++;
+                }
+                out.push_back(i);
+                pos++;
+                for (auto &sv : saves) {
+                    MachineInstr ld;
+                    ld.op = Op::Load;
+                    ld.form = MemForm::Load;
+                    ld.opBits = 64;
+                    ld.fp = sv.second;
+                    ld.vec = sv.second;
+                    ld.dst = sv.first;
+                    ld.mem.base = kSpReg;
+                    ld.mem.disp = slotFor(sv.first, sv.second);
+                    out.push_back(ld);
+                    mf.stats.spillLoads++;
+                }
+            }
+            b.instrs = std::move(out);
+        }
+    }
+
+    // Prologue / epilogue once the frame size is final.
+    mf.frameBytes = (mf.frameBytes + 15) & ~int64_t(15);
+    if (mf.frameBytes > 0) {
+        MachineInstr sub;
+        sub.op = Op::Sub;
+        sub.opBits = uint8_t(target.widthBits());
+        sub.dst = kSpReg;
+        sub.imm = mf.frameBytes;
+        sub.hasImm = true;
+        auto &entry = mf.blocks[0].instrs;
+        entry.insert(entry.begin(), sub);
+
+        for (auto &b : mf.blocks) {
+            for (size_t k = 0; k < b.instrs.size(); k++) {
+                if (b.instrs[k].op == Op::Ret) {
+                    MachineInstr add = sub;
+                    add.op = Op::Add;
+                    b.instrs.insert(b.instrs.begin() + long(k), add);
+                    k++;
+                }
+            }
+        }
+    }
+
+    // Register renumbering: give the most-referenced values the
+    // cheapest encodings (no REX/REXBC prefixes), exactly the
+    // code-density priority the paper's allocator uses. As a side
+    // effect, rarely-touched values land in the high registers, so
+    // a register-depth downgrade only slows the cold path.
+    {
+        auto dst_is_fp = [](const MachineInstr &i) { return i.fp; };
+        auto src_is_fp = [](const MachineInstr &i) {
+            if (i.op == Op::F2I)
+                return true; // cvttsd2si reads an XMM register
+            return i.fp && i.op != Op::FMovI && i.op != Op::I2F;
+        };
+        std::vector<uint64_t> int_refs(size_t(kMaxRegDepth), 0);
+        std::vector<uint64_t> fp_refs(size_t(kXmmRegs), 0);
+        for (const auto &b : mf.blocks) {
+            for (const auto &i : b.instrs) {
+                auto cnt = [&](int r, bool fp) {
+                    if (r < 0)
+                        return;
+                    if (fp)
+                        fp_refs[size_t(r)]++;
+                    else
+                        int_refs[size_t(r)]++;
+                };
+                cnt(i.dst, dst_is_fp(i));
+                cnt(i.src1, src_is_fp(i));
+                cnt(i.src2, i.fp);
+                cnt(i.mem.base, false);
+                cnt(i.mem.index, false);
+                cnt(i.predReg, false);
+            }
+        }
+        // Hottest register gets the lowest index; SP stays fixed.
+        auto permFor = [&](const std::vector<uint64_t> &refs,
+                           int skip) {
+            std::vector<int> order;
+            for (int r = 0; r < int(refs.size()); r++) {
+                if (r != skip)
+                    order.push_back(r);
+            }
+            std::stable_sort(order.begin(), order.end(),
+                             [&](int a, int b) {
+                                 return refs[size_t(a)] >
+                                        refs[size_t(b)];
+                             });
+            std::vector<int> perm(refs.size(), -1);
+            if (skip >= 0)
+                perm[size_t(skip)] = skip;
+            int next = 0;
+            for (int r : order) {
+                while (next == skip)
+                    next++;
+                perm[size_t(r)] = next++;
+            }
+            return perm;
+        };
+        std::vector<int> iperm = permFor(int_refs, kSpReg);
+        std::vector<int> fperm = permFor(fp_refs, -1);
+        for (auto &b : mf.blocks) {
+            for (auto &i : b.instrs) {
+                auto remap = [&](int &r, bool fp) {
+                    if (r < 0)
+                        return;
+                    r = fp ? fperm[size_t(r)] : iperm[size_t(r)];
+                };
+                remap(i.dst, dst_is_fp(i));
+                remap(i.src1, src_is_fp(i));
+                remap(i.src2, i.fp);
+                remap(i.mem.base, false);
+                remap(i.mem.index, false);
+                remap(i.predReg, false);
+            }
+        }
+    }
+
+    mf.numVregs = 0;
+    mf.vregFp.clear();
+}
+
+} // namespace cisa

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Linear-scan register allocation parameterized by register depth.
+ *
+ * The register-depth axis of the superset ISA acts entirely through
+ * this pass: the allocator sees depth-1 usable GPRs (the stack
+ * pointer is reserved) and 16 (64-bit) or 8 (32-bit) XMM registers.
+ * It prefers low register indices, mirroring the paper's
+ * code-density-cost priority (registers needing REX or REXBC
+ * prefixes are chosen last). Values that lose allocation are spilled
+ * to stack slots with iterative re-allocation of the short reload
+ * ranges; single-def immediates are rematerialized instead of
+ * reloaded; any value live across a call is spilled (caller-saved
+ * convention). Spill/refill/remat counts are recorded in the
+ * function's CodeStats — these are the loads/stores the paper
+ * attributes to shallow register files.
+ */
+
+#ifndef CISA_COMPILER_PASSES_REGALLOC_HH
+#define CISA_COMPILER_PASSES_REGALLOC_HH
+
+#include "compiler/machine.hh"
+#include "isa/features.hh"
+
+namespace cisa
+{
+
+/**
+ * Allocate registers for @p mf in place. On return all register
+ * fields hold architectural indices and numVregs is 0.
+ */
+void runRegalloc(MachineFunction &mf, const FeatureSet &target);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_REGALLOC_HH

@@ -1,0 +1,331 @@
+#include "compiler/passes/sched.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+constexpr int kFlagsId = kMaxRegDepth + kXmmRegs; // one past xmm
+constexpr int kNumIds = kFlagsId + 1;
+
+/** Rename-space resource ids read by an instruction. */
+void
+schedUses(const MachineInstr &i, std::vector<int> &out)
+{
+    out.clear();
+    auto gpr = [&](int r) {
+        if (r >= 0)
+            out.push_back(r);
+    };
+    auto xmm = [&](int r) {
+        if (r >= 0)
+            out.push_back(kMaxRegDepth + r);
+    };
+    bool src_fp = i.fp && i.op != Op::FMovI && i.op != Op::I2F;
+    if (i.op == Op::F2I)
+        src_fp = true;
+    if (i.src1 >= 0) {
+        if (src_fp)
+            xmm(i.src1);
+        else
+            gpr(i.src1);
+    }
+    if (i.src2 >= 0) {
+        if (i.fp)
+            xmm(i.src2);
+        else
+            gpr(i.src2);
+    }
+    gpr(i.mem.base);
+    gpr(i.mem.index);
+    gpr(i.predReg);
+    // Two-address / conditional / predicated writes read the dest.
+    if (i.dst >= 0) {
+        bool reads_dst = i.predReg >= 0;
+        switch (i.op) {
+          case Op::Mov: case Op::MovImm: case Op::Load: case Op::Set:
+          case Op::Lea: case Op::FMovI: case Op::I2F: case Op::F2I:
+          case Op::FSqrt: case Op::VSplat: case Op::VReduce:
+            break;
+          default:
+            reads_dst = true;
+            break;
+        }
+        if (reads_dst) {
+            if (i.fp)
+                xmm(i.dst);
+            else
+                gpr(i.dst);
+        }
+    }
+    switch (i.op) {
+      case Op::Branch: case Op::Cmov: case Op::Set:
+        out.push_back(kFlagsId);
+        break;
+      case Op::Adc: case Op::Sbb:
+        out.push_back(kFlagsId);
+        break;
+      default:
+        break;
+    }
+}
+
+/** Rename-space resource ids written by an instruction. */
+void
+schedDefs(const MachineInstr &i, std::vector<int> &out)
+{
+    out.clear();
+    if (i.dst >= 0) {
+        bool dst_fp = i.fp && i.op != Op::F2I;
+        out.push_back(dst_fp ? kMaxRegDepth + i.dst : i.dst);
+    }
+    switch (i.op) {
+      case Op::Cmp: case Op::Add: case Op::Sub: case Op::Adc:
+      case Op::Sbb: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::Shr:
+        if (!i.fp)
+            out.push_back(kFlagsId);
+        break;
+      default:
+        break;
+    }
+}
+
+/** Producer latency estimate for priority computation. */
+int
+producerLatency(const MachineInstr &i)
+{
+    if (i.readsMem())
+        return 4;
+    switch (i.cls()) {
+      case MicroClass::IntMul:  return 3;
+      case MicroClass::IntDiv:  return 12;
+      case MicroClass::FpAlu:   return 3;
+      case MicroClass::FpMul:   return 4;
+      case MicroClass::FpDiv:   return 12;
+      case MicroClass::SimdAlu: return 2;
+      case MicroClass::SimdMul: return 4;
+      default:                  return 1;
+    }
+}
+
+struct Dag
+{
+    std::vector<std::vector<int>> succs;
+    std::vector<int> npreds;
+    std::vector<int> priority;
+};
+
+Dag
+buildDag(const std::vector<MachineInstr> &ins, size_t n)
+{
+    Dag dag;
+    dag.succs.assign(n, {});
+    dag.npreds.assign(n, 0);
+    dag.priority.assign(n, 0);
+
+    // Last writer / readers per resource id as we sweep forward.
+    std::vector<int> last_def(kNumIds, -1);
+    std::vector<std::vector<int>> readers(kNumIds);
+    int last_mem_write = -1;
+    std::vector<int> mem_reads;
+    int last_barrier = -1;
+
+    std::vector<std::vector<char>> has_edge(n,
+                                            std::vector<char>(n, 0));
+    auto edge = [&](int a, int b) {
+        if (a < 0 || a == b)
+            return;
+        if (!has_edge[size_t(a)][size_t(b)]) {
+            has_edge[size_t(a)][size_t(b)] = 1;
+            dag.succs[size_t(a)].push_back(b);
+            dag.npreds[size_t(b)]++;
+        }
+    };
+
+    std::vector<int> uses, defs;
+    for (size_t j = 0; j < n; j++) {
+        const MachineInstr &i = ins[j];
+        schedUses(i, uses);
+        schedDefs(i, defs);
+
+        edge(last_barrier, int(j));
+        for (int u : uses) {
+            edge(last_def[size_t(u)], int(j)); // RAW
+        }
+        for (int d : defs) {
+            edge(last_def[size_t(d)], int(j)); // WAW
+            for (int r : readers[size_t(d)])
+                edge(r, int(j)); // WAR
+        }
+        if (i.readsMem()) {
+            edge(last_mem_write, int(j));
+            mem_reads.push_back(int(j));
+        }
+        if (i.writesMem()) {
+            edge(last_mem_write, int(j));
+            for (int r : mem_reads)
+                edge(r, int(j));
+            mem_reads.clear();
+            last_mem_write = int(j);
+        }
+        if (i.op == Op::Call) {
+            for (size_t k = 0; k < j; k++)
+                edge(int(k), int(j));
+            last_barrier = int(j);
+        }
+
+        for (int u : uses)
+            readers[size_t(u)].push_back(int(j));
+        for (int d : defs) {
+            last_def[size_t(d)] = int(j);
+            readers[size_t(d)].clear();
+        }
+    }
+
+    // Critical-path priority, computed backwards (edges go forward).
+    for (size_t j = n; j-- > 0;) {
+        int lat = producerLatency(ins[j]);
+        int best = 0;
+        for (int s : dag.succs[j])
+            best = std::max(best, dag.priority[size_t(s)]);
+        dag.priority[j] = lat + best;
+    }
+    return dag;
+}
+
+} // namespace
+
+SchedStats
+runSchedule(MachineFunction &mf)
+{
+    SchedStats st;
+    for (auto &b : mf.blocks) {
+        size_t total = b.instrs.size();
+        if (total < 3)
+            continue;
+        size_t n = total - 1; // terminator stays last
+        Dag dag = buildDag(b.instrs, n);
+
+        // Cycle-aware list scheduling: among operand-ready nodes
+        // pick the longest critical path; a node whose producer has
+        // not finished waits, letting independent work slide in
+        // between a load and its use. Original order breaks ties
+        // deterministically.
+        std::vector<int> order;
+        order.reserve(n);
+        std::vector<char> scheduled(n, 0);
+        std::vector<int> npreds = dag.npreds;
+        std::vector<uint64_t> ready_at(n, 0);
+        uint64_t clock = 0;
+        for (size_t k = 0; k < n; k++) {
+            int best = -1;
+            bool best_ready = false;
+            uint64_t next_ready = ~uint64_t(0);
+            for (size_t j = 0; j < n; j++) {
+                if (scheduled[j] || npreds[j] != 0)
+                    continue;
+                bool is_ready = ready_at[j] <= clock;
+                next_ready = std::min(next_ready, ready_at[j]);
+                if (best < 0 ||
+                    (is_ready && !best_ready) ||
+                    (is_ready == best_ready &&
+                     dag.priority[j] >
+                         dag.priority[size_t(best)])) {
+                    best = int(j);
+                    best_ready = is_ready;
+                }
+            }
+            panic_if(best < 0, "scheduler deadlock");
+            if (!best_ready)
+                clock = std::max(clock, next_ready);
+            scheduled[size_t(best)] = 1;
+            uint64_t done =
+                std::max(clock, ready_at[size_t(best)]) +
+                uint64_t(producerLatency(b.instrs[size_t(best)]));
+            for (int s : dag.succs[size_t(best)]) {
+                npreds[size_t(s)]--;
+                ready_at[size_t(s)] =
+                    std::max(ready_at[size_t(s)], done);
+            }
+            order.push_back(best);
+            clock++;
+        }
+
+        // Keep the terminator's flag producer adjacent to it so
+        // cmp+jcc macro-fusion still fires: move the last flags
+        // writer to the end when nothing after it conflicts.
+        const MachineInstr &term = b.instrs[total - 1];
+        if (term.op == Op::Branch) {
+            int fpos = -1;
+            std::vector<int> defs;
+            for (size_t k = 0; k < n; k++) {
+                schedDefs(b.instrs[size_t(order[k])], defs);
+                for (int d : defs) {
+                    if (d == kFlagsId)
+                        fpos = int(k);
+                }
+            }
+            if (fpos >= 0 && fpos != int(n) - 1) {
+                int cand = order[size_t(fpos)];
+                std::vector<int> cdefs, cuses, uses2, defs2;
+                schedDefs(b.instrs[size_t(cand)], cdefs);
+                schedUses(b.instrs[size_t(cand)], cuses);
+                bool ok = true;
+                for (size_t k = size_t(fpos) + 1; k < n && ok; k++) {
+                    const MachineInstr &o =
+                        b.instrs[size_t(order[k])];
+                    schedUses(o, uses2);
+                    schedDefs(o, defs2);
+                    for (int d : cdefs) {
+                        for (int u : uses2)
+                            ok &= u != d;
+                        for (int d2 : defs2)
+                            ok &= d2 != d;
+                    }
+                    for (int u : cuses) {
+                        for (int d2 : defs2)
+                            ok &= d2 != u;
+                    }
+                    // Memory order.
+                    const MachineInstr &c = b.instrs[size_t(cand)];
+                    if (c.readsMem() && o.writesMem())
+                        ok = false;
+                    if (c.writesMem() &&
+                        (o.readsMem() || o.writesMem()))
+                        ok = false;
+                    if (o.op == Op::Call)
+                        ok = false;
+                }
+                if (ok) {
+                    order.erase(order.begin() + fpos);
+                    order.push_back(cand);
+                }
+            }
+        }
+
+        // Apply.
+        bool moved = false;
+        std::vector<MachineInstr> out;
+        out.reserve(total);
+        for (size_t k = 0; k < n; k++) {
+            if (order[k] != int(k))
+                moved = true;
+            out.push_back(b.instrs[size_t(order[k])]);
+        }
+        out.push_back(b.instrs[total - 1]);
+        if (moved)
+            st.instrsMoved++;
+        b.instrs = std::move(out);
+        st.blocksScheduled++;
+    }
+    return st;
+}
+
+} // namespace cisa

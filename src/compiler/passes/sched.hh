@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Post-register-allocation list scheduler.
+ *
+ * The paper runs if-conversion as a pre-scheduling pass precisely so
+ * the scheduler can exploit the large predicated blocks it creates
+ * (Section IV.A); this is that scheduler. Within each basic block,
+ * instructions are reordered by critical-path-first list scheduling
+ * over the true dependence graph: register values (including the
+ * two-address destination read), the flags register (adc/sbb chains,
+ * cmp/branch pairs), memory order (loads may reorder with loads;
+ * stores serialize against everything aliasing-conservatively), and
+ * calls as full barriers. Flag producers consumed by the terminator
+ * are kept adjacent to it so cmp+jcc macro-fusion still fires.
+ *
+ * Separating loads from their uses is the main win, and it is what
+ * lets in-order composite cores stay competitive — the equivalence
+ * suite verifies the reordering is semantics-preserving on every
+ * feature set.
+ */
+
+#ifndef CISA_COMPILER_PASSES_SCHED_HH
+#define CISA_COMPILER_PASSES_SCHED_HH
+
+#include "compiler/machine.hh"
+
+namespace cisa
+{
+
+/** Statistics of one scheduling run. */
+struct SchedStats
+{
+    int blocksScheduled = 0;
+    int instrsMoved = 0; ///< instructions not in original order
+};
+
+/**
+ * Schedule all blocks of @p mf in place (post-RA: register fields
+ * hold architectural indices).
+ */
+SchedStats runSchedule(MachineFunction &mf);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_SCHED_HH

@@ -1,0 +1,384 @@
+#include "compiler/passes/vectorize.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "compiler/analysis.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** Role of each instruction in a candidate loop body. */
+enum class Role {
+    Induction,  ///< i = i + 1
+    Address,    ///< gep indexed by the induction variable
+    VecLoad,    ///< f64 load through an Address
+    VecArith,   ///< fadd/fsub/fmul over vectorizable values
+    Reduction,  ///< acc = fadd acc, x
+    VecStore,   ///< f64 store of a vectorizable value
+    BoundCmp,   ///< icmp lt i, n
+    Backedge,   ///< the loop branch
+    Reject
+};
+
+struct LoopPlan
+{
+    int iv = -1;        ///< induction vreg
+    int ivPos = -1;     ///< index of the increment instruction
+    int boundVreg = -1; ///< -1 when the bound is an immediate
+    int64_t boundImm = 0;
+    Type ivType = Type::PtrInt;
+    std::vector<Role> roles;
+    std::unordered_set<int> vecDefs;   ///< scalar vregs becoming vector
+    std::unordered_set<int> reductions;
+    std::unordered_set<int> addrs;     ///< gep dsts indexed by iv
+    std::unordered_set<int> invariants;///< scalar f64 operands to splat
+};
+
+/** Analyze block @p blk; returns false if it cannot be vectorized. */
+bool
+planLoop(const IrFunction &f, int bi, LoopPlan &plan)
+{
+    const IrBlock &blk = f.blocks[size_t(bi)];
+    const auto &ins = blk.instrs;
+    if (ins.size() < 4)
+        return false;
+
+    const IrInstr &term = ins.back();
+    if (term.op != IrOp::Br || term.succ0 != bi || term.succ1 == bi)
+        return false;
+
+    const IrInstr &cmp = ins[ins.size() - 2];
+    if (cmp.op != IrOp::ICmp || cmp.cond != Cond::Lt ||
+        cmp.dst != term.a) {
+        return false;
+    }
+    plan.boundVreg = cmp.b;
+    plan.boundImm = cmp.imm;
+
+    // Find the unique induction increment: i = i + 1 feeding the cmp.
+    for (size_t k = 0; k + 2 < ins.size(); k++) {
+        const IrInstr &i = ins[k];
+        if (i.op == IrOp::Add && i.b < 0 && i.imm == 1 &&
+            i.dst == i.a && i.dst == cmp.a) {
+            if (plan.iv >= 0)
+                return false; // two candidates
+            plan.iv = i.dst;
+            plan.ivPos = int(k);
+            plan.ivType = i.type;
+        }
+    }
+    if (plan.iv < 0)
+        return false;
+    // The increment must directly precede the bound check so no body
+    // instruction sees the bumped value.
+    if (plan.ivPos != int(ins.size()) - 3)
+        return false;
+
+    plan.roles.assign(ins.size(), Role::Reject);
+    plan.roles[size_t(plan.ivPos)] = Role::Induction;
+    plan.roles[ins.size() - 2] = Role::BoundCmp;
+    plan.roles[ins.size() - 1] = Role::Backedge;
+
+    for (size_t k = 0; k < ins.size(); k++) {
+        if (plan.roles[k] != Role::Reject)
+            continue;
+        const IrInstr &i = ins[k];
+        switch (i.op) {
+          case IrOp::Gep:
+            if (i.b == plan.iv && i.imm2 == 8) {
+                plan.roles[k] = Role::Address;
+                plan.addrs.insert(i.dst);
+            } else {
+                return false;
+            }
+            break;
+          case IrOp::Load:
+            if (i.type == Type::F64 && plan.addrs.count(i.a)) {
+                plan.roles[k] = Role::VecLoad;
+                plan.vecDefs.insert(i.dst);
+            } else {
+                return false;
+            }
+            break;
+          case IrOp::FAdd:
+          case IrOp::FSub:
+          case IrOp::FMul: {
+            if (i.a < 0 || i.b < 0)
+                return false; // immediate FP forms are not expected
+            auto classify = [&](int v) {
+                if (plan.vecDefs.count(v))
+                    return 1; // vector
+                if (v == plan.iv || plan.addrs.count(v))
+                    return -1;
+                return 0; // invariant scalar
+            };
+            int ca = classify(i.a);
+            int cb = classify(i.b);
+            if (ca < 0 || cb < 0)
+                return false;
+            bool reduction = i.op == IrOp::FAdd && i.dst == i.a &&
+                             cb == 1 && ca == 0;
+            if (reduction) {
+                plan.roles[k] = Role::Reduction;
+                plan.reductions.insert(i.dst);
+            } else {
+                if (ca == 0)
+                    plan.invariants.insert(i.a);
+                if (cb == 0)
+                    plan.invariants.insert(i.b);
+                plan.roles[k] = Role::VecArith;
+                plan.vecDefs.insert(i.dst);
+            }
+            break;
+          }
+          case IrOp::Store:
+            if (i.type == Type::F64 && plan.addrs.count(i.a) &&
+                plan.vecDefs.count(i.b)) {
+                plan.roles[k] = Role::VecStore;
+            } else {
+                return false;
+            }
+            break;
+          default:
+            return false;
+        }
+    }
+
+    // A reduction accumulator must not be consumed by any other
+    // in-loop instruction, and a value can't be both kinds.
+    for (int acc : plan.reductions) {
+        if (plan.vecDefs.count(acc))
+            return false;
+        for (size_t k = 0; k < ins.size(); k++) {
+            const IrInstr &i = ins[k];
+            bool is_own = plan.roles[k] == Role::Reduction &&
+                          i.dst == acc;
+            if (is_own)
+                continue;
+            if (i.a == acc || i.b == acc || i.c == acc)
+                return false;
+        }
+        if (plan.invariants.count(acc))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+VectorizeStats
+runVectorize(IrFunction &f)
+{
+    VectorizeStats st;
+    size_t nblocks = f.blocks.size();
+    Cfg cfg = Cfg::build(f);
+
+    for (size_t bi = 0; bi < nblocks; bi++) {
+        if (!f.blocks[bi].isLoopHeader || !f.blocks[bi].vectorizable)
+            continue;
+        if (cfg.rpoIndex[bi] < 0)
+            continue;
+
+        // Unique out-of-loop predecessor (preheader).
+        int pre = -1;
+        bool ok = true;
+        for (int p : cfg.preds[bi]) {
+            if (p == int(bi))
+                continue;
+            if (pre >= 0)
+                ok = false;
+            pre = p;
+        }
+        if (!ok || pre < 0) {
+            st.loopsRejected++;
+            continue;
+        }
+
+        LoopPlan plan;
+        if (!planLoop(f, int(bi), plan)) {
+            st.loopsRejected++;
+            continue;
+        }
+
+        // --- Rewrite ---
+        IrBlock &L = f.blocks[bi];
+        int exit_blk = L.terminator().succ1;
+
+        // 1. Remainder loop: a clone of the scalar block.
+        int rIdx = int(f.blocks.size());
+        {
+            IrBlock R = L;
+            R.isLoopHeader = true;
+            R.vectorizable = false;
+            IrInstr &rterm = R.instrs.back();
+            rterm.succ0 = rIdx; // backedge to itself
+            f.blocks.push_back(std::move(R));
+        }
+
+        // 2. Mid block: horizontal reductions, then into the
+        //    remainder loop.
+        int xIdx = int(f.blocks.size());
+        f.blocks.push_back({});
+
+        // Preheader insertions go right before its terminator.
+        std::vector<IrInstr> pre_ins;
+        std::unordered_map<int, int> splat;  // scalar -> vector vreg
+        std::unordered_map<int, int> vaccOf; // acc -> vector acc
+
+        for (int inv : plan.invariants) {
+            IrInstr s;
+            s.op = IrOp::VSplat;
+            s.type = Type::V128;
+            s.dst = f.newVreg();
+            s.a = inv;
+            splat[inv] = s.dst;
+            pre_ins.push_back(s);
+        }
+        for (int acc : plan.reductions) {
+            IrInstr z;
+            z.op = IrOp::ConstF;
+            z.type = Type::F64;
+            z.dst = f.newVreg();
+            z.fimm = 0.0;
+            pre_ins.push_back(z);
+            IrInstr p;
+            p.op = IrOp::VPack;
+            p.type = Type::V128;
+            p.dst = f.newVreg();
+            p.a = acc;
+            p.b = z.dst;
+            vaccOf[acc] = p.dst;
+            pre_ins.push_back(p);
+        }
+        int nm1 = -1;
+        if (plan.boundVreg >= 0) {
+            IrInstr s;
+            s.op = IrOp::Sub;
+            s.type = plan.ivType;
+            s.dst = f.newVreg();
+            s.a = plan.boundVreg;
+            s.imm = 1;
+            nm1 = s.dst;
+            pre_ins.push_back(s);
+        }
+        {
+            IrBlock &P = f.blocks[size_t(pre)];
+            P.instrs.insert(P.instrs.end() - 1, pre_ins.begin(),
+                            pre_ins.end());
+        }
+
+        // 3. Vector body.
+        std::unordered_map<int, int> vmap; // scalar def -> vector vreg
+        // Refetch L: push_back above may have reallocated blocks.
+        IrBlock &VL = f.blocks[bi];
+        for (size_t k = 0; k < VL.instrs.size(); k++) {
+            IrInstr &i = VL.instrs[k];
+            auto operand = [&](int v) {
+                auto it = vmap.find(v);
+                if (it != vmap.end())
+                    return it->second;
+                auto is = splat.find(v);
+                panic_if(is == splat.end(),
+                         "vectorize: unmapped operand v%d", v);
+                return is->second;
+            };
+            switch (plan.roles[k]) {
+              case Role::Induction:
+                i.imm = 2;
+                break;
+              case Role::Address:
+                break;
+              case Role::VecLoad: {
+                int vd = f.newVreg();
+                vmap[i.dst] = vd;
+                i.op = IrOp::VLoad;
+                i.type = Type::V128;
+                i.dst = vd;
+                break;
+              }
+              case Role::VecArith: {
+                int vd = f.newVreg();
+                IrOp vop = i.op == IrOp::FAdd   ? IrOp::VAdd
+                           : i.op == IrOp::FSub ? IrOp::VSub
+                                                : IrOp::VMul;
+                int va = operand(i.a);
+                int vb = operand(i.b);
+                vmap[i.dst] = vd;
+                i.op = vop;
+                i.type = Type::V128;
+                i.dst = vd;
+                i.a = va;
+                i.b = vb;
+                break;
+              }
+              case Role::Reduction: {
+                int vacc = vaccOf[i.dst];
+                int vb = operand(i.b);
+                i.op = IrOp::VAdd;
+                i.type = Type::V128;
+                i.dst = vacc;
+                i.a = vacc;
+                i.b = vb;
+                break;
+              }
+              case Role::VecStore:
+                i.op = IrOp::VStore;
+                i.type = Type::V128;
+                i.b = operand(i.b);
+                break;
+              case Role::BoundCmp:
+                if (nm1 >= 0) {
+                    i.b = nm1;
+                } else {
+                    i.imm = plan.boundImm - 1;
+                }
+                break;
+              case Role::Backedge:
+                i.succ1 = xIdx;
+                break;
+              default:
+                panic("vectorize: rejected role survived planning");
+            }
+        }
+
+        // 4. Fill the mid block: extract reductions, then guard the
+        //    do-while remainder (zero iterations for even trips).
+        {
+            IrBlock &X = f.blocks[size_t(xIdx)];
+            for (int acc : plan.reductions) {
+                IrInstr r;
+                r.op = IrOp::VReduce;
+                r.type = Type::F64;
+                r.dst = acc;
+                r.a = vaccOf[acc];
+                X.instrs.push_back(r);
+            }
+            IrInstr g;
+            g.op = IrOp::ICmp;
+            g.cond = Cond::Lt;
+            g.type = plan.ivType;
+            g.dst = f.newVreg();
+            g.a = plan.iv;
+            g.b = plan.boundVreg;
+            g.imm = plan.boundImm;
+            X.instrs.push_back(g);
+            IrInstr br;
+            br.op = IrOp::Br;
+            br.a = g.dst;
+            br.succ0 = rIdx;
+            br.succ1 = exit_blk;
+            br.prob = 0.5;
+            br.predictable = true;
+            X.instrs.push_back(br);
+        }
+        st.loopsVectorized++;
+    }
+    return st;
+}
+
+} // namespace cisa

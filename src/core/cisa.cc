@@ -1,0 +1,72 @@
+#include "core/cisa.hh"
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace cisa
+{
+
+const char *
+versionString()
+{
+    return "cisa 1.0.0 (composite-ISA cores, HPCA'19 reproduction)";
+}
+
+CompiledRun
+compileAndRun(const IrModule &module, const FeatureSet &isa,
+              const CompileOptions *options)
+{
+    CompileOptions opts;
+    if (options)
+        opts = *options;
+    opts.target = isa;
+
+    CompiledRun out;
+    CompileReport rep;
+    out.program = compile(module, opts, &rep, &out.transformedIr);
+    MemImage img = MemImage::build(out.transformedIr,
+                                   isa.widthBits());
+    out.result = executeMachine(out.program, img, 1ULL << 31,
+                                &out.trace, 1ULL << 21);
+    return out;
+}
+
+PhaseRun
+evaluatePhase(int phase_idx, const FeatureSet &isa,
+              const MicroArchConfig &uarch, uint64_t timed_uops,
+              const RunEnv &env)
+{
+    const IrModule &mod = phaseModule(phase_idx);
+
+    CompileOptions opts;
+    opts.target = isa;
+    CompileReport rep;
+    IrModule ir;
+    MachineProgram prog = compile(mod, opts, &rep, &ir);
+
+    MemImage img = MemImage::build(ir, isa.widthBits());
+    Trace trace;
+    executeMachine(prog, img, 1ULL << 31, &trace, 1ULL << 21);
+    panic_if(trace.truncated, "phase %d trace truncated", phase_idx);
+
+    uint64_t timed = timed_uops ? timed_uops : simUopBudget();
+    uint64_t warm = simWarmupUops();
+    CoreConfig cc{isa, uarch};
+    PerfResult perf = simulateCore(cc, trace, timed, warm, env);
+
+    PhaseRun run;
+    run.code = prog.stats;
+    run.passes = rep;
+    run.mix = trace.dyn;
+    run.perf = perf;
+    run.energy = coreEnergy(cc, perf.stats);
+    run.areaMm2 = coreAreaMm2(cc);
+    run.peakPowerW = corePeakPowerW(cc);
+    double scale =
+        double(trace.ops.size()) / double(perf.stats.macroOps);
+    run.timePerRunSec = secondsOf(perf.cycles) * scale;
+    run.energyPerRunJ = run.energy.total() * scale;
+    return run;
+}
+
+} // namespace cisa

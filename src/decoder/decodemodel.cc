@@ -1,0 +1,133 @@
+#include "decoder/decodemodel.hh"
+
+#include "common/logging.hh"
+#include "decoder/calib.hh"
+#include "decoder/gates.hh"
+
+namespace cisa
+{
+
+using namespace decoder_calib;
+
+HwCost &
+HwCost::operator+=(const HwCost &o)
+{
+    gates += o.gates;
+    areaMm2 += o.areaMm2;
+    peakPowerW += o.peakPowerW;
+    return *this;
+}
+
+namespace
+{
+
+/** Convert gates to cost with a power-activity factor. */
+HwCost
+cost(double g, double power_factor = 1.0)
+{
+    HwCost c;
+    c.gates = g;
+    c.areaMm2 = g * kAreaPerGate;
+    c.peakPowerW = g * kPowerPerGate * power_factor;
+    return c;
+}
+
+} // namespace
+
+HwCost
+DecodeEngine::decodeStage() const
+{
+    HwCost c = decoders;
+    c += msrom;
+    return c;
+}
+
+HwCost
+DecodeEngine::engine() const
+{
+    HwCost c = decodeStage();
+    c += macroQueue;
+    c += uopQueue;
+    return c;
+}
+
+HwCost
+DecodeEngine::total() const
+{
+    HwCost c = engine();
+    c += ild;
+    return c;
+}
+
+DecodeEngine
+DecodeEngine::build(const FeatureSet &fs, const MicroArchConfig &ua,
+                    bool fixed_length)
+{
+    DecodeEngine e;
+
+    bool rexbc = fs.regDepth > 16;
+    bool pred = fs.fullPredication();
+    bool cisc = fs.complexity == Complexity::X86;
+
+    // ---- Instruction-length decoder (Madduri-style, 16 byte
+    // positions decoded in parallel) ----
+    if (!fixed_length) {
+        // Per-position: prefix/opcode decode, speculative length
+        // calculation, begin/end marking.
+        double len_inputs = 14 + (rexbc ? 1 : 0) + (pred ? 1 : 0);
+        double per_pos = gates::pla(1200, 80) +
+                         11 * gates::comparator(8) +
+                         gates::mux(int(len_inputs), 6) +
+                         gates::pla(60, 8) + gates::latch(24);
+        // New escape-byte comparators and wider select signals for
+        // the REXBC / predicate prefixes.
+        if (rexbc)
+            per_pos += 6;
+        if (pred)
+            per_pos += 6;
+        // Shared: byte-rotate aligners, prefetch buffer, length
+        // control select, valid-begin marking.
+        double shared = 2 * gates::mux(32, 64) + gates::sram(1024) +
+                        gates::pla(256, 16) + 16 * gates::mux(16, 6);
+        e.ild = cost(16 * per_pos + shared, 0.85);
+    } else {
+        // One-step decoding: a trivial aligner.
+        e.ild = cost(gates::latch(128), 0.85);
+    }
+
+    // ---- Decoders ----
+    // Shared operand-extraction/steering datapath plus the 1:1
+    // simple decoders; full-x86 adds the 1:4 complex decoder and the
+    // microsequencing ROM; microx86 swaps the complex decoder for
+    // one more simple decoder and forgoes the MSROM (Section V.B).
+    double simple = gates::pla(700, 90);
+    double shared_stage = 38000;
+    int n_simple = ua.simpleDecoders + (cisc ? 0 : 1);
+    double dec = shared_stage + n_simple * simple;
+    HwCost dc = cost(dec);
+    if (cisc)
+        dc += cost(6800, 0.85); // 1:4 complex decoder
+    e.decoders = dc;
+    if (cisc)
+        e.msrom = cost(3500, kRomPowerFactor);
+
+    // ---- Queues ----
+    // The macro-op queue widens by 2 bytes when the new prefixes
+    // exist; the micro-op encoding widens by 2 bytes for the extra
+    // register/predicate specifiers (Section V.B).
+    int macro_bytes = kMacroEntryBytes + ((rexbc || pred) ? 2 : 0);
+    int uop_bits = kUopBits + ((rexbc || pred) ? 8 : 0);
+    e.macroQueue =
+        cost(gates::latch(kMacroQueueEntries * macro_bytes * 8) *
+                 1.0,
+             0.60);
+    // The micro-op queue plus the decode/uop datapath it feeds
+    // (dominant, mostly wiring and staging; see DESIGN.md).
+    double uopq = gates::latch(kUopQueueEntries * uop_bits) +
+                  540000 + (uop_bits - kUopBits) * 40;
+    e.uopQueue = cost(uopq, 0.50);
+
+    return e;
+}
+
+} // namespace cisa

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Structural model of the fetch/decode engine (Section V, Figure 4):
+ * the parallel instruction-length decoder (instruction decode
+ * subunits, speculative length calculators, length-control select
+ * and valid-begin marking), the simple 1:1 and complex 1:4
+ * instruction decoders with the microsequencing ROM, and the
+ * macro-op/micro-op queues whose widths grow with the REXBC and
+ * predicate prefixes. Produces per-component gate counts converted
+ * to area/peak power; the power model consumes the totals and the
+ * benches reproduce the paper's reported deltas.
+ */
+
+#ifndef CISA_DECODER_DECODEMODEL_HH
+#define CISA_DECODER_DECODEMODEL_HH
+
+#include "isa/features.hh"
+#include "uarch/uconfig.hh"
+
+namespace cisa
+{
+
+/** Area/power of one component. */
+struct HwCost
+{
+    double gates = 0.0;
+    double areaMm2 = 0.0;
+    double peakPowerW = 0.0;
+
+    HwCost &operator+=(const HwCost &o);
+};
+
+/** Cost breakdown of a decode engine instance. */
+struct DecodeEngine
+{
+    HwCost ild;        ///< instruction-length decoder
+    HwCost decoders;   ///< simple 1:1 decoders (+ the 1:4 if CISC)
+    HwCost msrom;      ///< microsequencing ROM (CISC only)
+    HwCost macroQueue; ///< macro-op queue
+    HwCost uopQueue;   ///< micro-op queue
+
+    /** Decoders + MSROM (Section III's "decode stage" scope). */
+    HwCost decodeStage() const;
+
+    /** Everything except the ILD (Section V's "decoder" scope). */
+    HwCost engine() const;
+
+    /** Everything including the ILD. */
+    HwCost total() const;
+
+    /**
+     * Build for a feature set and decoder configuration.
+     * @param fixed_length vendor ISAs with one-step decoding skip
+     *        the ILD entirely (Alpha/Thumb models)
+     */
+    static DecodeEngine build(const FeatureSet &fs,
+                              const MicroArchConfig &ua,
+                              bool fixed_length = false);
+};
+
+} // namespace cisa
+
+#endif // CISA_DECODER_DECODEMODEL_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Gate-level building blocks for the structural decoder model: gate
+ * counts for comparators, mux trees, latches and ROMs, plus the
+ * area/power conversion constants. These stand in for the Synopsys
+ * Design Compiler synthesis runs of Section V; all constants live in
+ * calib.hh so the calibration targets stay auditable.
+ */
+
+#ifndef CISA_DECODER_GATES_HH
+#define CISA_DECODER_GATES_HH
+
+namespace cisa
+{
+
+/** Equivalent gate counts for standard structures. */
+namespace gates
+{
+
+/** N-bit equality comparator. */
+inline double
+comparator(int bits)
+{
+    return 4.5 * bits;
+}
+
+/** N-to-1 multiplexer of a given payload width. */
+inline double
+mux(int inputs, int bits)
+{
+    return 2.5 * inputs * bits;
+}
+
+/** Flip-flop storage. */
+inline double
+latch(int bits)
+{
+    return 6.0 * bits;
+}
+
+/** ROM storage (dense, low gate-equivalent per bit). */
+inline double
+rom(int entries, int bits)
+{
+    return 0.28 * entries * bits;
+}
+
+/** SRAM storage (per bit, including peripheral overhead). */
+inline double
+sram(int bits)
+{
+    return 1.1 * bits;
+}
+
+/** Random logic blob (PLA-style decode logic). */
+inline double
+pla(int product_terms, int outputs)
+{
+    return 3.2 * product_terms + 1.8 * outputs;
+}
+
+} // namespace gates
+
+} // namespace cisa
+
+#endif // CISA_DECODER_GATES_HH

@@ -1,0 +1,213 @@
+#include "explore/campaign.hh"
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+#include "compiler/compiler.hh"
+#include "compiler/exec.hh"
+#include "compiler/interp.hh"
+#include "migration/translate.hh"
+#include "power/energy.hh"
+#include "uarch/core.hh"
+#include "workloads/synth.hh"
+
+namespace cisa
+{
+
+namespace
+{
+constexpr uint32_t kMagic = 0xC15AD5E1;
+constexpr uint32_t kVersion = 9;
+} // namespace
+
+Campaign &
+Campaign::get()
+{
+    static Campaign c;
+    return c;
+}
+
+Campaign::Campaign()
+{
+    path_ = dseCachePath();
+    budgetKey_ = simUopBudget() * 1000003 + simWarmupUops();
+    size_t n = size_t(DesignPoint::kTotalRows) *
+               size_t(phaseCount());
+    table_.assign(n, {});
+    done_.assign(kSlabs, false);
+    load();
+}
+
+int
+Campaign::slabOf(const DesignPoint &dp)
+{
+    if (dp.vendor == VendorIsa::Composite)
+        return dp.isaId;
+    return 26 + (dp.row() - DesignPoint::kCompositeRows) /
+                    DesignPoint::kUarchCount;
+}
+
+void
+Campaign::load()
+{
+    BinReader r(path_);
+    if (!r.ok())
+        return;
+    if (r.u32() != kMagic || r.u32() != kVersion ||
+        r.u64() != budgetKey_ ||
+        r.u32() != uint32_t(phaseCount())) {
+        warn("ignoring stale DSE cache at %s", path_.c_str());
+        return;
+    }
+    for (int s = 0; s < kSlabs; s++) {
+        uint32_t present = r.u32();
+        if (!r.ok())
+            return;
+        if (!present)
+            continue;
+        size_t rows = 26 > s ? size_t(DesignPoint::kUarchCount)
+                             : size_t(DesignPoint::kUarchCount);
+        size_t base = size_t(s) * rows * size_t(phaseCount());
+        for (size_t k = 0; k < rows * size_t(phaseCount()); k++) {
+            PhasePerf &p = table_[base + k];
+            p.timePerRun = float(r.f64());
+            p.energyPerRun = float(r.f64());
+            p.timePerRunMp = float(r.f64());
+            p.energyPerRunMp = float(r.f64());
+        }
+        if (!r.ok())
+            return;
+        done_[size_t(s)] = true;
+    }
+    int ready = 0;
+    for (int s = 0; s < kSlabs; s++)
+        ready += done_[size_t(s)];
+    if (ready)
+        inform("loaded %d/%d DSE slabs from %s", ready, kSlabs,
+               path_.c_str());
+}
+
+void
+Campaign::save() const
+{
+    BinWriter w(path_);
+    if (!w.ok()) {
+        warn("cannot write DSE cache to %s", path_.c_str());
+        return;
+    }
+    w.u32(kMagic);
+    w.u32(kVersion);
+    w.u64(budgetKey_);
+    w.u32(uint32_t(phaseCount()));
+    for (int s = 0; s < kSlabs; s++) {
+        w.u32(done_[size_t(s)] ? 1 : 0);
+        if (!done_[size_t(s)])
+            continue;
+        size_t rows = size_t(DesignPoint::kUarchCount);
+        size_t base = size_t(s) * rows * size_t(phaseCount());
+        for (size_t k = 0; k < rows * size_t(phaseCount()); k++) {
+            const PhasePerf &p = table_[base + k];
+            w.f64(p.timePerRun);
+            w.f64(p.energyPerRun);
+            w.f64(p.timePerRunMp);
+            w.f64(p.energyPerRunMp);
+        }
+    }
+}
+
+const PhasePerf &
+Campaign::at(const DesignPoint &dp, int phase)
+{
+    ensureSlab(slabOf(dp));
+    return table_[size_t(dp.row()) * size_t(phaseCount()) +
+                  size_t(phase)];
+}
+
+void
+Campaign::ensureSlab(int slab)
+{
+    panic_if(slab < 0 || slab >= kSlabs, "bad slab %d", slab);
+    if (done_[size_t(slab)])
+        return;
+    computeSlab(slab);
+    done_[size_t(slab)] = true;
+    save();
+}
+
+void
+Campaign::computeSlab(int slab)
+{
+    bool is_vendor = slab >= 26;
+    VendorModel vm;
+    FeatureSet fs;
+    if (is_vendor) {
+        VendorIsa v = slab == 26   ? VendorIsa::X86_64
+                      : slab == 27 ? VendorIsa::AlphaLike
+                                   : VendorIsa::ThumbLike;
+        vm = VendorModel::vendor(v);
+        fs = vm.features;
+    } else {
+        fs = FeatureSet::byId(slab);
+        vm = VendorModel::composite(fs);
+    }
+    inform("campaign: computing slab %d (%s) ...", slab,
+           vm.name().c_str());
+
+    uint64_t timed = simUopBudget();
+    uint64_t warm = simWarmupUops();
+    const RunEnv solo{};
+    const RunEnv mp{0.25, 1.30};
+
+    for (int ph = 0; ph < phaseCount(); ph++) {
+        const IrModule &mod = phaseModule(ph);
+        CompileOptions opts;
+        opts.target = fs;
+        IrModule ir;
+        MachineProgram prog = compile(mod, opts, nullptr, &ir);
+        MemImage img = MemImage::build(ir, fs.widthBits());
+        Trace trace;
+        executeMachine(prog, img, 1ULL << 31, &trace, 1ULL << 21);
+        panic_if(trace.truncated,
+                 "phase %d trace truncated; shrink targetDynOps", ph);
+        if (is_vendor && vm.codeSizeFactor != 1.0)
+            trace = vendorAdjustTrace(trace, vm.codeSizeFactor);
+        double run_ops = double(trace.ops.size());
+
+        for (int u = 0; u < DesignPoint::kUarchCount; u++) {
+            DesignPoint dp =
+                is_vendor
+                    ? DesignPoint::vendorPoint(vm.kind, u)
+                    : DesignPoint::composite(slab, u);
+            CoreConfig cc = dp.coreConfig();
+            PhasePerf out;
+
+            PerfResult rs = simulateCore(cc, trace, timed, warm,
+                                         solo);
+            double scale =
+                run_ops / double(rs.stats.macroOps);
+            out.timePerRun =
+                float(secondsOf(rs.cycles) * scale);
+            out.energyPerRun = float(
+                coreEnergy(cc, rs.stats,
+                           is_vendor ? &vm : nullptr)
+                    .total() *
+                scale);
+
+            PerfResult rm = simulateCore(cc, trace, timed, warm, mp);
+            double scale_m =
+                run_ops / double(rm.stats.macroOps);
+            out.timePerRunMp =
+                float(secondsOf(rm.cycles) * scale_m);
+            out.energyPerRunMp = float(
+                coreEnergy(cc, rm.stats,
+                           is_vendor ? &vm : nullptr)
+                    .total() *
+                scale_m);
+
+            table_[size_t(dp.row()) * size_t(phaseCount()) +
+                   size_t(ph)] = out;
+        }
+    }
+}
+
+} // namespace cisa

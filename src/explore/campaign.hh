@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The evaluation campaign: per-(design point, phase) performance and
+ * energy, the data every search and figure draws from. This is the
+ * reproduction's stand-in for the paper's 196,560 gem5+McPAT
+ * simulations on the XSEDE Comet cluster — compressed onto one
+ * machine by the CISA_SIM_UOPS budget knob and a disk cache keyed by
+ * that budget (CISA_DSE_CACHE).
+ *
+ * Each entry holds seconds and joules per *program run* of the
+ * phase — one run is identical IR-level work on every ISA, so the
+ * numbers are directly comparable across feature sets — in both a
+ * solo environment and a 4-way-contended environment (quartered
+ * shared-L2 share, inflated DRAM latency).
+ */
+
+#ifndef CISA_EXPLORE_CAMPAIGN_HH
+#define CISA_EXPLORE_CAMPAIGN_HH
+
+#include <vector>
+
+#include "explore/designpoint.hh"
+#include "workloads/profiles.hh"
+
+namespace cisa
+{
+
+/** Per-(design point, phase) measurements. */
+struct PhasePerf
+{
+    float timePerRun = 0;    ///< seconds per run, running alone
+    float energyPerRun = 0;  ///< joules per run, running alone
+    float timePerRunMp = 0;  ///< seconds per run, 4-way contended
+    float energyPerRunMp = 0;
+};
+
+/**
+ * Lazily-computed, disk-backed table of PhasePerf over all design
+ * rows and phases. One "slab" = one ISA (or vendor) across all 180
+ * microarchitectures and 49 phases; slabs are computed on first
+ * touch and persisted immediately.
+ */
+class Campaign
+{
+  public:
+    /** The process-wide instance, bound to CISA_DSE_CACHE. */
+    static Campaign &get();
+
+    /** Measurements for (dp, phase); computes the slab if needed. */
+    const PhasePerf &at(const DesignPoint &dp, int phase);
+
+    /** Force a slab (one ISA across all uarches/phases). */
+    void ensureSlab(int slab);
+
+    /** Slab index of a design point. */
+    static int slabOf(const DesignPoint &dp);
+
+    /** Number of slabs (26 composite + 3 vendor). */
+    static constexpr int kSlabs =
+        26 + DesignPoint::kVendorCount;
+
+    /** True if the slab is already computed (no side effects). */
+    bool slabReady(int slab) const { return done_[size_t(slab)]; }
+
+  private:
+    Campaign();
+    void load();
+    void save() const;
+    void computeSlab(int slab);
+
+    std::string path_;
+    uint64_t budgetKey_ = 0;
+    std::vector<PhasePerf> table_; ///< kTotalRows x phases
+    std::vector<bool> done_;
+};
+
+} // namespace cisa
+
+#endif // CISA_EXPLORE_CAMPAIGN_HH

@@ -1,0 +1,123 @@
+#include "explore/designpoint.hh"
+
+#include "common/logging.hh"
+#include "power/power.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+int
+vendorIndex(VendorIsa v)
+{
+    switch (v) {
+      case VendorIsa::X86_64:    return 0;
+      case VendorIsa::AlphaLike: return 1;
+      case VendorIsa::ThumbLike: return 2;
+      default: panic("not a vendor core");
+    }
+}
+
+VendorIsa
+vendorByIndex(int i)
+{
+    switch (i) {
+      case 0: return VendorIsa::X86_64;
+      case 1: return VendorIsa::AlphaLike;
+      case 2: return VendorIsa::ThumbLike;
+      default: panic("bad vendor index %d", i);
+    }
+}
+
+} // namespace
+
+FeatureSet
+DesignPoint::isa() const
+{
+    if (vendor == VendorIsa::Composite)
+        return FeatureSet::byId(isaId);
+    return VendorModel::vendor(vendor).features;
+}
+
+VendorModel
+DesignPoint::vendorModel() const
+{
+    if (vendor == VendorIsa::Composite)
+        return VendorModel::composite(isa());
+    return VendorModel::vendor(vendor);
+}
+
+double
+DesignPoint::areaMm2() const
+{
+    VendorModel vm = vendorModel();
+    return coreAreaMm2(coreConfig(),
+                       vendor == VendorIsa::Composite ? nullptr
+                                                      : &vm);
+}
+
+double
+DesignPoint::peakPowerW() const
+{
+    VendorModel vm = vendorModel();
+    return corePeakPowerW(coreConfig(),
+                          vendor == VendorIsa::Composite ? nullptr
+                                                         : &vm);
+}
+
+std::string
+DesignPoint::name() const
+{
+    if (vendor == VendorIsa::Composite)
+        return coreConfig().name();
+    return vendorModel().name() + "/" + uarch().name();
+}
+
+int
+DesignPoint::row() const
+{
+    if (vendor == VendorIsa::Composite)
+        return isaId * kUarchCount + uarchId;
+    return kCompositeRows + vendorIndex(vendor) * kUarchCount +
+           uarchId;
+}
+
+DesignPoint
+DesignPoint::fromRow(int row)
+{
+    panic_if(row < 0 || row >= kTotalRows, "bad row %d", row);
+    DesignPoint dp;
+    if (row < kCompositeRows) {
+        dp.isaId = row / kUarchCount;
+        dp.uarchId = row % kUarchCount;
+    } else {
+        int v = (row - kCompositeRows) / kUarchCount;
+        dp.vendor = vendorByIndex(v);
+        dp.isaId = VendorModel::vendor(dp.vendor).features.id();
+        dp.uarchId = row % kUarchCount;
+    }
+    return dp;
+}
+
+DesignPoint
+DesignPoint::composite(int isa_id, int uarch_id)
+{
+    DesignPoint dp;
+    dp.isaId = isa_id;
+    dp.uarchId = uarch_id;
+    return dp;
+}
+
+DesignPoint
+DesignPoint::vendorPoint(VendorIsa v, int uarch_id)
+{
+    DesignPoint dp;
+    dp.vendor = v;
+    dp.isaId = VendorModel::vendor(v).features.id();
+    dp.uarchId = uarch_id;
+    return dp;
+}
+
+} // namespace cisa

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design points of the exploration space: a feature set (or vendor
+ * ISA) paired with a microarchitecture. The composite space is the
+ * paper's 26 x 180 = 4680 points; the three vendor cores (x86-64,
+ * Alpha-like, Thumb-like) extend it for the heterogeneous-ISA
+ * baseline.
+ */
+
+#ifndef CISA_EXPLORE_DESIGNPOINT_HH
+#define CISA_EXPLORE_DESIGNPOINT_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/vendor.hh"
+#include "uarch/core.hh"
+
+namespace cisa
+{
+
+/** One core design point. */
+struct DesignPoint
+{
+    int isaId = 0;     ///< composite feature-set id (0..25)
+    int uarchId = 0;   ///< microarchitecture id (0..179)
+    VendorIsa vendor = VendorIsa::Composite;
+
+    static constexpr int kUarchCount = 180;
+    static constexpr int kCompositeRows = 26 * kUarchCount;
+    static constexpr int kVendorCount = 3;
+    static constexpr int kTotalRows =
+        kCompositeRows + kVendorCount * kUarchCount;
+
+    /** Feature set this core implements. */
+    FeatureSet isa() const;
+
+    /** Vendor model (exclusive traits for vendor cores). */
+    VendorModel vendorModel() const;
+
+    MicroArchConfig uarch() const
+    {
+        return MicroArchConfig::byId(uarchId);
+    }
+
+    CoreConfig coreConfig() const { return {isa(), uarch()}; }
+
+    double areaMm2() const;
+    double peakPowerW() const;
+
+    std::string name() const;
+
+    /** Dense row index for campaign tables. */
+    int row() const;
+
+    static DesignPoint fromRow(int row);
+
+    /** Composite design point. */
+    static DesignPoint composite(int isa_id, int uarch_id);
+
+    /** Vendor design point (x86-64 / Alpha-like / Thumb-like). */
+    static DesignPoint vendorPoint(VendorIsa v, int uarch_id);
+
+    bool operator==(const DesignPoint &o) const = default;
+};
+
+} // namespace cisa
+
+#endif // CISA_EXPLORE_DESIGNPOINT_HH

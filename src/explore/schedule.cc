@@ -1,0 +1,420 @@
+#include "explore/schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** Global phase index of each benchmark's first phase. */
+const std::vector<int> &
+benchStarts()
+{
+    static const std::vector<int> starts = [] {
+        std::vector<int> v;
+        int at = 0;
+        for (const auto &b : specSuite()) {
+            v.push_back(at);
+            at += int(b.phases.size());
+        }
+        return v;
+    }();
+    return starts;
+}
+
+/** Fixed reference core: x86-64 on a mid-range OoO design. */
+const DesignPoint &
+referenceCore()
+{
+    static const DesignPoint ref = [] {
+        int isa = FeatureSet::x86_64().id();
+        const auto &all = MicroArchConfig::enumerate();
+        for (size_t u = 0; u < all.size(); u++) {
+            const auto &c = all[u];
+            if (c.outOfOrder && c.width == 2 &&
+                c.bpred == BpKind::Tournament && c.iqSize == 64 &&
+                c.l1iKB == 32 && c.uopCache && c.lsqSize == 16) {
+                return DesignPoint::composite(isa, int(u));
+            }
+        }
+        panic("no reference microarchitecture found");
+    }();
+    return ref;
+}
+
+double
+refPhaseTime(int phase)
+{
+    static std::vector<double> cache;
+    if (cache.empty()) {
+        cache.resize(size_t(phaseCount()), 0.0);
+        for (int p = 0; p < phaseCount(); p++) {
+            cache[size_t(p)] =
+                double(Campaign::get().at(referenceCore(), p)
+                           .timePerRun);
+        }
+    }
+    return cache[size_t(phase)];
+}
+
+double
+refPhaseTe(int phase)
+{
+    const PhasePerf &pp = Campaign::get().at(referenceCore(), phase);
+    return double(pp.timePerRun) * double(pp.energyPerRun);
+}
+
+/** Per-app dynamic state inside the multiprogrammed timeline. */
+struct AppState
+{
+    int bench = 0;
+    int phaseLocal = 0;
+    double remainingRuns = 0;
+    bool done = false;
+    int curCore = -1;
+    double finish = 0;
+};
+
+int
+globalPhase(const AppState &a)
+{
+    return benchStarts()[size_t(a.bench)] + a.phaseLocal;
+}
+
+double
+phaseRuns(int bench, int local)
+{
+    const auto &p = specSuite()[size_t(bench)].phases[size_t(local)];
+    return p.weight * kRunsPerWeight *
+           double(specSuite()[size_t(bench)].phases.size());
+}
+
+} // namespace
+
+double
+MulticoreDesign::totalAreaMm2() const
+{
+    double s = 0;
+    for (const auto &c : cores)
+        s += c.areaMm2();
+    return s;
+}
+
+double
+MulticoreDesign::totalPeakPowerW() const
+{
+    double s = 0;
+    for (const auto &c : cores)
+        s += c.peakPowerW();
+    return s;
+}
+
+double
+MulticoreDesign::maxPeakPowerW() const
+{
+    double s = 0;
+    for (const auto &c : cores)
+        s = std::max(s, c.peakPowerW());
+    return s;
+}
+
+std::string
+MulticoreDesign::name() const
+{
+    std::string s;
+    for (const auto &c : cores) {
+        if (!s.empty())
+            s += " | ";
+        s += c.name();
+    }
+    return s;
+}
+
+void
+MigrationCensus::add(const MigrationCensus &o)
+{
+    migrations += o.migrations;
+    widthDowngrades += o.widthDowngrades;
+    depthTo32 += o.depthTo32;
+    depthTo16 += o.depthTo16;
+    depthTo8 += o.depthTo8;
+    complexityDowngrades += o.complexityDowngrades;
+    predicationDowngrades += o.predicationDowngrades;
+}
+
+double
+referenceTime(int bench)
+{
+    static std::vector<double> cache;
+    if (cache.empty()) {
+        cache.resize(specSuite().size(), 0.0);
+        for (size_t b = 0; b < specSuite().size(); b++) {
+            double t = 0;
+            for (size_t p = 0;
+                 p < specSuite()[b].phases.size(); p++) {
+                int gp = benchStarts()[b] + int(p);
+                t += phaseRuns(int(b), int(p)) * refPhaseTime(gp);
+            }
+            cache[b] = t;
+        }
+    }
+    return cache[size_t(bench)];
+}
+
+MpOutcome
+runMultiprog(const MulticoreDesign &design,
+             const std::array<int, 4> &apps, Objective obj,
+             AffinityUsage *usage, const MigrationModel *mig)
+{
+    Campaign &camp = Campaign::get();
+    std::array<AppState, 4> st;
+    for (int i = 0; i < 4; i++) {
+        st[size_t(i)].bench = apps[size_t(i)];
+        st[size_t(i)].remainingRuns =
+            phaseRuns(apps[size_t(i)], 0);
+    }
+
+    MpOutcome out;
+    double now = 0;
+
+    // Effective per-run time/energy of app a on core c.
+    auto cell = [&](const AppState &a, int c, int active,
+                    double &t, double &e) {
+        const PhasePerf &pp =
+            camp.at(design.cores[size_t(c)], globalPhase(a));
+        if (active > 1) {
+            t = double(pp.timePerRunMp);
+            e = double(pp.energyPerRunMp);
+        } else {
+            t = double(pp.timePerRun);
+            e = double(pp.energyPerRun);
+        }
+        if (mig && mig->slowdown) {
+            t *= mig->slowdown(a.bench,
+                               design.cores[size_t(c)].isa());
+        }
+    };
+
+    int guard = 0;
+    while (true) {
+        std::vector<int> active;
+        for (int i = 0; i < 4; i++) {
+            if (!st[size_t(i)].done)
+                active.push_back(i);
+        }
+        if (active.empty())
+            break;
+        panic_if(++guard > 4096, "runaway multiprogram schedule");
+
+        // Exhaustive assignment of active apps to distinct cores.
+        // Hoist the per-(app, core) values out of the permutation
+        // loop: 16 table lookups instead of 96.
+        double val[4][4];
+        for (size_t k = 0; k < active.size(); k++) {
+            const AppState &a = st[size_t(active[k])];
+            int gp = globalPhase(a);
+            double ref = obj == Objective::MpEdp ? refPhaseTe(gp)
+                                                 : refPhaseTime(gp);
+            for (int c = 0; c < 4; c++) {
+                double t, e;
+                cell(a, c, int(active.size()), t, e);
+                val[k][c] = obj == Objective::MpEdp
+                                ? ref / (t * e)
+                                : ref / t;
+            }
+        }
+        std::array<int, 4> perm = {0, 1, 2, 3};
+        std::array<int, 4> best_assign{-1, -1, -1, -1};
+        double best_score = -1e300;
+        do {
+            double score = 0;
+            for (size_t k = 0; k < active.size(); k++)
+                score += val[k][perm[k]];
+            if (score > best_score) {
+                best_score = score;
+                best_assign = {-1, -1, -1, -1};
+                for (size_t k = 0; k < active.size(); k++)
+                    best_assign[size_t(active[k])] = perm[k];
+            }
+        } while (std::next_permutation(perm.begin(), perm.end()));
+
+        // Apply migrations.
+        for (int i : active) {
+            AppState &a = st[size_t(i)];
+            int c = best_assign[size_t(i)];
+            if (a.curCore >= 0 && a.curCore != c) {
+                out.census.migrations++;
+                if (mig) {
+                    const FeatureSet bin =
+                        mig->binaryFs[size_t(a.bench)];
+                    FeatureSet core =
+                        design.cores[size_t(c)].isa();
+                    if (core.width == RegWidth::W32 &&
+                        bin.width == RegWidth::W64)
+                        out.census.widthDowngrades++;
+                    if (core.regDepth < bin.regDepth) {
+                        if (core.regDepth == 32)
+                            out.census.depthTo32++;
+                        else if (core.regDepth == 16)
+                            out.census.depthTo16++;
+                        else if (core.regDepth == 8)
+                            out.census.depthTo8++;
+                    }
+                    if (core.complexity == Complexity::MicroX86 &&
+                        bin.complexity == Complexity::X86)
+                        out.census.complexityDowngrades++;
+                    if (!core.fullPredication() &&
+                        bin.fullPredication())
+                        out.census.predicationDowngrades++;
+                    // State transfer / cold structures.
+                    double t, e;
+                    cell(a, c, int(active.size()), t, e);
+                    a.remainingRuns +=
+                        mig->perMigrationSeconds / t;
+                }
+            }
+            a.curCore = c;
+        }
+
+        // Advance to the next phase boundary.
+        double dt = 1e300;
+        for (int i : active) {
+            AppState &a = st[size_t(i)];
+            double t, e;
+            cell(a, a.curCore, int(active.size()), t, e);
+            dt = std::min(dt, a.remainingRuns * t);
+        }
+        for (int i : active) {
+            AppState &a = st[size_t(i)];
+            double t, e;
+            cell(a, a.curCore, int(active.size()), t, e);
+            double runs = dt / t;
+            a.remainingRuns -= runs;
+            out.energy += runs * e;
+            if (usage) {
+                (*usage)[design.cores[size_t(a.curCore)].isa()
+                             .name()][size_t(a.bench)] += dt;
+            }
+            if (a.remainingRuns <= 1e-9) {
+                a.phaseLocal++;
+                const auto &phs =
+                    specSuite()[size_t(a.bench)].phases;
+                if (a.phaseLocal >= int(phs.size())) {
+                    a.done = true;
+                    a.finish = now + dt;
+                } else {
+                    a.remainingRuns =
+                        phaseRuns(a.bench, a.phaseLocal);
+                }
+            }
+        }
+        now += dt;
+    }
+
+    out.makespan = now;
+    out.edp = out.energy * out.makespan;
+    for (int i = 0; i < 4; i++) {
+        out.throughput += referenceTime(apps[size_t(i)]) /
+                          std::max(st[size_t(i)].finish, 1e-30);
+    }
+    return out;
+}
+
+StOutcome
+runSingleThread(const MulticoreDesign &design, int bench,
+                Objective obj, AffinityUsage *usage)
+{
+    Campaign &camp = Campaign::get();
+    StOutcome out;
+    int prev = -1;
+    const auto &phs = specSuite()[size_t(bench)].phases;
+    for (size_t p = 0; p < phs.size(); p++) {
+        int gp = benchStarts()[size_t(bench)] + int(p);
+        int best = 0;
+        double best_m = 1e300;
+        for (int c = 0; c < 4; c++) {
+            const PhasePerf &pp = camp.at(design.cores[size_t(c)],
+                                          gp);
+            double t = double(pp.timePerRun);
+            double m = obj == Objective::StEdp
+                           ? t * double(pp.energyPerRun)
+                           : t;
+            if (m < best_m) {
+                best_m = m;
+                best = c;
+            }
+        }
+        const PhasePerf &pp = camp.at(design.cores[size_t(best)],
+                                      gp);
+        double runs = phaseRuns(bench, int(p));
+        out.time += runs * double(pp.timePerRun);
+        out.energy += runs * double(pp.energyPerRun);
+        if (usage) {
+            (*usage)[design.cores[size_t(best)].isa().name()]
+                    [size_t(bench)] +=
+                runs * double(pp.timePerRun);
+        }
+        if (prev >= 0 && prev != best)
+            out.migrations++;
+        prev = best;
+    }
+    out.edp = out.energy * out.time;
+    return out;
+}
+
+const std::vector<std::array<int, 4>> &
+allWorkloads()
+{
+    static const std::vector<std::array<int, 4>> loads = [] {
+        std::vector<std::array<int, 4>> v;
+        int n = int(specSuite().size());
+        for (int a = 0; a < n; a++)
+            for (int b = a + 1; b < n; b++)
+                for (int c = b + 1; c < n; c++)
+                    for (int d = c + 1; d < n; d++)
+                        v.push_back({a, b, c, d});
+        // Shuffle deterministically so sampled prefixes are diverse.
+        Pcg32 rng(2019, 4);
+        for (size_t i = v.size(); i > 1; i--)
+            std::swap(v[i - 1], v[rng.below(uint32_t(i))]);
+        return v;
+    }();
+    return loads;
+}
+
+double
+designScore(const MulticoreDesign &design, Objective obj, int sample)
+{
+    if (obj == Objective::StPerf || obj == Objective::StEdp) {
+        double s = 0;
+        for (int b = 0; b < int(specSuite().size()); b++) {
+            StOutcome o = runSingleThread(design, b, obj);
+            if (obj == Objective::StPerf)
+                s += referenceTime(b) / o.time;
+            else
+                s -= o.edp;
+        }
+        return s / double(specSuite().size());
+    }
+
+    const auto &loads = allWorkloads();
+    size_t n = sample > 0 ? std::min(size_t(sample), loads.size())
+                          : loads.size();
+    double s = 0;
+    for (size_t w = 0; w < n; w++) {
+        MpOutcome o = runMultiprog(design, loads[w], obj);
+        if (obj == Objective::MpThroughput)
+            s += o.throughput;
+        else
+            s -= o.edp;
+    }
+    return s / double(n);
+}
+
+} // namespace cisa

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Phase-granular scheduling on a 4-core heterogeneous CMP.
+ *
+ * Multiprogrammed mode re-solves the app-to-core assignment at every
+ * phase boundary (exhaustively — 4 cores, at most 24 assignments),
+ * exactly the "threads contend for the cores of their preference"
+ * regime of Section VII. Single-thread mode models the dynamic
+ * multicore: one thread migrates to the best core for each phase
+ * while the others are power-gated. An optional migration model adds
+ * per-switch costs and feature-downgrade slowdowns (Figure 15).
+ */
+
+#ifndef CISA_EXPLORE_SCHEDULE_HH
+#define CISA_EXPLORE_SCHEDULE_HH
+
+#include <array>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "explore/campaign.hh"
+
+namespace cisa
+{
+
+/** Search/scheduling objective. */
+enum class Objective
+{
+    MpThroughput, ///< multiprogrammed weighted speedup
+    MpEdp,        ///< multiprogrammed energy-delay product
+    StPerf,       ///< single-thread performance
+    StEdp         ///< single-thread EDP
+};
+
+/** A 4-core multicore design. */
+struct MulticoreDesign
+{
+    std::array<DesignPoint, 4> cores;
+
+    double totalAreaMm2() const;
+    double totalPeakPowerW() const;
+    double maxPeakPowerW() const;
+    std::string name() const;
+};
+
+/** Work scale: runs of a phase program per unit of phase weight. */
+constexpr double kRunsPerWeight = 300.0;
+
+/** Execution-time attribution per (benchmark, ISA name). */
+using AffinityUsage = std::map<std::string, std::array<double, 8>>;
+
+/** Optional migration-cost model (Figure 15). */
+struct MigrationModel
+{
+    double perMigrationSeconds = 0.0;
+    std::array<FeatureSet, 8> binaryFs{}; ///< per-benchmark binary
+    /** Slowdown factor (>= 1) when the core can't run the binary
+     * natively; 1.0 on upgrades. */
+    std::function<double(int bench, const FeatureSet &core)> slowdown;
+};
+
+/** Census of migrations and downgrades during one schedule. */
+struct MigrationCensus
+{
+    int migrations = 0;
+    int widthDowngrades = 0;
+    int depthTo32 = 0;
+    int depthTo16 = 0;
+    int depthTo8 = 0;
+    int complexityDowngrades = 0;
+    int predicationDowngrades = 0;
+
+    void add(const MigrationCensus &o);
+};
+
+/** Outcome of one multiprogrammed workload. */
+struct MpOutcome
+{
+    double throughput = 0; ///< sum of per-app speedups vs reference
+    double energy = 0;     ///< joules
+    double makespan = 0;   ///< seconds
+    double edp = 0;        ///< energy x makespan
+    MigrationCensus census;
+};
+
+/** Outcome of one single-thread run. */
+struct StOutcome
+{
+    double time = 0;
+    double energy = 0;
+    double edp = 0;
+    int migrations = 0;
+};
+
+/** Run the 4-app workload @p apps (benchmark ids) on @p design. */
+MpOutcome runMultiprog(const MulticoreDesign &design,
+                       const std::array<int, 4> &apps, Objective obj,
+                       AffinityUsage *usage = nullptr,
+                       const MigrationModel *mig = nullptr);
+
+/** Run benchmark @p bench alone, migrating at phase boundaries. */
+StOutcome runSingleThread(const MulticoreDesign &design, int bench,
+                          Objective obj,
+                          AffinityUsage *usage = nullptr);
+
+/** All C(8,4) = 70 four-app workloads, in a stable order. */
+const std::vector<std::array<int, 4>> &allWorkloads();
+
+/**
+ * Aggregate score of a design: mean throughput (higher is better)
+ * or mean negated EDP for EDP objectives. @p sample limits the
+ * workload count during search (0 = all).
+ */
+double designScore(const MulticoreDesign &design, Objective obj,
+                   int sample = 0);
+
+/** Reference time of a benchmark (fixed reference core). */
+double referenceTime(int bench);
+
+} // namespace cisa
+
+#endif // CISA_EXPLORE_SCHEDULE_HH

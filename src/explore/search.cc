@@ -1,0 +1,279 @@
+#include "explore/search.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cisa
+{
+
+const char *
+familyName(Family f)
+{
+    switch (f) {
+      case Family::Homogeneous:     return "Homogeneous";
+      case Family::SingleIsaHetero: return "Single-ISA Hetero";
+      case Family::MultiVendor:     return "Heterogeneous-ISA";
+      case Family::CompositeXized:  return "Composite (x86-ized)";
+      case Family::CompositeFull:   return "Composite (full)";
+    }
+    return "?";
+}
+
+bool
+Budget::feasible(const MulticoreDesign &d) const
+{
+    double p = dynamicMulticore ? d.maxPeakPowerW()
+                                : d.totalPeakPowerW();
+    return p <= powerW + 1e-9 && d.totalAreaMm2() <= areaMm2 + 1e-9;
+}
+
+std::vector<DesignPoint>
+familyCandidates(Family family, const IsaFilter &filter)
+{
+    std::vector<DesignPoint> out;
+    auto add_isa = [&](int isa_id) {
+        for (int u = 0; u < DesignPoint::kUarchCount; u++)
+            out.push_back(DesignPoint::composite(isa_id, u));
+    };
+    switch (family) {
+      case Family::Homogeneous:
+      case Family::SingleIsaHetero:
+        add_isa(FeatureSet::x86_64().id());
+        break;
+      case Family::MultiVendor:
+        for (VendorIsa v : {VendorIsa::X86_64, VendorIsa::AlphaLike,
+                            VendorIsa::ThumbLike}) {
+            for (int u = 0; u < DesignPoint::kUarchCount; u++)
+                out.push_back(DesignPoint::vendorPoint(v, u));
+        }
+        break;
+      case Family::CompositeXized:
+        add_isa(FeatureSet::x86_64().id());
+        add_isa(FeatureSet::alphaLike().id());
+        add_isa(FeatureSet::thumbLike().id());
+        break;
+      case Family::CompositeFull:
+        for (int i = 0; i < FeatureSet::count(); i++) {
+            if (!filter || filter(FeatureSet::byId(i)))
+                add_isa(i);
+        }
+        break;
+    }
+    if (family == Family::CompositeFull && filter) {
+        // filter already applied above
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Scalar desirability of one candidate for pruning. */
+struct CandScore
+{
+    double perf = 0;   ///< sum over phases of 1/time
+    double invEdp = 0; ///< sum over phases of 1/(time x energy)
+    double power = 0;
+    double area = 0;
+};
+
+CandScore
+scoreCandidate(const DesignPoint &dp, bool mp_env)
+{
+    Campaign &camp = Campaign::get();
+    CandScore s;
+    for (int p = 0; p < phaseCount(); p++) {
+        const PhasePerf &pp = camp.at(dp, p);
+        double t = mp_env ? pp.timePerRunMp : pp.timePerRun;
+        double e = mp_env ? pp.energyPerRunMp : pp.energyPerRun;
+        s.perf += 1.0 / double(t);
+        s.invEdp += 1.0 / (double(t) * double(e));
+    }
+    s.power = dp.peakPowerW();
+    s.area = dp.areaMm2();
+    return s;
+}
+
+/**
+ * Keep a diverse shortlist of strong candidates. Selection happens
+ * per ISA so a wide family (all 26 composite sets) never loses the
+ * best microarchitectures of any individual feature set — the
+ * composite-full search space strictly contains the fixed-palette
+ * spaces, and its shortlist must too.
+ */
+std::vector<DesignPoint>
+prune(const std::vector<DesignPoint> &cands, Objective obj,
+      const Budget &budget)
+{
+    if (cands.size() <= 220)
+        return cands;
+    bool mp = obj == Objective::MpThroughput ||
+              obj == Objective::MpEdp;
+    bool edp = obj == Objective::MpEdp || obj == Objective::StEdp;
+    struct Entry
+    {
+        DesignPoint dp;
+        CandScore s;
+    };
+    // Group by ISA (slab).
+    std::unordered_map<int, std::vector<Entry>> groups;
+    for (const auto &dp : cands) {
+        CandScore s = scoreCandidate(dp, mp);
+        // A candidate that alone busts the budget is useless.
+        if (s.power > budget.powerW || s.area > budget.areaMm2)
+            continue;
+        groups[Campaign::slabOf(dp)].push_back({dp, s});
+    }
+
+    std::vector<DesignPoint> out;
+    std::unordered_set<int> taken;
+    auto main_metric = [&](const Entry &e) {
+        return edp ? e.s.invEdp : e.s.perf;
+    };
+    for (auto &[slab, es] : groups) {
+        auto take_top = [&](auto key, size_t n) {
+            std::vector<const Entry *> sorted;
+            sorted.reserve(es.size());
+            for (const auto &e : es)
+                sorted.push_back(&e);
+            std::sort(sorted.begin(), sorted.end(),
+                      [&](const Entry *a, const Entry *b) {
+                          return key(*a) > key(*b);
+                      });
+            for (size_t i = 0; i < sorted.size() && i < n; i++) {
+                int row = sorted[i]->dp.row();
+                if (taken.insert(row).second)
+                    out.push_back(sorted[i]->dp);
+            }
+        };
+        take_top(main_metric, 5);
+        take_top(
+            [&](const Entry &e) { return main_metric(e) / e.s.power; },
+            3);
+        take_top(
+            [&](const Entry &e) { return main_metric(e) / e.s.area; },
+            3);
+    }
+    return out;
+}
+
+} // namespace
+
+SearchResult
+searchDesign(Family family, Objective objective, const Budget &budget,
+             uint64_t seed, const IsaFilter &filter)
+{
+    std::vector<DesignPoint> cands =
+        familyCandidates(family, filter);
+    panic_if(cands.empty(), "no candidates for family %s",
+             familyName(family));
+    // Make sure all slabs involved are computed before timing-
+    // sensitive search loops.
+    for (const auto &dp : cands)
+        Campaign::get().ensureSlab(Campaign::slabOf(dp));
+
+    cands = prune(cands, objective, budget);
+
+    // Search evaluation uses a workload sample; the caller re-scores
+    // final designs on the full set if it wants exact numbers.
+    int sample =
+        objective == Objective::MpThroughput ||
+                objective == Objective::MpEdp
+            ? 12
+            : 0;
+
+    auto evaluate = [&](const MulticoreDesign &d) {
+        return designScore(d, objective, sample);
+    };
+
+    SearchResult best;
+    best.score = -1e300;
+
+    // Homogeneous: exhaustive over identical quadruples.
+    if (family == Family::Homogeneous) {
+        for (const auto &dp : cands) {
+            MulticoreDesign d{{dp, dp, dp, dp}};
+            if (!budget.feasible(d))
+                continue;
+            double s = evaluate(d);
+            if (s > best.score) {
+                best = {d, s, true};
+            }
+        }
+        return best;
+    }
+
+    // Heterogeneous families: greedy seed + hill climbing.
+    Pcg32 rng(seed, 11);
+    int restarts = searchRestarts();
+
+    // Cheapest candidate (for feasibility fallback).
+    DesignPoint cheapest = cands[0];
+    for (const auto &dp : cands) {
+        if (dp.peakPowerW() + dp.areaMm2() * 0.05 <
+            cheapest.peakPowerW() + cheapest.areaMm2() * 0.05) {
+            cheapest = dp;
+        }
+    }
+
+    for (int r = 0; r < restarts; r++) {
+        MulticoreDesign cur{{cheapest, cheapest, cheapest,
+                             cheapest}};
+        if (r > 0) {
+            // Random feasible start.
+            for (int s = 0; s < 4; s++) {
+                for (int tries = 0; tries < 32; tries++) {
+                    DesignPoint dp =
+                        cands[rng.below(uint32_t(cands.size()))];
+                    MulticoreDesign trial = cur;
+                    trial.cores[size_t(s)] = dp;
+                    if (budget.feasible(trial)) {
+                        cur = trial;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!budget.feasible(cur))
+            continue;
+        double cur_score = evaluate(cur);
+
+        bool improved = true;
+        int passes = 0;
+        while (improved && passes++ < 4) {
+            improved = false;
+            for (int s = 0; s < 4; s++) {
+                DesignPoint keep = cur.cores[size_t(s)];
+                DesignPoint best_dp = keep;
+                double best_s = cur_score;
+                for (const auto &dp : cands) {
+                    if (dp == keep)
+                        continue;
+                    cur.cores[size_t(s)] = dp;
+                    if (!budget.feasible(cur))
+                        continue;
+                    double sc = evaluate(cur);
+                    if (sc > best_s) {
+                        best_s = sc;
+                        best_dp = dp;
+                    }
+                }
+                cur.cores[size_t(s)] = best_dp;
+                if (best_s > cur_score + 1e-12) {
+                    cur_score = best_s;
+                    improved = true;
+                }
+            }
+        }
+        if (cur_score > best.score) {
+            best = {cur, cur_score, true};
+        }
+    }
+    return best;
+}
+
+} // namespace cisa

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Budgeted multicore design search (Section VI).
+ *
+ * For each design family the paper compares — homogeneous x86-64,
+ * single-ISA heterogeneous, multi-vendor heterogeneous-ISA,
+ * composite-ISA with the three x86-ized fixed feature sets, and
+ * composite-ISA with full feature diversity — the search picks the
+ * optimal 4-core multicore under a peak-power or area budget. Like
+ * the paper ("the results we report ... are local optima, and thus
+ * conservative"), the composite search hill-climbs from greedy
+ * starts over a pruned candidate set instead of enumerating the
+ * 102.5-trillion-combination space.
+ */
+
+#ifndef CISA_EXPLORE_SEARCH_HH
+#define CISA_EXPLORE_SEARCH_HH
+
+#include <functional>
+
+#include "explore/schedule.hh"
+
+namespace cisa
+{
+
+/** Design families compared in Figures 5-8. */
+enum class Family
+{
+    Homogeneous,     ///< 4 identical x86-64 cores
+    SingleIsaHetero, ///< x86-64 ISA, heterogeneous microarchitecture
+    MultiVendor,     ///< x86-64 + Alpha + Thumb vendor cores
+    CompositeXized,  ///< the three x86-ized fixed feature sets
+    CompositeFull    ///< all 26 composite feature sets
+};
+
+/** Printable family label. */
+const char *familyName(Family f);
+
+/** Budget constraints for a search. */
+struct Budget
+{
+    double powerW = 1e18;
+    double areaMm2 = 1e18;
+    /** Dynamic multicore: only one core powered at a time, so the
+     * power budget binds the max core, not the sum. */
+    bool dynamicMulticore = false;
+
+    bool feasible(const MulticoreDesign &d) const;
+};
+
+/** Optional constraint on the composite feature sets considered. */
+using IsaFilter = std::function<bool(const FeatureSet &)>;
+
+/** Search outcome. */
+struct SearchResult
+{
+    MulticoreDesign design;
+    double score = 0;
+    bool feasible = false;
+};
+
+/**
+ * Find a good 4-core design of @p family for @p objective under
+ * @p budget. @p filter restricts composite feature sets (Figure 9's
+ * sensitivity studies). Deterministic in @p seed.
+ */
+SearchResult searchDesign(Family family, Objective objective,
+                          const Budget &budget, uint64_t seed = 1,
+                          const IsaFilter &filter = nullptr);
+
+/** Candidate design points of a family (after ISA filtering). */
+std::vector<DesignPoint> familyCandidates(Family family,
+                                          const IsaFilter &filter);
+
+} // namespace cisa
+
+#endif // CISA_EXPLORE_SEARCH_HH

@@ -1,0 +1,217 @@
+#include "isa/features.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace cisa
+{
+
+bool
+FeatureSet::isViable() const
+{
+    if (regDepth != 8 && regDepth != 16 && regDepth != 32 &&
+        regDepth != 64) {
+        return false;
+    }
+    // 64-bit feature sets need a register depth of at least 16.
+    if (width == RegWidth::W64 && regDepth < 16)
+        return false;
+    // Full predication is never profitable with only 8 registers; the
+    // paper excludes those combinations outright.
+    if (regDepth == 8 && predication == Predication::Full)
+        return false;
+    return true;
+}
+
+bool
+FeatureSet::subsumes(const FeatureSet &code) const
+{
+    // A full-x86 decoder executes the microx86 subset natively, but a
+    // microx86 core cannot decode 1:n macro-ops.
+    if (complexity == Complexity::MicroX86 &&
+        code.complexity == Complexity::X86) {
+        return false;
+    }
+    if (regDepth < code.regDepth)
+        return false;
+    if (width == RegWidth::W32 && code.width == RegWidth::W64)
+        return false;
+    if (predication == Predication::Partial &&
+        code.predication == Predication::Full) {
+        return false;
+    }
+    if (!simd() && code.simd())
+        return false;
+    return true;
+}
+
+std::string
+FeatureSet::name() const
+{
+    return strfmt("%s-%dD-%dW-%c",
+                  complexity == Complexity::X86 ? "x86" : "microx86",
+                  int(regDepth), widthBits(),
+                  predication == Predication::Full ? 'F' : 'P');
+}
+
+const std::vector<FeatureSet> &
+FeatureSet::enumerate()
+{
+    static const std::vector<FeatureSet> all = [] {
+        std::vector<FeatureSet> v;
+        const std::array<Complexity, 2> cs = {Complexity::MicroX86,
+                                              Complexity::X86};
+        const std::array<RegWidth, 2> ws = {RegWidth::W32,
+                                            RegWidth::W64};
+        const std::array<int, 4> ds = {8, 16, 32, 64};
+        const std::array<Predication, 2> ps = {Predication::Partial,
+                                               Predication::Full};
+        for (auto c : cs)
+            for (auto w : ws)
+                for (auto d : ds)
+                    for (auto p : ps) {
+                        FeatureSet f{c, uint8_t(d), w, p};
+                        if (f.isViable())
+                            v.push_back(f);
+                    }
+        return v;
+    }();
+    return all;
+}
+
+int
+FeatureSet::count()
+{
+    return int(enumerate().size());
+}
+
+int
+FeatureSet::id() const
+{
+    const auto &all = enumerate();
+    for (size_t i = 0; i < all.size(); i++) {
+        if (all[i] == *this)
+            return int(i);
+    }
+    panic("feature set %s is not viable", name().c_str());
+}
+
+FeatureSet
+FeatureSet::byId(int id)
+{
+    const auto &all = enumerate();
+    panic_if(id < 0 || size_t(id) >= all.size(),
+             "feature set id %d out of range", id);
+    return all[size_t(id)];
+}
+
+FeatureSet
+FeatureSet::parse(const std::string &s)
+{
+    FeatureSet f;
+    char complexity[16] = {0};
+    int depth = 0, wbits = 0;
+    char pred = 0;
+    if (std::sscanf(s.c_str(), "%15[a-zA-Z0-9]-%dD-%dW-%c", complexity,
+                    &depth, &wbits, &pred) != 4) {
+        fatal("malformed feature set name '%s'", s.c_str());
+    }
+    std::string c = complexity;
+    if (c == "x86") {
+        f.complexity = Complexity::X86;
+    } else if (c == "microx86") {
+        f.complexity = Complexity::MicroX86;
+    } else {
+        fatal("unknown complexity '%s' in '%s'", c.c_str(), s.c_str());
+    }
+    f.regDepth = uint8_t(depth);
+    if (wbits == 32) {
+        f.width = RegWidth::W32;
+    } else if (wbits == 64) {
+        f.width = RegWidth::W64;
+    } else {
+        fatal("bad register width %d in '%s'", wbits, s.c_str());
+    }
+    if (pred == 'F') {
+        f.predication = Predication::Full;
+    } else if (pred == 'P') {
+        f.predication = Predication::Partial;
+    } else {
+        fatal("bad predication flag '%c' in '%s'", pred, s.c_str());
+    }
+    if (!f.isViable())
+        fatal("feature set '%s' is not viable", s.c_str());
+    return f;
+}
+
+FeatureSet
+FeatureSet::make(Complexity c, int depth, RegWidth w, Predication p)
+{
+    FeatureSet f{c, uint8_t(depth), w, p};
+    panic_if(!f.isViable(), "non-viable feature set %s",
+             f.name().c_str());
+    return f;
+}
+
+FeatureSet
+FeatureSet::superset()
+{
+    return make(Complexity::X86, 64, RegWidth::W64, Predication::Full);
+}
+
+FeatureSet
+FeatureSet::x86_64()
+{
+    return make(Complexity::X86, 16, RegWidth::W64,
+                Predication::Partial);
+}
+
+FeatureSet
+FeatureSet::thumbLike()
+{
+    return make(Complexity::MicroX86, 8, RegWidth::W32,
+                Predication::Partial);
+}
+
+FeatureSet
+FeatureSet::alphaLike()
+{
+    return make(Complexity::MicroX86, 32, RegWidth::W64,
+                Predication::Partial);
+}
+
+FeatureSet
+FeatureSet::minimal()
+{
+    return thumbLike();
+}
+
+int
+distinctFeatureCount(const std::vector<FeatureSet> &sets)
+{
+    bool depth[4] = {false, false, false, false};
+    bool width[2] = {false, false};
+    bool cplx[2] = {false, false};
+    bool pred[2] = {false, false};
+    bool simd[2] = {false, false};
+    for (const auto &f : sets) {
+        int di = f.regDepth == 8 ? 0 : f.regDepth == 16 ? 1
+                 : f.regDepth == 32 ? 2 : 3;
+        depth[di] = true;
+        width[f.width == RegWidth::W64] = true;
+        cplx[f.complexity == Complexity::X86] = true;
+        pred[f.predication == Predication::Full] = true;
+        simd[f.simd()] = true;
+    }
+    int n = 0;
+    for (bool b : depth) n += b;
+    for (bool b : width) n += b;
+    for (bool b : cplx) n += b;
+    for (bool b : pred) n += b;
+    for (bool b : simd) n += b;
+    return n;
+}
+
+} // namespace cisa

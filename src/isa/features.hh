@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The superset ISA and its composable feature sets.
+ *
+ * The paper derives custom ISAs from a single x86-compatible superset
+ * along five axes (Section III): register depth (8/16/32/64), register
+ * width (32/64), instruction complexity (microx86's 1:1 macro-op to
+ * micro-op load-compute-store subset vs the full 1:n CISC x86),
+ * predication (partial CMOV-style vs full), and data-parallel
+ * execution (SSE present only on full-x86 feature sets). After
+ * excluding non-viable combinations (8 registers only exists in 32-bit
+ * mode; full predication needs more than 8 registers; 64-bit mode
+ * needs at least 16 registers) exactly 26 feature sets remain.
+ */
+
+#ifndef CISA_ISA_FEATURES_HH
+#define CISA_ISA_FEATURES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cisa
+{
+
+/** Macro-op to micro-op complexity of the decode engine. */
+enum class Complexity : uint8_t {
+    MicroX86, ///< 1:1 load-compute-store subset (RISC-style)
+    X86       ///< full 1:n CISC x86 with complex addressing modes
+};
+
+/** Architectural register width. */
+enum class RegWidth : uint8_t { W32, W64 };
+
+/** Predication support level. */
+enum class Predication : uint8_t {
+    Partial, ///< CMOV-style conditional moves only
+    Full     ///< any instruction predicated on any GPR
+};
+
+/**
+ * One composite feature set carved out of the superset ISA.
+ *
+ * Invariant: isViable() holds for every instance produced by the
+ * factory functions below.
+ */
+struct FeatureSet
+{
+    Complexity complexity = Complexity::X86;
+    uint8_t regDepth = 16; ///< programmable registers: 8, 16, 32, 64
+    RegWidth width = RegWidth::W64;
+    Predication predication = Predication::Partial;
+
+    /** SSE-style packed SIMD; tied to full x86 decode (Section III). */
+    bool simd() const { return complexity == Complexity::X86; }
+
+    /** Register width in bits. */
+    int widthBits() const { return width == RegWidth::W64 ? 64 : 32; }
+
+    bool fullPredication() const
+    {
+        return predication == Predication::Full;
+    }
+
+    /** True if this combination is in the 26-set viable space. */
+    bool isViable() const;
+
+    /**
+     * True if a core implementing this feature set can natively run
+     * code compiled for @p code (a feature "upgrade" or exact match);
+     * false means migration needs a downgrade translation.
+     */
+    bool subsumes(const FeatureSet &code) const;
+
+    /** Canonical name, e.g. "microx86-16D-32W-P" or "x86-64D-64W-F". */
+    std::string name() const;
+
+    /** Dense index into enumerate() order; panics if not viable. */
+    int id() const;
+
+    bool operator==(const FeatureSet &o) const = default;
+
+    /** All 26 viable feature sets, in a stable order. */
+    static const std::vector<FeatureSet> &enumerate();
+
+    /** Number of viable feature sets (26). */
+    static int count();
+
+    /** Feature set by dense id. */
+    static FeatureSet byId(int id);
+
+    /** Parse a canonical name; fatal() on malformed input. */
+    static FeatureSet parse(const std::string &name);
+
+    /** Build a feature set; panics if the combination is not viable. */
+    static FeatureSet make(Complexity c, int depth, RegWidth w,
+                           Predication p);
+
+    /** The superset ISA itself: x86-64D-64W-F (+SSE). */
+    static FeatureSet superset();
+
+    /** Plain x86-64 with SSE: x86-16D-64W-P. */
+    static FeatureSet x86_64();
+
+    /** The x86-ized Thumb analogue (Table II): microx86-8D-32W-P. */
+    static FeatureSet thumbLike();
+
+    /** The x86-ized Alpha analogue (Table II): microx86-32D-64W-P. */
+    static FeatureSet alphaLike();
+
+    /** The most reduced feature set: microx86-8D-32W-P. */
+    static FeatureSet minimal();
+};
+
+/**
+ * Count of distinct customizable features implemented by a set of
+ * cores, out of the 12 the paper tracks (4 register depths, 2 widths,
+ * 2 complexities, 2 predication levels, 2 SIMD levels).
+ */
+int distinctFeatureCount(const std::vector<FeatureSet> &sets);
+
+} // namespace cisa
+
+#endif // CISA_ISA_FEATURES_HH

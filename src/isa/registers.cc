@@ -1,0 +1,66 @@
+#include "isa/registers.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace cisa
+{
+
+RegTier
+regTier(int reg)
+{
+    panic_if(reg < 0 || reg >= kMaxRegDepth, "bad GPR index %d", reg);
+    if (reg < 8)
+        return RegTier::Legacy;
+    if (reg < 16)
+        return RegTier::Rex;
+    return RegTier::Rexbc;
+}
+
+int
+regPrefixBytes(int reg)
+{
+    switch (regTier(reg)) {
+      case RegTier::Legacy: return 0;
+      case RegTier::Rex:    return 1;
+      case RegTier::Rexbc:  return 2;
+    }
+    return 0;
+}
+
+std::string
+regName(int reg, int bits)
+{
+    static const std::array<const char *, 8> q = {
+        "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi"};
+    static const std::array<const char *, 8> d = {
+        "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"};
+    static const std::array<const char *, 8> w = {
+        "ax", "cx", "dx", "bx", "sp", "bp", "si", "di"};
+    static const std::array<const char *, 8> b = {
+        "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil"};
+
+    panic_if(reg < 0 || reg >= kMaxRegDepth, "bad GPR index %d", reg);
+    if (reg < 8) {
+        switch (bits) {
+          case 64: return q[size_t(reg)];
+          case 32: return d[size_t(reg)];
+          case 16: return w[size_t(reg)];
+          case 8:  return b[size_t(reg)];
+          default: panic("bad sub-register width %d", bits);
+        }
+    }
+    const char *suffix = bits == 64 ? "" : bits == 32 ? "d"
+                         : bits == 16 ? "w" : "b";
+    return strfmt("r%d%s", reg, suffix);
+}
+
+std::string
+xmmName(int reg)
+{
+    panic_if(reg < 0 || reg >= kXmmRegs, "bad XMM index %d", reg);
+    return strfmt("xmm%d", reg);
+}
+
+} // namespace cisa

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Architectural register model of the superset ISA.
+ *
+ * The superset ISA widens x86-64's 16 GPRs to 64 by adding 48 extra
+ * registers reachable through the REXBC prefix (Section V.A). Every
+ * register is addressable as byte/word/dword/qword sub-registers with
+ * the classic pairing restrictions lifted. Encoding cost grows with
+ * register index: r0-r7 need no extension bits, r8-r15 need a REX
+ * bit, and r16-r63 need the two-byte REXBC prefix — the register
+ * allocator uses this to prefer cheap registers.
+ */
+
+#ifndef CISA_ISA_REGISTERS_HH
+#define CISA_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cisa
+{
+
+/** Maximum general-purpose register depth of the superset ISA. */
+constexpr int kMaxRegDepth = 64;
+
+/** Number of architectural XMM registers (SSE feature sets). */
+constexpr int kXmmRegs = 16;
+
+/** Encoding tier of a GPR index. */
+enum class RegTier : uint8_t {
+    Legacy, ///< r0-r7: encodable in ModRM alone
+    Rex,    ///< r8-r15: needs a REX extension bit
+    Rexbc   ///< r16-r63: needs the two-byte REXBC prefix
+};
+
+/** Encoding tier for GPR index @p reg (0-63). */
+RegTier regTier(int reg);
+
+/** Extra prefix bytes needed solely because of this register. */
+int regPrefixBytes(int reg);
+
+/** Sub-register access size in bits. */
+enum class SubReg : uint8_t { Byte = 8, Word = 16, Dword = 32,
+                              Qword = 64 };
+
+/**
+ * Assembly name of GPR @p reg viewed at @p bits width, following x86
+ * conventions for r0-r15 (rax/eax/ax/al, r8/r8d/r8w/r8b) and the
+ * superset's rNN[d|w|b] naming for the REXBC registers.
+ */
+std::string regName(int reg, int bits);
+
+/** Assembly name of XMM register @p reg. */
+std::string xmmName(int reg);
+
+} // namespace cisa
+
+#endif // CISA_ISA_REGISTERS_HH

@@ -1,0 +1,77 @@
+#include "isa/vendor.hh"
+
+#include "common/logging.hh"
+
+namespace cisa
+{
+
+std::string
+VendorModel::name() const
+{
+    switch (kind) {
+      case VendorIsa::X86_64:    return "x86-64";
+      case VendorIsa::AlphaLike: return "alpha";
+      case VendorIsa::ThumbLike: return "thumb";
+      case VendorIsa::Composite: return features.name();
+    }
+    panic("bad vendor kind");
+}
+
+VendorModel
+VendorModel::composite(const FeatureSet &fs)
+{
+    VendorModel m;
+    m.kind = VendorIsa::Composite;
+    m.features = fs;
+    return m;
+}
+
+VendorModel
+VendorModel::vendor(VendorIsa kind)
+{
+    VendorModel m;
+    m.kind = kind;
+    m.crossIsaMigration = true;
+    switch (kind) {
+      case VendorIsa::X86_64:
+        m.features = FeatureSet::x86_64();
+        m.fixedLength = false;
+        m.codeSizeFactor = 1.0;
+        m.fpArchRegs = 16;
+        break;
+      case VendorIsa::AlphaLike:
+        m.features = FeatureSet::alphaLike();
+        m.fixedLength = true;
+        // Fixed 4-byte instructions inflate the compact x86 forms.
+        m.codeSizeFactor = 1.12;
+        m.fpArchRegs = 32; // Alpha-exclusive: more FP registers
+        break;
+      case VendorIsa::ThumbLike:
+        m.features = FeatureSet::thumbLike();
+        m.fixedLength = true;
+        // Thumb-exclusive code compression the superset cannot match.
+        m.codeSizeFactor = 0.72;
+        m.fpArchRegs = 16;
+        break;
+      case VendorIsa::Composite:
+        panic("use VendorModel::composite() for composite sets");
+    }
+    return m;
+}
+
+std::vector<VendorModel>
+VendorModel::multiVendorPalette()
+{
+    return {vendor(VendorIsa::X86_64), vendor(VendorIsa::AlphaLike),
+            vendor(VendorIsa::ThumbLike)};
+}
+
+std::vector<VendorModel>
+VendorModel::x86izedPalette()
+{
+    return {composite(FeatureSet::x86_64()),
+            composite(FeatureSet::alphaLike()),
+            composite(FeatureSet::thumbLike())};
+}
+
+} // namespace cisa

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Vendor-specific ISA models for the heterogeneous-ISA baseline.
+ *
+ * The paper's "goal" configuration is a multi-vendor CMP mixing
+ * x86-64, Alpha, and Thumb (Venkat & Tullsen, ISCA'14). Table II maps
+ * each vendor ISA onto the nearest composite feature set plus the
+ * vendor-exclusive traits the superset cannot replicate: Thumb's code
+ * compression, and the fixed-length one-step decoding of Thumb and
+ * Alpha. Cross-vendor migration requires full binary translation and
+ * state transformation, unlike the cheap overlap migration between
+ * composite feature sets.
+ */
+
+#ifndef CISA_ISA_VENDOR_HH
+#define CISA_ISA_VENDOR_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/features.hh"
+
+namespace cisa
+{
+
+/** Identity of an instruction-set vendor family. */
+enum class VendorIsa : uint8_t {
+    X86_64,    ///< full x86-64 with SSE
+    AlphaLike, ///< Alpha: fixed-length RISC, 64-bit, 32 registers
+    ThumbLike, ///< Thumb: compressed 32-bit RISC, 8 registers
+    Composite  ///< a feature set of the single superset ISA
+};
+
+/** Properties of a vendor ISA as modelled in this study. */
+struct VendorModel
+{
+    VendorIsa kind = VendorIsa::Composite;
+
+    /** Closest composite feature set (Table II column 1). */
+    FeatureSet features;
+
+    /** Fixed-length encoding with one-step decoding (no ILD). */
+    bool fixedLength = false;
+
+    /**
+     * Static code-size multiplier relative to the composite encoding
+     * of the same feature set; captures Thumb's code compression and
+     * Alpha's fixed 4-byte expansion of short x86 forms.
+     */
+    double codeSizeFactor = 1.0;
+
+    /** Architectural FP registers (Alpha has more than x86/SSE). */
+    int fpArchRegs = 16;
+
+    /**
+     * Migration to/from a different vendor ISA needs full binary
+     * translation + program state transformation.
+     */
+    bool crossIsaMigration = false;
+
+    /** Human-readable name. */
+    std::string name() const;
+
+    /** The vendor model for a composite feature set (no exclusives). */
+    static VendorModel composite(const FeatureSet &fs);
+
+    /** Vendor model by kind (Table II). */
+    static VendorModel vendor(VendorIsa kind);
+
+    /** The three-vendor CMP palette: x86-64, Alpha, Thumb. */
+    static std::vector<VendorModel> multiVendorPalette();
+
+    /** The x86-ized palette: same feature sets, no exclusives. */
+    static std::vector<VendorModel> x86izedPalette();
+};
+
+} // namespace cisa
+
+#endif // CISA_ISA_VENDOR_HH

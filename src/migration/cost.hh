@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Migration cost model (Sections IV.B and VII.D).
+ *
+ * Feature downgrades translate the binary (translate.hh) and run the
+ * translated code on the constrained core; the cost is the slowdown
+ * against native execution of the same phase. Migration events
+ * themselves cost a fixed state-transfer/cold-structure penalty —
+ * small between overlapping composite feature sets, and large across
+ * vendor ISAs, where full binary translation and program state
+ * transformation are required.
+ */
+
+#ifndef CISA_MIGRATION_COST_HH
+#define CISA_MIGRATION_COST_HH
+
+#include "isa/features.hh"
+#include "uarch/uconfig.hh"
+
+namespace cisa
+{
+
+/** Per-migration fixed costs, in cycles. */
+namespace migration_cost
+{
+/** Composite-ISA migration: register/state move + cold structures. */
+constexpr uint64_t kCompositeCycles = 30000;
+
+/** Cross-vendor migration: binary translation + state transform. */
+constexpr uint64_t kCrossIsaCycles = 4000000;
+} // namespace migration_cost
+
+/** Outcome of one downgrade experiment. */
+struct DowngradeCost
+{
+    double slowdown = 0.0;   ///< time ratio - 1 (negative = speedup)
+    int depthRewrites = 0;
+    int unfoldedOps = 0;
+    int reverseIfConverted = 0;
+    int widthExpansions = 0;
+};
+
+/**
+ * Measure the cost of running phase @p phase_idx, compiled for
+ * @p code_fs, on a core implementing only @p core_fs (which must not
+ * subsume @p code_fs for the result to be interesting), relative to
+ * native execution on a @p code_fs core with the same
+ * microarchitecture.
+ */
+DowngradeCost measureDowngrade(int phase_idx,
+                               const FeatureSet &code_fs,
+                               const FeatureSet &core_fs,
+                               const MicroArchConfig &ua);
+
+} // namespace cisa
+
+#endif // CISA_MIGRATION_COST_HH

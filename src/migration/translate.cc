@@ -1,0 +1,541 @@
+#include "migration/translate.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "compiler/passes/encode.hh"
+#include "isa/registers.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** GPRs (below @p depth) never referenced by the function. */
+std::vector<int>
+freeGprs(const MachineFunction &f, int depth)
+{
+    std::vector<bool> used(size_t(kMaxRegDepth), false);
+    used[kSpReg] = true;
+    for (const auto &b : f.blocks) {
+        for (const auto &i : b.instrs) {
+            auto mark = [&](int r) {
+                if (r >= 0 && !i.fp)
+                    used[size_t(r)] = true;
+            };
+            mark(i.dst);
+            mark(i.src1);
+            mark(i.src2);
+            if (i.mem.base >= 0)
+                used[size_t(i.mem.base)] = true;
+            if (i.mem.index >= 0)
+                used[size_t(i.mem.index)] = true;
+            if (i.predReg >= 0)
+                used[size_t(i.predReg)] = true;
+        }
+    }
+    std::vector<int> free;
+    for (int r = 0; r < depth; r++) {
+        if (!used[size_t(r)])
+            free.push_back(r);
+    }
+    return free;
+}
+
+/** XMM registers never referenced by the function. */
+std::vector<int>
+freeXmms(const MachineFunction &f)
+{
+    std::vector<bool> used(size_t(kXmmRegs), false);
+    for (const auto &b : f.blocks) {
+        for (const auto &i : b.instrs) {
+            if (!i.fp)
+                continue;
+            auto mark = [&](int r) {
+                if (r >= 0 && r < kXmmRegs)
+                    used[size_t(r)] = true;
+            };
+            mark(i.dst);
+            if (i.op != Op::FMovI && i.op != Op::I2F)
+                mark(i.src1);
+            mark(i.src2);
+        }
+    }
+    std::vector<int> free;
+    for (int r = 0; r < kXmmRegs; r++) {
+        if (!used[size_t(r)])
+            free.push_back(r);
+    }
+    return free;
+}
+
+MachineInstr
+mkMem(Op op, bool load, int reg, bool fp, int bits, uint64_t addr,
+      int pred = -1, bool sense = true)
+{
+    MachineInstr m;
+    m.op = load ? Op::Load : Op::Store;
+    m.form = load ? MemForm::Load : MemForm::Store;
+    m.opBits = uint8_t(bits);
+    m.fp = fp;
+    if (load)
+        m.dst = reg;
+    else
+        m.src1 = reg;
+    m.mem.disp = int64_t(addr);
+    m.predReg = pred;
+    m.predSense = sense;
+    (void)op;
+    return m;
+}
+
+/** Reverse if-conversion of one function. */
+void
+reverseIfConvert(MachineFunction &f, DowngradeStats *st)
+{
+    // Rebuild the block list; each predicated run becomes its own
+    // block guarded by a cmp + branch. Original block indices stay
+    // valid because every original block keeps its id for its first
+    // chunk and extra blocks are appended at the end.
+    size_t norig = f.blocks.size();
+    for (size_t bi = 0; bi < norig; bi++) {
+        std::vector<MachineInstr> in = std::move(f.blocks[bi].instrs);
+        f.blocks[bi].instrs.clear();
+        MachineBlock *out = &f.blocks[bi];
+        int out_idx = int(bi);
+
+        size_t k = 0;
+        while (k < in.size()) {
+            if (in[k].predReg < 0) {
+                out->instrs.push_back(in[k]);
+                k++;
+                continue;
+            }
+            // Collect the predicated run.
+            int pr = in[k].predReg;
+            bool sense = in[k].predSense;
+            size_t end = k;
+            while (end < in.size() && in[end].predReg == pr &&
+                   in[end].predSense == sense) {
+                end++;
+            }
+
+            int body_idx = int(f.blocks.size());
+            f.blocks.emplace_back();
+            int after_idx = int(f.blocks.size());
+            f.blocks.emplace_back();
+            // Re-resolve out (emplace_back may reallocate).
+            out = &f.blocks[size_t(out_idx)];
+
+            MachineInstr cmp;
+            cmp.op = Op::Cmp;
+            cmp.opBits = 64;
+            cmp.src1 = pr;
+            cmp.hasImm = true;
+            cmp.imm = 0;
+            out->instrs.push_back(cmp);
+
+            MachineInstr br;
+            br.op = Op::Branch;
+            br.opBits = 32;
+            // Taken -> skip the body when the predicate fails.
+            br.cond = sense ? Cond::Eq : Cond::Ne;
+            br.succ0 = after_idx;
+            br.succ1 = body_idx;
+            br.prob = 0.5;
+            br.predictable = false;
+            out->instrs.push_back(br);
+
+            MachineBlock &body = f.blocks[size_t(body_idx)];
+            for (size_t j = k; j < end; j++) {
+                MachineInstr i = in[j];
+                i.predReg = -1;
+                body.instrs.push_back(i);
+                if (st)
+                    st->reverseIfConverted++;
+            }
+            MachineInstr jmp;
+            jmp.op = Op::Jump;
+            jmp.opBits = 32;
+            jmp.succ0 = after_idx;
+            body.instrs.push_back(jmp);
+
+            out = &f.blocks[size_t(after_idx)];
+            out_idx = after_idx;
+            k = end;
+        }
+        panic_if(out->instrs.empty() ||
+                 !isBranchOp(out->instrs.back().op),
+                 "reverse if-conversion lost the terminator");
+    }
+}
+
+/** Register-depth downgrade of one function. */
+void
+downgradeDepth(MachineFunction &f, int depth, uint64_t rcb_base,
+               DowngradeStats *st)
+{
+    std::vector<int> free = freeGprs(f, depth);
+    // Two emergency save slots past the 64 register slots.
+    uint64_t save_base = rcb_base + 64 * 8;
+
+    for (auto &b : f.blocks) {
+        std::vector<MachineInstr> out;
+        out.reserve(b.instrs.size());
+        for (auto &i : b.instrs) {
+            bool touches = false;
+            auto high = [&](int r) { return r >= depth && !i.fp; };
+            bool mem_high = i.mem.base >= depth || i.mem.index >= depth;
+            if ((i.dst >= 0 && high(i.dst)) ||
+                (i.src1 >= 0 && high(i.src1)) ||
+                (i.src2 >= 0 && high(i.src2)) || mem_high ||
+                i.predReg >= depth) {
+                touches = true;
+            }
+            if (!touches) {
+                out.push_back(i);
+                continue;
+            }
+            if (st)
+                st->depthRewrites++;
+
+            // Map each distinct high register to a scratch. A
+            // borrowed low register must not be one this instruction
+            // itself reads or writes.
+            std::vector<bool> instr_uses(size_t(depth), false);
+            auto mark_low = [&](int r) {
+                if (r >= 0 && r < depth && !i.fp)
+                    instr_uses[size_t(r)] = true;
+            };
+            mark_low(i.dst);
+            mark_low(i.src1);
+            mark_low(i.src2);
+            if (i.mem.base >= 0 && i.mem.base < depth)
+                instr_uses[size_t(i.mem.base)] = true;
+            if (i.mem.index >= 0 && i.mem.index < depth)
+                instr_uses[size_t(i.mem.index)] = true;
+            if (i.predReg >= 0 && i.predReg < depth)
+                instr_uses[size_t(i.predReg)] = true;
+
+            struct MapEnt
+            {
+                int highReg;
+                int scratch;
+                bool saved;
+            };
+            std::vector<MapEnt> map;
+            size_t next_free = 0;
+            int fallback = 0;
+            auto scratchFor = [&](int r) {
+                for (const auto &m : map) {
+                    if (m.highReg == r)
+                        return m.scratch;
+                }
+                MapEnt m;
+                m.highReg = r;
+                if (next_free < free.size()) {
+                    m.scratch = free[next_free++];
+                    m.saved = false;
+                } else {
+                    // Borrow a low register and preserve its value.
+                    while (fallback == kSpReg ||
+                           (fallback < depth &&
+                            instr_uses[size_t(fallback)])) {
+                        fallback++;
+                    }
+                    panic_if(fallback >= depth,
+                             "no borrowable register for downgrade");
+                    m.scratch = fallback++;
+                    m.saved = true;
+                    out.push_back(
+                        mkMem(Op::Store, false, m.scratch, false, 64,
+                              save_base + uint64_t(map.size()) * 8));
+                }
+                map.push_back(m);
+                return m.scratch;
+            };
+
+            MachineInstr w = i;
+            // The predicate register must be materialized first and
+            // unconditionally.
+            if (w.predReg >= depth) {
+                int s = scratchFor(w.predReg);
+                out.push_back(mkMem(Op::Load, true, s, false, 64,
+                                    rcb_base +
+                                        uint64_t(w.predReg) * 8));
+                w.predReg = s;
+            }
+
+            auto loadSrc = [&](int &field) {
+                if (field < depth || field < 0)
+                    return;
+                int r = field;
+                int s = scratchFor(r);
+                out.push_back(mkMem(Op::Load, true, s, false, 64,
+                                    rcb_base + uint64_t(r) * 8,
+                                    w.predReg, w.predSense));
+                field = s;
+            };
+            if (!i.fp) {
+                if (i.src1 >= 0)
+                    loadSrc(w.src1);
+                if (i.src2 >= 0)
+                    loadSrc(w.src2);
+            }
+            if (w.mem.base >= depth)
+                loadSrc(w.mem.base);
+            if (w.mem.index >= depth)
+                loadSrc(w.mem.index);
+
+            bool dst_high = !i.fp && i.dst >= depth;
+            int dst_scratch = -1;
+            if (dst_high) {
+                int r = w.dst;
+                dst_scratch = scratchFor(r);
+                // Two-address ops read the old destination value.
+                out.push_back(mkMem(Op::Load, true, dst_scratch,
+                                    false, 64,
+                                    rcb_base + uint64_t(r) * 8,
+                                    w.predReg, w.predSense));
+                w.dst = dst_scratch;
+            }
+
+            out.push_back(w);
+
+            if (dst_high) {
+                out.push_back(mkMem(Op::Store, false, dst_scratch,
+                                    false, 64,
+                                    rcb_base +
+                                        uint64_t(i.dst) * 8,
+                                    w.predReg, w.predSense));
+            }
+            // Restore any borrowed low registers.
+            for (size_t mi_ = 0; mi_ < map.size(); mi_++) {
+                if (map[mi_].saved) {
+                    out.push_back(
+                        mkMem(Op::Load, true, map[mi_].scratch, false,
+                              64, save_base + uint64_t(mi_) * 8));
+                }
+            }
+        }
+        b.instrs = std::move(out);
+    }
+}
+
+/** Complexity downgrade: unfold x86 memory operands. */
+void
+downgradeComplexity(MachineFunction &f, int depth, uint64_t rcb_base,
+                    DowngradeStats *st)
+{
+    std::vector<int> free = freeGprs(f, depth);
+    std::vector<int> free_fp = freeXmms(f);
+    uint64_t save_base = rcb_base + 66 * 8;
+
+    for (auto &b : f.blocks) {
+        std::vector<MachineInstr> out;
+        out.reserve(b.instrs.size());
+        for (auto &i : b.instrs) {
+            panic_if(isSimdOp(i.op),
+                     "cannot downgrade packed SIMD to microx86");
+            if (i.form != MemForm::LoadOp &&
+                i.form != MemForm::LoadOpStore) {
+                out.push_back(i);
+                continue;
+            }
+            if (st)
+                st->unfoldedOps++;
+
+            bool fp = i.fp;
+            int scratch;
+            bool saved = false;
+            auto in_instr = [&](int r) {
+                return r == i.dst || r == i.src1 || r == i.src2 ||
+                       (!fp && (r == i.mem.base || r == i.mem.index ||
+                                r == i.predReg));
+            };
+            if (fp) {
+                if (!free_fp.empty()) {
+                    scratch = free_fp[0];
+                } else {
+                    scratch = 0;
+                    while (in_instr(scratch))
+                        scratch++;
+                    saved = true;
+                    out.push_back(mkMem(Op::Store, false, scratch,
+                                        true, 64, save_base));
+                }
+            } else {
+                if (!free.empty()) {
+                    scratch = free[0];
+                } else {
+                    scratch = 0;
+                    while (scratch == kSpReg || in_instr(scratch))
+                        scratch++;
+                    panic_if(scratch >= depth,
+                             "no scratch register for unfolding");
+                    saved = true;
+                    out.push_back(mkMem(Op::Store, false, scratch,
+                                        false, 64, save_base));
+                }
+            }
+
+            // load scratch <- [mem]
+            MachineInstr ld;
+            ld.op = Op::Load;
+            ld.form = MemForm::Load;
+            ld.opBits = i.opBits;
+            ld.fp = fp;
+            ld.vec = i.vec;
+            ld.dst = scratch;
+            ld.mem = i.mem;
+            ld.predReg = i.predReg;
+            ld.predSense = i.predSense;
+            out.push_back(ld);
+
+            if (i.form == MemForm::LoadOp) {
+                MachineInstr op = i;
+                op.form = MemForm::None;
+                op.mem = {};
+                if (op.op == Op::Cmp)
+                    op.src2 = scratch;
+                else
+                    op.src1 = scratch;
+                op.hasImm = false;
+                out.push_back(op);
+            } else {
+                // mem = mem OP src: compute into scratch, store.
+                MachineInstr op = i;
+                op.form = MemForm::None;
+                op.mem = {};
+                op.dst = scratch;
+                out.push_back(op);
+                MachineInstr stq;
+                stq.op = Op::Store;
+                stq.form = MemForm::Store;
+                stq.opBits = i.opBits;
+                stq.fp = fp;
+                stq.src1 = scratch;
+                stq.mem = i.mem;
+                stq.predReg = i.predReg;
+                stq.predSense = i.predSense;
+                out.push_back(stq);
+            }
+
+            if (saved) {
+                out.push_back(mkMem(Op::Load, true, scratch, fp, 64,
+                                    save_base, i.predReg,
+                                    i.predSense));
+            }
+        }
+        b.instrs = std::move(out);
+    }
+}
+
+} // namespace
+
+MachineProgram
+downgradeProgram(const MachineProgram &prog, const FeatureSet &core,
+                 uint64_t rcb_base, DowngradeStats *stats)
+{
+    MachineProgram out = prog;
+    const FeatureSet &code = prog.target;
+    // The register context block lives at the bottom of the stack
+    // region, below any plausible stack depth.
+    uint64_t rcb = rcb_base;
+    bool needs_rcb = core.regDepth < code.regDepth;
+    bool needs_unfold = core.complexity == Complexity::MicroX86 &&
+                        code.complexity == Complexity::X86;
+    bool needs_pred = !core.fullPredication() &&
+                      code.fullPredication();
+    panic_if((needs_rcb || needs_unfold) && rcb == 0,
+             "depth/complexity downgrade needs an RCB base");
+
+    for (auto &f : out.funcs) {
+        if (needs_pred)
+            reverseIfConvert(f, stats);
+        if (needs_rcb)
+            downgradeDepth(f, core.regDepth, rcb, stats);
+        if (needs_unfold)
+            downgradeComplexity(f, core.regDepth, rcb, stats);
+    }
+
+    FeatureSet eff = out.target;
+    eff.complexity = needs_unfold ? Complexity::MicroX86
+                                  : eff.complexity;
+    eff.regDepth = std::min(eff.regDepth, core.regDepth);
+    if (needs_pred)
+        eff.predication = Predication::Partial;
+    out.target = eff;
+
+    runEncode(out);
+    return out;
+}
+
+Trace
+downgradeWidthTrace(const Trace &t, DowngradeStats *st)
+{
+    Trace out;
+    out.dyn = t.dyn;
+    out.truncated = t.truncated;
+    out.ops.reserve(t.ops.size() * 5 / 4);
+    for (const auto &op : t.ops) {
+        // Fat pointers (xmm-held) make pointer-width operations
+        // nearly free; only genuine 64-bit data pays the pairing
+        // cost (Section IV.B's long-mode emulation).
+        bool wide_int = (op.flags & DynWideData) &&
+                        !(op.flags & DynFp);
+        if (!wide_int) {
+            out.ops.push_back(op);
+            continue;
+        }
+        if (st)
+            st->widthExpansions++;
+        if (op.form == MemForm::Load || op.form == MemForm::Store) {
+            // Split an 8-byte access into two 4-byte halves.
+            DynOp lo = op;
+            lo.msize = 4;
+            lo.opBits = 32;
+            DynOp hi = lo;
+            hi.maddr = op.maddr ? op.maddr + 4 : 0;
+            out.ops.push_back(lo);
+            out.ops.push_back(hi);
+            out.dyn.uops += hi.uops;
+            out.dyn.macroOps++;
+        } else {
+            // Paired arithmetic: the original op plus the high-half
+            // op (adc/sbb-style), serialized through the flags.
+            DynOp lo = op;
+            lo.opBits = 32;
+            DynOp hi = lo;
+            hi.writesFlags = true;
+            hi.readsFlags = true;
+            hi.maddr = 0;
+            hi.form = MemForm::None;
+            out.ops.push_back(lo);
+            out.ops.push_back(hi);
+            out.dyn.uops += hi.uops;
+            out.dyn.macroOps++;
+        }
+    }
+    return out;
+}
+
+Trace
+vendorAdjustTrace(const Trace &t, double code_size_factor)
+{
+    Trace out = t;
+    // Rescale code addresses and lengths while preserving dynamic
+    // structure: each pc maps to pc_base + (pc - pc_base) * factor.
+    constexpr uint64_t base = 0x400000;
+    for (auto &op : out.ops) {
+        uint64_t off = op.pc >= base ? op.pc - base : 0;
+        op.pc = base + uint64_t(double(off) * code_size_factor);
+        int len = std::max(1, int(double(op.len) *
+                                  code_size_factor));
+        op.len = uint8_t(std::min(len, 255));
+    }
+    return out;
+}
+
+} // namespace cisa

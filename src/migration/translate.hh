@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Feature-downgrade binary translation (Section IV.B).
+ *
+ * When a process migrates to a core implementing only a subset of
+ * the features its code uses, the unimplemented features are
+ * software-emulated with small binary transformations — far cheaper
+ * than the cross-ISA translation a multi-vendor CMP needs:
+ *
+ * - register-depth downgrade: architectural registers above the
+ *   core's depth live in a register context block (RCB) in memory;
+ *   each use borrows a low scratch register around the instruction
+ *   (save/reload), each def writes through;
+ * - complexity downgrade (x86 -> microx86): folded memory operands
+ *   are split back into ld-compute-st sequences;
+ * - predication downgrade (full -> partial): reverse if-conversion
+ *   turns predicated instructions back into conditional branches;
+ * - width downgrade (64-bit on a 32-bit core): long-mode emulation
+ *   with paired operations; modelled at trace level (DESIGN.md).
+ *
+ * The machine-level transforms are exact: downgraded programs are
+ * validated against the original semantics by the test suite.
+ */
+
+#ifndef CISA_MIGRATION_TRANSLATE_HH
+#define CISA_MIGRATION_TRANSLATE_HH
+
+#include "compiler/exec.hh"
+#include "compiler/machine.hh"
+
+namespace cisa
+{
+
+/** Statistics of one downgrade translation. */
+struct DowngradeStats
+{
+    int depthRewrites = 0;   ///< instructions touching RCB registers
+    int unfoldedOps = 0;     ///< LoadOp/LoadOpStore split apart
+    int reverseIfConverted = 0;
+    int widthExpansions = 0; ///< 64-bit ops paired (trace level)
+};
+
+/**
+ * Translate @p prog so it only uses features of @p core. Width
+ * downgrades are not handled here (see downgradeWidthTrace).
+ * The program's target is updated to reflect the downgrade.
+ */
+MachineProgram downgradeProgram(const MachineProgram &prog,
+                                const FeatureSet &core,
+                                uint64_t rcb_base,
+                                DowngradeStats *stats = nullptr);
+
+/**
+ * Trace-level long-mode emulation: expands 64-bit integer macro-ops
+ * into paired operations and splits 8-byte integer accesses, as
+ * running 64-bit code on a 32-bit core would.
+ */
+Trace downgradeWidthTrace(const Trace &t,
+                          DowngradeStats *stats = nullptr);
+
+/**
+ * Vendor code-density adjustment: rescales instruction lengths and
+ * code addresses by the vendor's code-size factor (Thumb compression
+ * / Alpha fixed-length expansion).
+ */
+Trace vendorAdjustTrace(const Trace &t, double code_size_factor);
+
+} // namespace cisa
+
+#endif // CISA_MIGRATION_TRANSLATE_HH

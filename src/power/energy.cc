@@ -1,0 +1,94 @@
+#include "power/energy.hh"
+
+#include "power/calib.hh"
+
+namespace cisa
+{
+
+using namespace power_calib;
+
+double
+EnergyBreakdown::total() const
+{
+    return fetch + bpred + decode + rename + scheduler + regfile +
+           fu + lsq + leakage;
+}
+
+double
+secondsOf(uint64_t cycles)
+{
+    return double(cycles) / kFreqHz;
+}
+
+EnergyBreakdown
+coreEnergy(const CoreConfig &cfg, const PerfStats &st,
+           const VendorModel *vendor)
+{
+    constexpr double pj = 1e-12;
+    const FeatureSet &fs = cfg.isa;
+    EnergyBreakdown e;
+
+    // ---- Fetch ----
+    bool extra_prefix = fs.regDepth > 16 || fs.fullPredication();
+    double ild_e = kEIldInstr +
+                   (extra_prefix ? kEIldExtraPrefix : 0.0);
+    if (vendor && vendor->fixedLength)
+        ild_e = 0.6; // one-step decoding
+    e.fetch = pj * (double(st.fetchBytes) * kEFetchByte +
+                    double(st.ildInstrs) * ild_e +
+                    double(st.l1iAccesses) * kEL1Access +
+                    double(st.uopCacheLookups) * kEUopCacheLookup);
+
+    // ---- Branch prediction ----
+    double bp_e = cfg.uarch.bpred == BpKind::Tournament
+                      ? kEBpredTourn
+                      : kEBpredSimple;
+    e.bpred = pj * double(st.bpLookups) * bp_e;
+
+    // ---- Decode ----
+    e.decode = pj * (double(st.decodedUops) * kEDecodeUop +
+                     double(st.msromUops) * kEMsromUop);
+
+    // ---- Rename / scheduler ----
+    e.rename = pj * double(st.renamedUops) * kERenameUop;
+    e.scheduler = pj * (double(st.iqWrites) * kEIqWrite +
+                        double(st.issuedUops) * kEIqIssue +
+                        double(st.robWrites) * kERobWrite);
+
+    // ---- Register file ----
+    double wscale = fs.width == RegWidth::W64 ? 1.0 : 0.7;
+    double fp_scale = fs.simd() ? 1.8 : 1.0;
+    e.regfile =
+        pj * (double(st.regReads) * kERegRead64 * wscale +
+              double(st.regWrites) * kERegWrite64 * wscale +
+              double(st.fpRegOps) * kERegRead64 * (fp_scale - 1.0));
+
+    // ---- Functional units ----
+    auto ops = [&](MicroClass c) {
+        return double(st.aluOps[size_t(c)]);
+    };
+    e.fu = pj * (ops(MicroClass::IntAlu) * kEIntAluOp * wscale +
+                 ops(MicroClass::Branch) * kEIntAluOp +
+                 ops(MicroClass::IntMul) * kEIntMulOp * wscale +
+                 ops(MicroClass::IntDiv) * kEIntDivOp +
+                 (ops(MicroClass::FpAlu) + ops(MicroClass::FpMul) +
+                  ops(MicroClass::FpDiv)) *
+                     kEFpOp +
+                 (ops(MicroClass::SimdAlu) +
+                  ops(MicroClass::SimdMul)) *
+                     kESimdOp);
+
+    // ---- Memory ----
+    e.lsq = pj * (double(st.lsqOps) * kELsqOp +
+                  double(st.l1dAccesses) * kEL1Access +
+                  double(st.l2Accesses) * kEL2Access +
+                  double(st.memAccesses) * kEMemAccess);
+
+    // ---- Leakage ----
+    double peak = corePeakPowerW(cfg, vendor);
+    e.leakage = kLeakageFraction * peak * secondsOf(st.cycles);
+
+    return e;
+}
+
+} // namespace cisa

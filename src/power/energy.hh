@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Activity-based energy model: dynamic energy from the timing
+ * model's per-structure event counts plus leakage proportional to
+ * structural peak power and elapsed time. Produces the per-stage
+ * breakdown of Figure 11 and the totals behind every EDP number.
+ */
+
+#ifndef CISA_POWER_ENERGY_HH
+#define CISA_POWER_ENERGY_HH
+
+#include "power/power.hh"
+#include "uarch/perfstats.hh"
+
+namespace cisa
+{
+
+/** Energy in joules, split by pipeline stage (Figure 11 scope). */
+struct EnergyBreakdown
+{
+    double fetch = 0;     ///< L1I + ILD + uop cache + fetch datapath
+    double bpred = 0;
+    double decode = 0;    ///< decoders + MSROM path
+    double rename = 0;
+    double scheduler = 0; ///< IQ + wakeup/select + ROB
+    double regfile = 0;
+    double fu = 0;        ///< INT/FP/SIMD execution
+    double lsq = 0;       ///< LSQ + L1D + L2 + DRAM
+    double leakage = 0;
+
+    double total() const;
+};
+
+/**
+ * Energy of running @p stats worth of activity on @p cfg.
+ * Time (for leakage) is stats.cycles at the global clock.
+ */
+EnergyBreakdown coreEnergy(const CoreConfig &cfg,
+                           const PerfStats &stats,
+                           const VendorModel *vendor = nullptr);
+
+/** Seconds corresponding to a cycle count at the global clock. */
+double secondsOf(uint64_t cycles);
+
+} // namespace cisa
+
+#endif // CISA_POWER_ENERGY_HH

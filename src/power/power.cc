@@ -1,0 +1,132 @@
+#include "power/power.hh"
+
+#include "common/logging.hh"
+#include "decoder/decodemodel.hh"
+#include "power/calib.hh"
+
+namespace cisa
+{
+
+using namespace power_calib;
+
+double
+CoreBreakdown::total() const
+{
+    return coreOnly() + l1i + l1d + l2;
+}
+
+double
+CoreBreakdown::coreOnly() const
+{
+    return bpred + ild + uopCache + decode + rename + iq + rob +
+           regfile + intFu + fpFu + simdFu + lsq + overhead;
+}
+
+namespace
+{
+
+/** Fill the fields common to the area and power models. */
+CoreBreakdown
+build(const CoreConfig &cfg, const VendorModel *vendor, bool area)
+{
+    const MicroArchConfig &ua = cfg.uarch;
+    const FeatureSet &fs = cfg.isa;
+    bool fixed_len = vendor && vendor->fixedLength;
+
+    CoreBreakdown b;
+    auto pick = [&](double a, double p) { return area ? a : p; };
+
+    // Caches.
+    double l1_unit = pick(kL1Per32KArea, kL1Per32KPower);
+    b.l1i = l1_unit * double(ua.l1iKB) / 32.0;
+    b.l1d = l1_unit * double(ua.l1dKB) / 32.0;
+    b.l2 = pick(kL2PerMbArea, kL2PerMbPower) *
+           (double(ua.l2KB) / 4096.0); // the core's 1 MB or 2 MB slice
+
+    // Branch prediction.
+    bool tourn = ua.bpred == BpKind::Tournament;
+    b.bpred = tourn ? pick(kBpredTournArea, kBpredTournPower)
+                    : pick(kBpredSimpleArea, kBpredSimplePower);
+
+    // Front end from the synthesized decoder model.
+    DecodeEngine de = DecodeEngine::build(fs, ua, fixed_len);
+    b.ild = area ? de.ild.areaMm2 : de.ild.peakPowerW;
+    b.decode = area ? de.engine().areaMm2 : de.engine().peakPowerW;
+    // Wider machines replicate decode datapaths.
+    double width_scale = 0.6 + 0.2 * double(ua.width);
+    b.ild *= width_scale;
+    b.decode *= width_scale;
+    if (ua.uopCache)
+        b.uopCache = pick(kUopCacheArea, kUopCachePower);
+
+    // Rename / windows (out-of-order only).
+    if (ua.outOfOrder) {
+        b.rename = pick(kRenamePerWidthArea, kRenamePerWidthPower) *
+                   double(ua.width);
+        double port_scale = 0.7 + 0.15 * double(ua.width);
+        b.iq = pick(kIqPerEntryArea, kIqPerEntryPower) *
+               double(ua.iqSize) * port_scale;
+        b.rob = pick(kRobPerEntryArea, kRobPerEntryPower) *
+                double(ua.robSize);
+    }
+
+    // Register files: physical entries scale with width and (for
+    // FP) with SIMD lanes, plus an architectural-state term that
+    // scales with the ISA's register depth.
+    double wscale = fs.width == RegWidth::W64 ? 1.0 : 0.55;
+    double fp_bits = fs.simd() ? 2.0 : 1.0;
+    double prf_unit = pick(kPrfPerEntry64bArea, kPrfPerEntry64bPower);
+    if (ua.outOfOrder) {
+        b.regfile = prf_unit * double(ua.intPrf) * wscale +
+                    prf_unit * double(ua.fpPrf) * fp_bits;
+    } else {
+        b.regfile = prf_unit * double(fs.regDepth) * wscale +
+                    prf_unit * 16.0 * fp_bits;
+    }
+    int fp_arch = vendor ? vendor->fpArchRegs : 16;
+    b.regfile += pick(kArchStatePerRegArea, kArchStatePerRegPower) *
+                 (double(fs.regDepth) * wscale + double(fp_arch));
+
+    // Functional units.
+    b.intFu = pick(kIntAluArea, kIntAluPower) * double(ua.intAlus) *
+                  (0.45 + 0.55 * wscale) +
+              pick(kIntMulArea, kIntMulPower) * double(ua.intMuls);
+    b.fpFu = pick(kFpPipeArea, kFpPipePower) * double(ua.fpAlus);
+    if (fs.simd()) {
+        b.simdFu = pick(kSimdPerPipeArea, kSimdPerPipePower) *
+                   double(ua.fpAlus);
+    }
+    b.lsq = pick(kLsqPerEntryArea, kLsqPerEntryPower) *
+            double(ua.lsqSize);
+
+    b.overhead = pick(kCoreOverheadArea, kCoreOverheadPower);
+    return b;
+}
+
+} // namespace
+
+CoreBreakdown
+coreArea(const CoreConfig &cfg, const VendorModel *vendor)
+{
+    return build(cfg, vendor, true);
+}
+
+CoreBreakdown
+corePeakPower(const CoreConfig &cfg, const VendorModel *vendor)
+{
+    return build(cfg, vendor, false);
+}
+
+double
+coreAreaMm2(const CoreConfig &cfg, const VendorModel *vendor)
+{
+    return coreArea(cfg, vendor).total();
+}
+
+double
+corePeakPowerW(const CoreConfig &cfg, const VendorModel *vendor)
+{
+    return corePeakPower(cfg, vendor).total();
+}
+
+} // namespace cisa

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Structural area and peak-power model of a whole core — the
+ * reproduction's McPAT. Per-structure costs are summed from the
+ * calibrated constants and the decoder model's synthesized front
+ * end; peak power and area are the constraints the design-space
+ * search budgets against, and the same breakdown feeds the
+ * transistor-investment and energy-breakdown figures.
+ */
+
+#ifndef CISA_POWER_POWER_HH
+#define CISA_POWER_POWER_HH
+
+#include "isa/vendor.hh"
+#include "uarch/core.hh"
+
+namespace cisa
+{
+
+/** Per-structure cost split (area in mm^2 or power in W). */
+struct CoreBreakdown
+{
+    double l1i = 0;
+    double bpred = 0;
+    double ild = 0;
+    double uopCache = 0;
+    double decode = 0;   ///< decoders + MSROM + queues
+    double rename = 0;
+    double iq = 0;       ///< scheduler
+    double rob = 0;
+    double regfile = 0;
+    double intFu = 0;
+    double fpFu = 0;
+    double simdFu = 0;
+    double lsq = 0;
+    double l1d = 0;
+    double l2 = 0;       ///< this core's slice of the shared L2
+    double overhead = 0; ///< clocking, interconnect, pads
+
+    /** Everything. */
+    double total() const;
+
+    /** Processor logic only (Figure 10's scope: no caches). */
+    double coreOnly() const;
+
+    // Figure 10/11 stage groupings.
+    double fetchGroup() const { return l1i + ild + uopCache; }
+    double decodeGroup() const { return decode; }
+    double bpredGroup() const { return bpred; }
+    double schedulerGroup() const { return rename + iq + rob; }
+    double regfileGroup() const { return regfile; }
+    double fuGroup() const { return intFu + fpFu + simdFu + lsq; }
+};
+
+/** Area model for one design point. */
+CoreBreakdown coreArea(const CoreConfig &cfg,
+                       const VendorModel *vendor = nullptr);
+
+/** Structural peak-power model for one design point. */
+CoreBreakdown corePeakPower(const CoreConfig &cfg,
+                            const VendorModel *vendor = nullptr);
+
+/** Convenience totals. */
+double coreAreaMm2(const CoreConfig &cfg,
+                   const VendorModel *vendor = nullptr);
+double corePeakPowerW(const CoreConfig &cfg,
+                      const VendorModel *vendor = nullptr);
+
+} // namespace cisa
+
+#endif // CISA_POWER_POWER_HH

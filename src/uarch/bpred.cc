@@ -1,0 +1,122 @@
+#include "uarch/bpred.hh"
+
+#include "common/logging.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+bool
+counterTaken(uint8_t c)
+{
+    return c >= 2;
+}
+
+uint8_t
+counterUpdate(uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? uint8_t(c + 1) : c;
+    return c > 0 ? uint8_t(c - 1) : c;
+}
+
+} // namespace
+
+std::unique_ptr<BranchPredictor>
+BranchPredictor::create(BpKind kind)
+{
+    switch (kind) {
+      case BpKind::Local2Level:
+        return std::make_unique<LocalPredictor>();
+      case BpKind::Gshare:
+        return std::make_unique<GsharePredictor>();
+      case BpKind::Tournament:
+        return std::make_unique<TournamentPredictor>();
+    }
+    panic("bad predictor kind");
+}
+
+LocalPredictor::LocalPredictor(int history_bits, int entries)
+    : historyBits_(history_bits), lht_(size_t(entries), 0),
+      pht_(size_t(1) << history_bits, 1)
+{}
+
+size_t
+LocalPredictor::lhtIndex(uint64_t pc) const
+{
+    return size_t((pc >> 1) % lht_.size());
+}
+
+bool
+LocalPredictor::predict(uint64_t pc)
+{
+    uint16_t hist = lht_[lhtIndex(pc)];
+    return counterTaken(pht_[hist]);
+}
+
+void
+LocalPredictor::update(uint64_t pc, bool taken)
+{
+    uint16_t &hist = lht_[lhtIndex(pc)];
+    uint8_t &ctr = pht_[hist];
+    ctr = counterUpdate(ctr, taken);
+    hist = uint16_t(((hist << 1) | (taken ? 1 : 0)) &
+                    ((1u << historyBits_) - 1));
+}
+
+GsharePredictor::GsharePredictor(int history_bits)
+    : historyBits_(history_bits),
+      pht_(size_t(1) << history_bits, 1)
+{}
+
+size_t
+GsharePredictor::index(uint64_t pc) const
+{
+    uint32_t mask = (1u << historyBits_) - 1;
+    return size_t((uint32_t(pc >> 1) ^ ghr_) & mask);
+}
+
+bool
+GsharePredictor::predict(uint64_t pc)
+{
+    return counterTaken(pht_[index(pc)]);
+}
+
+void
+GsharePredictor::update(uint64_t pc, bool taken)
+{
+    uint8_t &ctr = pht_[index(pc)];
+    ctr = counterUpdate(ctr, taken);
+    ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) &
+           ((1u << historyBits_) - 1);
+}
+
+TournamentPredictor::TournamentPredictor()
+    : chooser_(4096, 2)
+{}
+
+bool
+TournamentPredictor::predict(uint64_t pc)
+{
+    lastLocal_ = local_.predict(pc);
+    lastGshare_ = gshare_.predict(pc);
+    uint8_t ch = chooser_[size_t((pc >> 1) % chooser_.size())];
+    return counterTaken(ch) ? lastGshare_ : lastLocal_;
+}
+
+void
+TournamentPredictor::update(uint64_t pc, bool taken)
+{
+    // Train the chooser toward whichever component was right.
+    bool l_ok = lastLocal_ == taken;
+    bool g_ok = lastGshare_ == taken;
+    uint8_t &ch = chooser_[size_t((pc >> 1) % chooser_.size())];
+    if (g_ok != l_ok)
+        ch = counterUpdate(ch, g_ok);
+    local_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+} // namespace cisa

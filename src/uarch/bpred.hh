@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Branch direction predictors (Table I): 2-level local, gshare, and
+ * a tournament combination. Predictors see the genuine dynamic
+ * branch stream produced by functional execution, so predictability
+ * differences between benchmarks (sjeng/gobmk vs hmmer) are emergent
+ * rather than annotated.
+ */
+
+#ifndef CISA_UARCH_BPRED_HH
+#define CISA_UARCH_BPRED_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "uarch/uconfig.hh"
+
+namespace cisa
+{
+
+/** Direction predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(uint64_t pc) = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(uint64_t pc, bool taken) = 0;
+
+    /** Factory for a Table-I predictor kind. */
+    static std::unique_ptr<BranchPredictor> create(BpKind kind);
+};
+
+/** Two-level local: per-branch history indexing a pattern table. */
+class LocalPredictor : public BranchPredictor
+{
+  public:
+    LocalPredictor(int history_bits = 10, int entries = 1024);
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    size_t lhtIndex(uint64_t pc) const;
+
+    int historyBits_;
+    std::vector<uint16_t> lht_;  ///< local histories
+    std::vector<uint8_t> pht_;   ///< 2-bit counters
+};
+
+/** Gshare: global history xor pc bits. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(int history_bits = 12);
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    size_t index(uint64_t pc) const;
+
+    int historyBits_;
+    uint32_t ghr_ = 0;
+    std::vector<uint8_t> pht_;
+};
+
+/** Tournament: local + gshare + per-pc chooser. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    TournamentPredictor();
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    LocalPredictor local_;
+    GsharePredictor gshare_;
+    std::vector<uint8_t> chooser_; ///< 2-bit: prefer gshare when >= 2
+    bool lastLocal_ = false;
+    bool lastGshare_ = false;
+};
+
+} // namespace cisa
+
+#endif // CISA_UARCH_BPRED_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cycle-level core timing model, trace-driven at micro-op
+ * granularity — the reproduction's stand-in for the paper's modified
+ * gem5 (with micro-op cache and fusion support added).
+ *
+ * One engine serves both execution semantics of Table I: the
+ * out-of-order mode issues each micro-op as soon as its renamed
+ * sources, a functional unit, and window space (ROB/IQ/LSQ) allow;
+ * the in-order mode additionally forces program-order issue. The
+ * front end models ILD-limited variable-length fetch (16 B/cycle),
+ * I-cache misses, the micro-op cache path that bypasses the
+ * decoders, decoder-bandwidth limits (simple 1:1 decoders plus one
+ * 1:4 complex decoder with MSROM on full-x86 cores), macro fusion
+ * (cmp+jcc) and micro fusion (load+op), and branch-predictor-driven
+ * redirects. Dependencies come from architectural register ids in
+ * the trace; tracking last-writer ready times is exactly what
+ * renaming provides, so no explicit map table is needed.
+ */
+
+#ifndef CISA_UARCH_CORE_HH
+#define CISA_UARCH_CORE_HH
+
+#include "compiler/exec.hh"
+#include "isa/features.hh"
+#include "uarch/cache.hh"
+#include "uarch/perfstats.hh"
+#include "uarch/uconfig.hh"
+
+namespace cisa
+{
+
+/** A core design point: feature set + microarchitecture. */
+struct CoreConfig
+{
+    FeatureSet isa;
+    MicroArchConfig uarch;
+
+    std::string name() const;
+    uint64_t fingerprint() const;
+};
+
+/** Environment a core runs in (multiprogrammed contention). */
+struct RunEnv
+{
+    double l2Share = 1.0;       ///< share of the shared L2
+    double memContention = 1.0; ///< DRAM latency inflation
+};
+
+/** Outcome of one timed simulation. */
+struct PerfResult
+{
+    PerfStats stats;     ///< post-warmup activity counters
+    double ipc = 0.0;
+    double upc = 0.0;
+    uint64_t cycles = 0; ///< post-warmup cycles
+};
+
+/**
+ * Simulate @p trace on the core, replaying it cyclically until
+ * @p warmup_uops + @p timed_uops micro-ops have executed; counters
+ * reflect only the timed portion (SimPoint-style warm structures).
+ */
+PerfResult simulateCore(const CoreConfig &cfg, const Trace &trace,
+                        uint64_t timed_uops, uint64_t warmup_uops,
+                        const RunEnv &env = {});
+
+} // namespace cisa
+
+#endif // CISA_UARCH_CORE_HH

@@ -1,0 +1,46 @@
+#include "uarch/perfstats.hh"
+
+namespace cisa
+{
+
+PerfStats
+PerfStats::diff(const PerfStats &a, const PerfStats &b)
+{
+    PerfStats d;
+    d.cycles = a.cycles - b.cycles;
+    d.macroOps = a.macroOps - b.macroOps;
+    d.uops = a.uops - b.uops;
+    d.fetchBytes = a.fetchBytes - b.fetchBytes;
+    d.ildInstrs = a.ildInstrs - b.ildInstrs;
+    d.uopCacheLookups = a.uopCacheLookups - b.uopCacheLookups;
+    d.uopCacheHits = a.uopCacheHits - b.uopCacheHits;
+    d.decodedUops = a.decodedUops - b.decodedUops;
+    d.msromUops = a.msromUops - b.msromUops;
+    d.bpLookups = a.bpLookups - b.bpLookups;
+    d.bpMispredicts = a.bpMispredicts - b.bpMispredicts;
+    d.fusedMacroOps = a.fusedMacroOps - b.fusedMacroOps;
+    d.fusedMicroOps = a.fusedMicroOps - b.fusedMicroOps;
+    d.btbMisses = a.btbMisses - b.btbMisses;
+    d.sbForwards = a.sbForwards - b.sbForwards;
+    d.renamedUops = a.renamedUops - b.renamedUops;
+    d.iqWrites = a.iqWrites - b.iqWrites;
+    d.issuedUops = a.issuedUops - b.issuedUops;
+    d.robWrites = a.robWrites - b.robWrites;
+    d.regReads = a.regReads - b.regReads;
+    d.regWrites = a.regWrites - b.regWrites;
+    d.fpRegOps = a.fpRegOps - b.fpRegOps;
+    for (size_t c = 0; c < size_t(MicroClass::NumClasses); c++)
+        d.aluOps[c] = a.aluOps[c] - b.aluOps[c];
+    d.predFalseUops = a.predFalseUops - b.predFalseUops;
+    d.lsqOps = a.lsqOps - b.lsqOps;
+    d.l1iAccesses = a.l1iAccesses - b.l1iAccesses;
+    d.l1iMisses = a.l1iMisses - b.l1iMisses;
+    d.l1dAccesses = a.l1dAccesses - b.l1dAccesses;
+    d.l1dMisses = a.l1dMisses - b.l1dMisses;
+    d.l2Accesses = a.l2Accesses - b.l2Accesses;
+    d.l2Misses = a.l2Misses - b.l2Misses;
+    d.memAccesses = a.memAccesses - b.memAccesses;
+    return d;
+}
+
+} // namespace cisa

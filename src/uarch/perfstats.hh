@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Activity counters produced by the timing models and consumed by
+ * the McPAT-style energy model. Every counter corresponds to one
+ * energized structure event (a table read, a queue write, a
+ * functional-unit operation), so energy = sum(count x per-event
+ * energy) exactly as McPAT consumes gem5 stats in the paper.
+ */
+
+#ifndef CISA_UARCH_PERFSTATS_HH
+#define CISA_UARCH_PERFSTATS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "isa/opcodes.hh"
+
+namespace cisa
+{
+
+/** Activity counters for one (phase, core) simulation. */
+struct PerfStats
+{
+    uint64_t cycles = 0;
+    uint64_t macroOps = 0;
+    uint64_t uops = 0;
+
+    // Front end.
+    uint64_t fetchBytes = 0;
+    uint64_t ildInstrs = 0;       ///< macro-ops length-decoded
+    uint64_t uopCacheLookups = 0;
+    uint64_t uopCacheHits = 0;
+    uint64_t decodedUops = 0;     ///< through the decoders (UC miss)
+    uint64_t msromUops = 0;       ///< 1:4 complex decode activations
+    uint64_t bpLookups = 0;
+    uint64_t bpMispredicts = 0;
+    uint64_t fusedMacroOps = 0;
+    uint64_t fusedMicroOps = 0;
+    uint64_t btbMisses = 0;
+    uint64_t sbForwards = 0;  ///< store-buffer load forwards
+
+    // Back end.
+    uint64_t renamedUops = 0;
+    uint64_t iqWrites = 0;
+    uint64_t issuedUops = 0;
+    uint64_t robWrites = 0;
+    uint64_t regReads = 0;
+    uint64_t regWrites = 0;
+    uint64_t fpRegOps = 0;
+    uint64_t aluOps[size_t(MicroClass::NumClasses)] = {};
+    uint64_t predFalseUops = 0;
+
+    // Memory.
+    uint64_t lsqOps = 0;
+    uint64_t l1iAccesses = 0;
+    uint64_t l1iMisses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t memAccesses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(macroOps) / double(cycles) : 0.0;
+    }
+
+    double
+    upc() const
+    {
+        return cycles ? double(uops) / double(cycles) : 0.0;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return bpLookups ? double(bpMispredicts) / double(bpLookups)
+                         : 0.0;
+    }
+
+    /** Element-wise a - b (for warmup-snapshot subtraction). */
+    static PerfStats diff(const PerfStats &a, const PerfStats &b);
+};
+
+} // namespace cisa
+
+#endif // CISA_UARCH_PERFSTATS_HH

@@ -1,0 +1,151 @@
+#include "uarch/uconfig.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cisa
+{
+
+const char *
+bpName(BpKind k)
+{
+    switch (k) {
+      case BpKind::Local2Level: return "L";
+      case BpKind::Gshare:      return "G";
+      case BpKind::Tournament:  return "T";
+    }
+    return "?";
+}
+
+std::string
+MicroArchConfig::name() const
+{
+    return strfmt("%s%d-%s-iq%d-rob%d-prf%d.%d-a%d.%d.%d-lsq%d-%s-"
+                  "l1%d-l2%d",
+                  outOfOrder ? "ooo" : "io", width, bpName(bpred),
+                  iqSize, robSize, intPrf, fpPrf, intAlus, intMuls,
+                  fpAlus, lsqSize, uopCache ? "uc" : "nouc", l1iKB,
+                  l2KB);
+}
+
+uint64_t
+MicroArchConfig::fingerprint() const
+{
+    uint64_t h = 0x5eed;
+    auto mix = [&](uint64_t v) { h = hashCombine(h, v); };
+    mix(outOfOrder);
+    mix(uint64_t(width));
+    mix(uint64_t(bpred));
+    mix(uint64_t(intAlus));
+    mix(uint64_t(intMuls));
+    mix(uint64_t(fpAlus));
+    mix(uint64_t(iqSize));
+    mix(uint64_t(robSize));
+    mix(uint64_t(intPrf));
+    mix(uint64_t(fpPrf));
+    mix(uint64_t(lsqSize));
+    mix(uopCache);
+    mix(uopFusion);
+    mix(uint64_t(simpleDecoders));
+    mix(uint64_t(l1iKB));
+    mix(uint64_t(l1dKB));
+    mix(uint64_t(l2KB));
+    mix(uint64_t(l2Assoc));
+    return h;
+}
+
+const std::vector<MicroArchConfig> &
+MicroArchConfig::enumerate()
+{
+    static const std::vector<MicroArchConfig> all = [] {
+        std::vector<MicroArchConfig> v;
+        const BpKind bps[] = {BpKind::Local2Level, BpKind::Gshare,
+                              BpKind::Tournament};
+        // (width, lsq) pairs: single-issue cores keep the small LSQ.
+        const int wl[][2] = {
+            {1, 16}, {2, 16}, {2, 32}, {4, 16}, {4, 32}};
+
+        for (bool ooo : {false, true}) {
+            // Out-of-order back-end sizing (Table I / Table III):
+            // small = IQ32/ROB64/PRF 96+64, big = IQ64/ROB128/
+            // PRF 192+160. In-order cores use the architectural
+            // register file directly.
+            int nq = ooo ? 2 : 1;
+            for (int q = 0; q < nq; q++) {
+                for (auto &w : wl) {
+                    for (BpKind bp : bps) {
+                        for (bool big_cache : {false, true}) {
+                            for (bool uopt : {false, true}) {
+                                MicroArchConfig c;
+                                c.outOfOrder = ooo;
+                                c.width = w[0];
+                                c.lsqSize = w[1];
+                                c.bpred = bp;
+                                // ALU tier tied to width: a 4-issue
+                                // core with one ALU is pruned away.
+                                c.intAlus = w[0] == 1   ? 1
+                                            : w[0] == 2 ? 3
+                                                        : 6;
+                                c.intMuls = w[0] == 4 ? 2 : 1;
+                                c.fpAlus = w[0] == 1   ? 1
+                                           : w[0] == 2 ? 2
+                                                       : 4;
+                                if (ooo) {
+                                    c.iqSize = q ? 64 : 32;
+                                    c.robSize = q ? 128 : 64;
+                                    c.intPrf = q ? 192 : 96;
+                                    c.fpPrf = q ? 160 : 64;
+                                } else {
+                                    c.iqSize = 32;
+                                    c.robSize = 64;
+                                    c.intPrf = 64;
+                                    c.fpPrf = 16;
+                                }
+                                c.uopCache = uopt;
+                                c.uopFusion = uopt;
+                                c.simpleDecoders =
+                                    w[0] == 4 ? 3 : w[0];
+                                c.l1iKB = big_cache ? 64 : 32;
+                                c.l1dKB = big_cache ? 64 : 32;
+                                c.l1iAssoc = 4;
+                                c.l1dAssoc = 4;
+                                c.l2KB = big_cache ? 8192 : 4096;
+                                c.l2Assoc = big_cache ? 8 : 4;
+                                v.push_back(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        panic_if(v.size() != 180,
+                 "expected 180 microarch configs, built %zu",
+                 v.size());
+        return v;
+    }();
+    return all;
+}
+
+int
+MicroArchConfig::id() const
+{
+    const auto &all = enumerate();
+    uint64_t fp = fingerprint();
+    for (size_t i = 0; i < all.size(); i++) {
+        if (all[i].fingerprint() == fp)
+            return int(i);
+    }
+    panic("microarch config %s is not in the enumerated space",
+          name().c_str());
+}
+
+MicroArchConfig
+MicroArchConfig::byId(int id)
+{
+    const auto &all = enumerate();
+    panic_if(id < 0 || size_t(id) >= all.size(),
+             "microarch id %d out of range", id);
+    return all[size_t(id)];
+}
+
+} // namespace cisa

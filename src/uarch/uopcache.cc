@@ -1,0 +1,54 @@
+#include "uarch/uopcache.hh"
+
+namespace cisa
+{
+
+UopCache::UopCache(int sets, int ways)
+    : sets_(size_t(sets)), ways_(ways),
+      ways_v_(size_t(sets) * size_t(ways))
+{}
+
+bool
+UopCache::lookup(uint64_t pc)
+{
+    lookups_++;
+    tick_++;
+    uint64_t window = pc >> 5;
+    size_t set = size_t(window & (sets_ - 1));
+    uint64_t tag = window >> 5;
+    Way *base = &ways_v_[set * size_t(ways_)];
+    for (int w = 0; w < ways_; w++) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = tick_;
+            hits_++;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+UopCache::fill(uint64_t pc)
+{
+    uint64_t window = pc >> 5;
+    size_t set = size_t(window & (sets_ - 1));
+    uint64_t tag = window >> 5;
+    Way *base = &ways_v_[set * size_t(ways_)];
+    Way *victim = nullptr;
+    for (int w = 0; w < ways_ && !victim; w++) {
+        if (!base[w].valid)
+            victim = &base[w];
+    }
+    if (!victim) {
+        victim = base;
+        for (int w = 1; w < ways_; w++) {
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+}
+
+} // namespace cisa

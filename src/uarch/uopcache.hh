@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Micro-op cache model (Solomon et al. / Intel optimization manual,
+ * as modelled in the paper's modified gem5): caches decoded micro-ops
+ * by 32-byte code window. A hit streams micro-ops directly, gating
+ * off the ILD and decoders — both a bandwidth and an energy effect.
+ */
+
+#ifndef CISA_UARCH_UOPCACHE_HH
+#define CISA_UARCH_UOPCACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cisa
+{
+
+/** Set-associative micro-op cache keyed by 32-byte fetch windows. */
+class UopCache
+{
+  public:
+    /** Default geometry: 32 sets x 8 ways x up to 6 uops per line. */
+    UopCache(int sets = 32, int ways = 8);
+
+    /** True if the window containing @p pc holds decoded uops. */
+    bool lookup(uint64_t pc);
+
+    /** Install the window containing @p pc after decode. */
+    void fill(uint64_t pc);
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t hits() const { return hits_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~uint64_t(0);
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    size_t sets_;
+    int ways_;
+    uint64_t tick_ = 0;
+    uint64_t lookups_ = 0;
+    uint64_t hits_ = 0;
+    std::vector<Way> ways_v_;
+};
+
+} // namespace cisa
+
+#endif // CISA_UARCH_UOPCACHE_HH

@@ -1,0 +1,214 @@
+#include "workloads/profiles.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** Deterministic per-phase jitter so phases inside one benchmark
+ * differ without hand-writing 49 profiles. */
+int
+jitter(Pcg32 &rng, int base, int spread)
+{
+    if (spread <= 0)
+        return base;
+    return base + int(rng.below(uint32_t(2 * spread + 1))) - spread;
+}
+
+std::vector<BenchmarkProfile>
+buildSuite()
+{
+    std::vector<BenchmarkProfile> suite;
+
+    auto make = [&](const std::string &name, int phases,
+                    auto shape) {
+        BenchmarkProfile b;
+        b.name = name;
+        Pcg32 rng(splitmix64(std::hash<std::string>{}(name)), 7);
+        for (int p = 0; p < phases; p++) {
+            PhaseProfile pp;
+            pp.bench = name;
+            pp.phaseIdx = p;
+            pp.seed = splitmix64(rng.next64() | 1);
+            pp.weight = 0.8 + 0.4 * rng.uniform();
+            shape(pp, p, rng);
+            b.phases.push_back(pp);
+        }
+        // Normalize weights to sum to 1 within the benchmark.
+        double sum = 0;
+        for (auto &pp : b.phases)
+            sum += pp.weight;
+        for (auto &pp : b.phases)
+            pp.weight /= sum;
+        suite.push_back(std::move(b));
+        return;
+    };
+
+    // astar: A* path-finding; pointer-heavy graph walks with
+    // moderately unpredictable branching.
+    make("astar", 6, [](PhaseProfile &p, int i, Pcg32 &r) {
+        p.accumulators = jitter(r, 12, 2);
+        p.groups = jitter(r, 3, 1);
+        p.redundancy = 1;
+        p.pointerChase = true;
+        p.chaseSteps = jitter(r, 2, 1);
+        p.hammocks = 1;
+        p.hammockProb = 0.35 + 0.2 * r.uniform();
+        p.hammockPredictable = false;
+        p.footprintKB = 2048;
+        p.strideElems = 5;
+        p.callsPerOuter = 1;
+        p.rmwPerIter = 1;
+    });
+
+    // bzip2: compression; one extremely register-hungry phase, the
+    // other seven moderate; 64-bit CRC/arithmetic throughout.
+    make("bzip2", 8, [](PhaseProfile &p, int i, Pcg32 &r) {
+        p.accumulators = i == 0 ? 34 : jitter(r, 18, 3);
+        p.groups = jitter(r, 4, 1);
+        p.redundancy = 1;
+        p.useI64 = true;
+        p.hammocks = 1;
+        p.hammockProb = 0.5;
+        p.hammockPredictable = i % 3 == 0;
+        p.footprintKB = 1024;
+        p.strideElems = 1;
+        p.rmwPerIter = 1;
+    });
+
+    // gobmk: Go engine; dense, irregular branch activity.
+    make("gobmk", 6, [](PhaseProfile &p, int i, Pcg32 &r) {
+        p.accumulators = jitter(r, 13, 2);
+        p.groups = 3;
+        p.redundancy = 1;
+        p.hammocks = 2;
+        p.hammockProb = 0.4 + 0.2 * r.uniform();
+        p.hammockPredictable = false;
+        p.footprintKB = 512;
+        p.strideElems = 3;
+        p.callsPerOuter = 2;
+    });
+
+    // hmmer: profile HMM search; extreme register pressure, heavy
+    // reuse of subexpressions, very regular control flow.
+    make("hmmer", 5, [](PhaseProfile &p, int i, Pcg32 &r) {
+        p.accumulators = jitter(r, 40, 3);
+        p.groups = 5;
+        p.redundancy = 2;
+        p.rmwPerIter = 2;
+        p.hammocks = 1;
+        p.hammockProb = 0.9;
+        p.hammockPredictable = true;
+        p.footprintKB = 256;
+        p.strideElems = 1;
+    });
+
+    // lbm: lattice-Boltzmann; low pressure, streaming FP, highly
+    // vectorizable, large working set.
+    make("lbm", 4, [](PhaseProfile &p, int i, Pcg32 &r) {
+        p.accumulators = jitter(r, 7, 1);
+        p.fpAccumulators = 6;
+        p.groups = 1;
+        p.fpGroups = 3;
+        p.vecLoops = 2;
+        p.hammocks = 0;
+        p.footprintKB = 8192;
+        p.strideElems = 16;
+        p.targetDynOps = 140000;
+    });
+
+    // mcf: network simplex; pointer chasing over a working set far
+    // beyond cache, light computation.
+    make("mcf", 6, [](PhaseProfile &p, int i, Pcg32 &r) {
+        p.accumulators = jitter(r, 9, 2);
+        p.groups = 2;
+        p.pointerChase = true;
+        p.chaseSteps = jitter(r, 3, 1);
+        p.hammocks = 1;
+        p.hammockProb = 0.45;
+        p.hammockPredictable = false;
+        p.footprintKB = 4096;
+        p.strideElems = 9;
+        p.rmwPerIter = 1;
+    });
+
+    // milc: lattice QCD; vector FP with branchy phases — four of the
+    // six regions profit from predication, two are predictable.
+    make("milc", 6, [](PhaseProfile &p, int i, Pcg32 &r) {
+        p.accumulators = jitter(r, 10, 2);
+        p.fpAccumulators = 8;
+        p.groups = 1;
+        p.fpGroups = 2;
+        p.vecLoops = i % 2 == 0 ? 3 : 2;
+        p.hammocks = 1;
+        p.hammockProb = 0.5;
+        p.hammockPredictable = i >= 4; // two predictable regions
+        p.footprintKB = 4096;
+        p.strideElems = 8;
+        p.targetDynOps = 130000;
+    });
+
+    // sjeng: chess; the most irregular branches in the suite, with
+    // frequent small calls.
+    make("sjeng", 8, [](PhaseProfile &p, int i, Pcg32 &r) {
+        p.accumulators = jitter(r, 16, 3);
+        p.groups = 3;
+        p.redundancy = 1;
+        p.hammocks = 3;
+        p.hammockProb = 0.38 + 0.24 * r.uniform();
+        p.hammockPredictable = false;
+        p.footprintKB = 512;
+        p.strideElems = 7;
+        p.callsPerOuter = 2;
+    });
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+specSuite()
+{
+    static const std::vector<BenchmarkProfile> suite = buildSuite();
+    return suite;
+}
+
+const std::vector<PhaseProfile> &
+allPhases()
+{
+    static const std::vector<PhaseProfile> phases = [] {
+        std::vector<PhaseProfile> v;
+        for (const auto &b : specSuite()) {
+            for (const auto &p : b.phases)
+                v.push_back(p);
+        }
+        panic_if(v.size() != 49,
+                 "expected 49 phases, built %zu", v.size());
+        return v;
+    }();
+    return phases;
+}
+
+int
+phaseCount()
+{
+    return int(allPhases().size());
+}
+
+int
+benchIndex(const std::string &name)
+{
+    const auto &suite = specSuite();
+    for (size_t i = 0; i < suite.size(); i++) {
+        if (suite[i].name == name)
+            return int(i);
+    }
+    return -1;
+}
+
+} // namespace cisa

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The workload suite: 8 benchmark models patterned on the SPEC
+ * CPU2006 subset the paper evaluates (astar, bzip2, gobmk, hmmer,
+ * lbm, mcf, milc, sjeng), each split into SimPoint-style phases — 49
+ * in total, matching the paper's methodology (Section VI).
+ *
+ * SPEC itself is proprietary, so each phase is described by a
+ * profile of measurable code properties (register pressure, branch
+ * behaviour, memory footprint and access pattern, FP/vector content,
+ * 64-bit data use) calibrated to the paper's published
+ * characterizations: hmmer is extremely register-hungry, lbm is
+ * low-pressure streaming FP, milc is vector-heavy with predicable
+ * branches in four of six regions, sjeng/gobmk have irregular branch
+ * activity, mcf chases pointers, bzip2 has one deep-register phase
+ * and seven moderate ones. The generator in synth.hh turns a profile
+ * into a real IR program whose compiled code exhibits exactly those
+ * properties.
+ */
+
+#ifndef CISA_WORKLOADS_PROFILES_HH
+#define CISA_WORKLOADS_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cisa
+{
+
+/** Shape description of one application phase. */
+struct PhaseProfile
+{
+    std::string bench;
+    int phaseIdx = 0;
+    double weight = 1.0; ///< share of the benchmark's execution
+
+    // Integer register pressure: values live across the inner loop.
+    int accumulators = 12;
+    int fpAccumulators = 0;
+
+    // Inner-loop body content.
+    int groups = 3;          ///< integer load/compute groups per iter
+    int redundancy = 1;      ///< duplicated expression pairs per group
+    int rmwPerIter = 0;      ///< read-modify-write array updates
+    int fpGroups = 0;        ///< scalar FP compute groups
+    int vecLoops = 0;        ///< separate vectorizable F64 loops
+    int hammocks = 0;        ///< if/else diamonds per iteration
+    double hammockProb = 0.5;
+    bool hammockPredictable = false;
+    bool pointerChase = false;
+    int chaseSteps = 0;      ///< dependent pointer loads per iter
+    bool useI64 = false;     ///< 64-bit integer data types
+    int callsPerOuter = 0;   ///< leaf calls per outer iteration
+
+    // Memory behaviour.
+    uint64_t footprintKB = 512;
+    int strideElems = 1;     ///< index stride through the arrays
+
+    // Sizing.
+    uint64_t targetDynOps = 120000; ///< approx. macro-ops per run
+    uint64_t outerTrip = 8;
+    uint64_t seed = 1;
+
+    std::string name() const
+    {
+        return bench + ".p" + std::to_string(phaseIdx);
+    }
+};
+
+/** One benchmark: a named sequence of phases. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::vector<PhaseProfile> phases;
+};
+
+/** The 8-benchmark suite (49 phases in total). */
+const std::vector<BenchmarkProfile> &specSuite();
+
+/** All phases of the suite, flattened in suite order. */
+const std::vector<PhaseProfile> &allPhases();
+
+/** Total number of phases (49). */
+int phaseCount();
+
+/** Index of a benchmark by name, -1 if unknown. */
+int benchIndex(const std::string &name);
+
+} // namespace cisa
+
+#endif // CISA_WORKLOADS_PROFILES_HH

@@ -1,0 +1,198 @@
+#include "workloads/simpoint.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cisa
+{
+
+std::vector<std::vector<double>>
+collectBbvs(const Trace &trace, uint64_t interval_ops, int dims,
+            uint64_t seed)
+{
+    panic_if(interval_ops == 0, "interval length must be positive");
+    std::vector<std::vector<double>> bbvs;
+    std::vector<double> cur(size_t(dims), 0.0);
+    uint64_t in_interval = 0;
+
+    // Random projection: each (block-entry) pc hashes into `dims`
+    // signed buckets, preserving BBV distances in expectation.
+    auto bucket = [&](uint64_t pc, int d) {
+        uint64_t h = splitmix64(pc ^ (seed + uint64_t(d) * 0x9e37));
+        return (h & 1) ? 1.0 : -1.0;
+    };
+    auto dimOf = [&](uint64_t pc) {
+        return int(splitmix64(pc ^ seed) % uint64_t(dims));
+    };
+
+    bool at_block_start = true;
+    for (const auto &op : trace.ops) {
+        if (at_block_start) {
+            int d = dimOf(op.pc);
+            cur[size_t(d)] += bucket(op.pc, d);
+        }
+        at_block_start = op.isBranch();
+        in_interval++;
+        if (in_interval >= interval_ops) {
+            // L1-normalize so interval length doesn't dominate.
+            double s = 0;
+            for (double v : cur)
+                s += std::fabs(v);
+            if (s > 0) {
+                for (double &v : cur)
+                    v /= s;
+            }
+            bbvs.push_back(cur);
+            std::fill(cur.begin(), cur.end(), 0.0);
+            in_interval = 0;
+        }
+    }
+    return bbvs;
+}
+
+namespace
+{
+
+double
+dist2(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0;
+    for (size_t i = 0; i < a.size(); i++) {
+        double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const std::vector<std::vector<double>> &points, int k,
+       int iterations, uint64_t seed)
+{
+    KMeansResult res;
+    if (points.empty() || k <= 0)
+        return res;
+    k = std::min<int>(k, int(points.size()));
+
+    Pcg32 rng(seed, 5);
+    size_t dims = points[0].size();
+
+    // k-means++ style seeding: first random, then spread out.
+    res.centers.push_back(points[rng.below(uint32_t(points.size()))]);
+    while (int(res.centers.size()) < k) {
+        std::vector<double> d(points.size());
+        double total = 0;
+        for (size_t i = 0; i < points.size(); i++) {
+            double best = 1e300;
+            for (const auto &c : res.centers)
+                best = std::min(best, dist2(points[i], c));
+            d[i] = best;
+            total += best;
+        }
+        double pick = rng.uniform() * total;
+        size_t chosen = 0;
+        for (size_t i = 0; i < points.size(); i++) {
+            pick -= d[i];
+            if (pick <= 0) {
+                chosen = i;
+                break;
+            }
+        }
+        res.centers.push_back(points[chosen]);
+    }
+
+    res.assignment.assign(points.size(), 0);
+    for (int it = 0; it < iterations; it++) {
+        bool moved = false;
+        for (size_t i = 0; i < points.size(); i++) {
+            double best = 1e300;
+            int arg = 0;
+            for (size_t c = 0; c < res.centers.size(); c++) {
+                double d = dist2(points[i], res.centers[c]);
+                if (d < best) {
+                    best = d;
+                    arg = int(c);
+                }
+            }
+            if (res.assignment[i] != arg) {
+                res.assignment[i] = arg;
+                moved = true;
+            }
+        }
+        // Recompute centroids.
+        std::vector<std::vector<double>> sums(
+            size_t(k), std::vector<double>(dims, 0.0));
+        std::vector<int> counts(size_t(k), 0);
+        for (size_t i = 0; i < points.size(); i++) {
+            int c = res.assignment[i];
+            counts[size_t(c)]++;
+            for (size_t d = 0; d < dims; d++)
+                sums[size_t(c)][d] += points[i][d];
+        }
+        for (int c = 0; c < k; c++) {
+            if (counts[size_t(c)] == 0)
+                continue;
+            for (size_t d = 0; d < dims; d++)
+                sums[size_t(c)][d] /= double(counts[size_t(c)]);
+            res.centers[size_t(c)] = sums[size_t(c)];
+        }
+        if (!moved)
+            break;
+    }
+
+    res.inertia = 0;
+    for (size_t i = 0; i < points.size(); i++) {
+        res.inertia +=
+            dist2(points[i],
+                  res.centers[size_t(res.assignment[i])]);
+    }
+    return res;
+}
+
+SimpointResult
+findSimpoints(const Trace &trace, uint64_t interval_ops, int max_k,
+              uint64_t seed)
+{
+    SimpointResult out;
+    auto bbvs = collectBbvs(trace, interval_ops, 16, seed);
+    if (bbvs.empty())
+        return out;
+
+    // BIC-flavoured model selection: penalize k by a free-parameter
+    // term, pick the best score.
+    double best_score = -1e300;
+    KMeansResult best;
+    int n = int(bbvs.size());
+    for (int k = 1; k <= std::min(max_k, n); k++) {
+        KMeansResult r = kmeans(bbvs, k, 40, seed + uint64_t(k));
+        double var = r.inertia / double(n) + 1e-9;
+        double score = -double(n) * std::log(var) -
+                       0.15 * double(k) * 16.0 * std::log(double(n));
+        if (score > best_score) {
+            best_score = score;
+            best = r;
+            out.k = k;
+        }
+    }
+
+    out.assignment = best.assignment;
+    out.simpoints.assign(size_t(out.k), 0);
+    out.weights.assign(size_t(out.k), 0.0);
+    std::vector<double> best_d(size_t(out.k), 1e300);
+    for (size_t i = 0; i < bbvs.size(); i++) {
+        int c = best.assignment[i];
+        out.weights[size_t(c)] += 1.0 / double(n);
+        double d = dist2(bbvs[i], best.centers[size_t(c)]);
+        if (d < best_d[size_t(c)]) {
+            best_d[size_t(c)] = d;
+            out.simpoints[size_t(c)] = int(i);
+        }
+    }
+    return out;
+}
+
+} // namespace cisa

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * SimPoint-style phase analysis (Sherwood et al.), the methodology
+ * the paper uses to split each benchmark into 49 representative
+ * regions. Execution is divided into fixed-length intervals; each
+ * interval's basic-block vector (BBV) is reduced by random
+ * projection and clustered with k-means; the interval closest to
+ * each centroid is the cluster's simulation point.
+ */
+
+#ifndef CISA_WORKLOADS_SIMPOINT_HH
+#define CISA_WORKLOADS_SIMPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/exec.hh"
+
+namespace cisa
+{
+
+/** Reduced-dimension basic-block vectors, one per interval. */
+std::vector<std::vector<double>>
+collectBbvs(const Trace &trace, uint64_t interval_ops,
+            int dims = 16, uint64_t seed = 42);
+
+/** Plain k-means (Lloyd's algorithm) with deterministic seeding. */
+struct KMeansResult
+{
+    std::vector<int> assignment;              ///< per point
+    std::vector<std::vector<double>> centers; ///< k centroids
+    double inertia = 0.0; ///< sum of squared distances
+};
+
+KMeansResult kmeans(const std::vector<std::vector<double>> &points,
+                    int k, int iterations = 50, uint64_t seed = 42);
+
+/** Phase analysis outcome. */
+struct SimpointResult
+{
+    std::vector<int> assignment;  ///< cluster of each interval
+    std::vector<int> simpoints;   ///< representative interval per cluster
+    std::vector<double> weights;  ///< cluster size share
+    int k = 0;
+};
+
+/**
+ * Cluster the trace's intervals, choosing k by a BIC-like penalty
+ * over 1..max_k.
+ */
+SimpointResult findSimpoints(const Trace &trace,
+                             uint64_t interval_ops, int max_k,
+                             uint64_t seed = 42);
+
+} // namespace cisa
+
+#endif // CISA_WORKLOADS_SIMPOINT_HH

@@ -1,0 +1,518 @@
+#include "workloads/synth.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** Largest power of two <= x (minimum 64). */
+uint64_t
+pow2Floor(uint64_t x)
+{
+    uint64_t p = 64;
+    while (p * 2 <= x)
+        p *= 2;
+    return p;
+}
+
+/** Region indices in every generated module. */
+enum RegionIdx {
+    RInts = 0,
+    RAux,
+    RFpA,
+    RFpB,
+    RFpOut,
+    RChain,
+    RLeaf,
+    RWide,
+    ROut,
+    RNumRegions
+};
+
+struct Gen
+{
+    const PhaseProfile &pp;
+    IrModule mod;
+    IrBuilder b;
+    Pcg32 rng;
+
+    // Region element counts (powers of two for mask indexing).
+    uint64_t nInts = 0, nAux = 0, nFp = 0, nChain = 0, nWide = 0;
+
+    // Function-level values (set up in the entry block).
+    int baseInts = -1, baseAux = -1, baseFpA = -1, baseFpB = -1,
+        baseFpOut = -1, baseWide = -1, baseOut = -1;
+    std::vector<int> acc;   // I32 accumulators (register pressure)
+    std::vector<int> facc;  // F64 accumulators
+    std::vector<int> fconst;// hoisted FP constants
+    int wacc = -1;          // I64 accumulator
+    int chasePtr = -1;
+    long rotAcc = 0;
+
+    explicit Gen(const PhaseProfile &p)
+        : pp(p), b(mod), rng(p.seed, 3)
+    {}
+
+    void makeRegions();
+    int index(int iv, int offset, uint64_t mask);
+    void emitGroup(int iv, int g);
+    void emitRmw(int iv, int k);
+    void emitHammock(int iv, int lastLoaded, int h);
+    void emitFpGroup(int iv, int g);
+    void emitChase(int step);
+    void emitWide(int iv);
+    void emitVecLoop(int which);
+    void emitLeafFunc();
+    uint64_t bodyCostEstimate() const;
+    IrModule build();
+
+    /**
+     * Skewed accumulator rotation: most updates hit a hot head set,
+     * the long tail is touched occasionally. Register depth then
+     * behaves like real code: a 16-deep file covers the hot values,
+     * deeper files absorb the tail (hmmer's tail is hot enough to
+     * want all 64).
+     */
+    int
+    nextAcc()
+    {
+        size_t n = acc.size();
+        size_t head = std::min<size_t>(10, n);
+        rotAcc++;
+        if (n > head && rotAcc % 4 == 0) {
+            size_t tail = head + size_t(rotAcc / 4) % (n - head);
+            return acc[tail];
+        }
+        return acc[size_t(rotAcc) % head];
+    }
+};
+
+void
+Gen::makeRegions()
+{
+    uint64_t bytes = pp.footprintKB * 1024;
+    auto add = [&](const char *name, ElemKind k, uint64_t count,
+                   RegionInit init) {
+        MemRegion r;
+        r.name = name;
+        r.elem = k;
+        r.count = count;
+        r.init = init;
+        r.seed = splitmix64(pp.seed ^ std::hash<std::string>{}(name));
+        mod.regions.push_back(r);
+    };
+
+    bool fp = pp.fpGroups > 0 || pp.vecLoops > 0;
+    bool chase = pp.pointerChase;
+    double ints_share = chase ? 0.35 : 0.5;
+    double fp_share = fp ? 0.12 : 0.01;
+
+    nInts = pow2Floor(uint64_t(double(bytes) * ints_share) / 4);
+    nAux = pow2Floor(bytes / 8 / 4);
+    nFp = pow2Floor(uint64_t(double(bytes) * fp_share) / 8);
+    nChain = chase ? pow2Floor(bytes / 4 / 8) : 64;
+    nWide = pp.useI64 ? pow2Floor(bytes / 8 / 8) : 64;
+
+    add("ints", ElemKind::I32, nInts, RegionInit::RandomInt);
+    add("aux", ElemKind::I32, nAux, RegionInit::RandomInt);
+    add("fpa", ElemKind::F64, nFp, RegionInit::RandomInt);
+    add("fpb", ElemKind::F64, nFp, RegionInit::RandomInt);
+    add("fpout", ElemKind::F64, nFp, RegionInit::Zero);
+    add("chain", ElemKind::Ptr, nChain, RegionInit::PermutePtr);
+    add("leaf", ElemKind::I32, 1024, RegionInit::RandomInt);
+    add("wide", ElemKind::I64, nWide, RegionInit::RandomInt);
+    add("out", ElemKind::I32, 256, RegionInit::Zero);
+    panic_if(mod.regions.size() != RNumRegions, "region mismatch");
+}
+
+/** idx = (iv * stride + offset) & mask, as PtrInt. */
+int
+Gen::index(int iv, int offset, uint64_t mask)
+{
+    int t = iv;
+    if (pp.strideElems > 1)
+        t = b.arithImm(IrOp::Mul, t, pp.strideElems, Type::PtrInt);
+    if (offset)
+        t = b.arithImm(IrOp::Add, t, offset, Type::PtrInt);
+    return b.arithImm(IrOp::And, t, int64_t(mask), Type::PtrInt);
+}
+
+void
+Gen::emitGroup(int iv, int g)
+{
+    int idx = index(iv, g * 17 + 3, nInts - 1);
+    int addr = b.gep(baseInts, idx, 4, 0);
+    int x = b.load(addr, Type::I32);
+    int idx2 = index(iv, g * 31 + 7, nAux - 1);
+    int addr2 = b.gep(baseAux, idx2, 4, 0);
+    int y = b.load(addr2, Type::I32);
+    int a0 = nextAcc();
+    b.arithInto(a0, IrOp::Add, a0, x, Type::I32);
+    int a1 = nextAcc();
+    b.arithInto(a1, IrOp::Xor, a1, y, Type::I32);
+
+    // Real store traffic: write a derived value back each group
+    // (array-update behaviour, not just spill stores).
+    {
+        int z = b.arith(IrOp::Add, x, y, Type::I32);
+        int addro = b.gep(baseAux, idx2, 4, 0);
+        b.store(addro, z, Type::I32);
+    }
+
+    // Duplicated expression pairs: fodder for pressure-sensitive
+    // redundancy elimination (kept as rematerialization on shallow
+    // register files).
+    for (int q = 0; q < pp.redundancy; q++) {
+        int aA = nextAcc();
+        int aB = nextAcc();
+        int y1 = b.arithImm(IrOp::Add, x, 5 + q, Type::I32);
+        int z1 = b.arithImm(IrOp::Shl, y1, 2, Type::I32);
+        b.arithInto(aA, IrOp::Xor, aA, z1, Type::I32);
+        int y2 = b.arithImm(IrOp::Add, x, 5 + q, Type::I32);
+        int z2 = b.arithImm(IrOp::Shl, y2, 2, Type::I32);
+        b.arithInto(aB, IrOp::Xor, aB, z2, Type::I32);
+    }
+}
+
+void
+Gen::emitRmw(int iv, int k)
+{
+    int idx = index(iv, k * 29 + 11, nAux - 1);
+    int addr = b.gep(baseAux, idx, 4, 0);
+    // Adjacent load / add-imm / store: a read-modify-write the x86
+    // selector folds into a single macro-op.
+    int v = b.load(addr, Type::I32);
+    int v2 = b.arithImm(IrOp::Add, v, 3, Type::I32);
+    b.store(addr, v2, Type::I32);
+}
+
+void
+Gen::emitHammock(int iv, int lastLoaded, int h)
+{
+    int cond;
+    double prob;
+    if (pp.hammockPredictable) {
+        int t = b.arithImm(IrOp::And, iv, 7, Type::PtrInt);
+        cond = b.icmpImm(Cond::Eq, t, 0);
+        prob = 0.125;
+    } else {
+        int t = b.arithImm(IrOp::And, lastLoaded, 1 << (h % 4),
+                           Type::I32);
+        cond = b.icmpImm(Cond::Ne, t, 0);
+        prob = pp.hammockProb;
+    }
+
+    int join = b.newBlock();
+    int tb = b.newBlock();
+    int fb = b.newBlock();
+    b.br(cond, tb, fb, prob, pp.hammockPredictable);
+
+    int aT = nextAcc();
+    int aF = nextAcc();
+    int extraT = int(rng.below(2));
+    int extraF = int(rng.below(2));
+
+    b.setBlock(tb);
+    b.arithInto(aT, IrOp::Add, aT, lastLoaded, Type::I32);
+    if (extraT) {
+        int m = b.arithImm(IrOp::Mul, lastLoaded, 3, Type::I32);
+        b.arithInto(aF, IrOp::Xor, aF, m, Type::I32);
+    }
+    b.jmp(join);
+
+    b.setBlock(fb);
+    b.arithInto(aT, IrOp::Sub, aT, lastLoaded, Type::I32);
+    if (extraF) {
+        int m = b.arithImm(IrOp::Shr, lastLoaded, 1, Type::I32);
+        b.arithInto(aF, IrOp::Add, aF, m, Type::I32);
+    }
+    b.jmp(join);
+
+    b.setBlock(join);
+}
+
+void
+Gen::emitFpGroup(int iv, int g)
+{
+    int idx = index(iv, g * 13 + 1, nFp - 1);
+    int addr = b.gep(baseFpA, idx, 8, 0);
+    int xf = b.load(addr, Type::F64);
+    int c = fconst[size_t(g % fconst.size())];
+    int t = b.farith(IrOp::FMul, xf, c);
+    int fa = facc[size_t(g % facc.size())];
+    b.farithInto(fa, IrOp::FAdd, fa, t);
+    {
+        int addro = b.gep(baseFpOut, idx, 8, 0);
+        b.store(addro, t, Type::F64);
+    }
+}
+
+void
+Gen::emitChase(int step)
+{
+    // Serially dependent pointer loads: each one visits the next
+    // node of a random cycle spanning the chain region.
+    b.loadInto(chasePtr, chasePtr, Type::PtrInt);
+    int x = b.arithImm(IrOp::Shr, chasePtr, 3, Type::PtrInt);
+    int x2 = b.arithImm(IrOp::And, x, 255, Type::PtrInt);
+    int a = nextAcc();
+    b.arithInto(a, IrOp::Add, a, x2, Type::I32);
+}
+
+void
+Gen::emitWide(int iv)
+{
+    int idx = index(iv, 7, nWide - 1);
+    int addr = b.gep(baseWide, idx, 8, 0);
+    int w = b.load(addr, Type::I64);
+    b.arithInto(wacc, IrOp::Xor, wacc, w, Type::I64);
+    int t = b.arithImm(IrOp::Shl, w, 13, Type::I64);
+    b.arithInto(wacc, IrOp::Add, wacc, t, Type::I64);
+    int m = b.arithImm(IrOp::Mul, w, 2654435761LL, Type::I64);
+    b.arithInto(wacc, IrOp::Xor, wacc, m, Type::I64);
+    if (pp.phaseIdx % 4 == 0) {
+        // Exercise the 64-bit compare lowering path.
+        int c = b.icmp(Cond::Lt, wacc, w);
+        int a = nextAcc();
+        b.arithInto(a, IrOp::Add, a, c, Type::I32);
+    }
+}
+
+void
+Gen::emitVecLoop(int which)
+{
+    uint64_t trip = std::min<uint64_t>(512, nFp / 2);
+    int iv = b.constInt(0, Type::PtrInt);
+    int loop = b.newBlock();
+    int exit = b.newBlock();
+    b.jmp(loop);
+    b.setBlock(loop);
+
+    int64_t off = int64_t((uint64_t(which) * 16) % (nFp / 2));
+    int a1 = b.gep(baseFpA, iv, 8, off * 8);
+    int x = b.load(a1, Type::F64);
+    int a2 = b.gep(baseFpB, iv, 8, off * 8);
+    int y = b.load(a2, Type::F64);
+    int t = b.farith(IrOp::FMul, x, y);
+    if (which % 2 == 0 && !facc.empty()) {
+        int fa = facc[size_t(which % facc.size())];
+        b.farithInto(fa, IrOp::FAdd, fa, t);
+    } else {
+        int a3 = b.gep(baseFpOut, iv, 8, 0);
+        b.store(a3, t, Type::F64);
+    }
+    b.arithImmInto(iv, IrOp::Add, iv, 1, Type::PtrInt);
+    int c = b.icmpImm(Cond::Lt, iv, int64_t(trip));
+    b.br(c, loop, exit, 1.0 - 1.0 / double(trip), true);
+
+    IrBlock &L = b.func().blocks[size_t(loop)];
+    L.isLoopHeader = true;
+    L.vectorizable = true;
+    L.tripCountHint = trip;
+
+    b.setBlock(exit);
+}
+
+void
+Gen::emitLeafFunc()
+{
+    b.startFunc("leaf");
+    int base = b.baseAddr(RLeaf);
+    int lacc = b.constInt(1, Type::I32);
+    int iv = b.constInt(0, Type::PtrInt);
+    int loop = b.newBlock();
+    int exit = b.newBlock();
+    b.jmp(loop);
+    b.setBlock(loop);
+    int a = b.gep(base, iv, 4, 0);
+    int v = b.load(a, Type::I32);
+    b.arithInto(lacc, IrOp::Add, lacc, v, Type::I32);
+    b.arithImmInto(iv, IrOp::Add, iv, 1, Type::PtrInt);
+    int c = b.icmpImm(Cond::Lt, iv, 8);
+    b.br(c, loop, exit, 0.875, true);
+    b.setBlock(exit);
+    int a0 = b.gep(base, -1, 1, 0);
+    b.store(a0, lacc, Type::I32);
+    b.ret();
+}
+
+uint64_t
+Gen::bodyCostEstimate() const
+{
+    uint64_t cost = 4; // loop overhead
+    cost += uint64_t(pp.groups) * (5 + uint64_t(pp.redundancy) * 7);
+    cost += uint64_t(pp.rmwPerIter) * 6;
+    cost += uint64_t(pp.hammocks) * 7;
+    cost += uint64_t(pp.fpGroups) * 7;
+    cost += uint64_t(pp.chaseSteps) * 5;
+    if (pp.useI64)
+        cost += 10;
+    return cost;
+}
+
+IrModule
+Gen::build()
+{
+    mod.name = pp.name();
+    makeRegions();
+
+    b.startFunc("main");
+
+    // --- Setup ---
+    baseInts = b.baseAddr(RInts);
+    baseAux = b.baseAddr(RAux);
+    baseFpA = b.baseAddr(RFpA);
+    baseFpB = b.baseAddr(RFpB);
+    baseFpOut = b.baseAddr(RFpOut);
+    baseWide = b.baseAddr(RWide);
+    baseOut = b.baseAddr(ROut);
+
+    for (int j = 0; j < pp.accumulators; j++)
+        acc.push_back(b.constInt(j * 7 + 1, Type::I32));
+    for (int j = 0; j < std::max(pp.fpAccumulators,
+                                 pp.vecLoops > 0 ? 2 : 0); j++) {
+        facc.push_back(b.constF(0.25 * double(j + 1)));
+    }
+    int nconsts = std::max(1, pp.fpGroups);
+    for (int j = 0; j < nconsts; j++)
+        fconst.push_back(b.constF(1.0 + 0.125 * double(j)));
+    if (pp.useI64)
+        wacc = b.constInt(0x1234567890LL, Type::I64);
+    chasePtr = b.baseAddr(RChain);
+
+    // --- Sizing ---
+    uint64_t body = bodyCostEstimate();
+    uint64_t vec_cost =
+        uint64_t(pp.vecLoops) * std::min<uint64_t>(512, nFp) * 8;
+    uint64_t call_cost = uint64_t(pp.callsPerOuter) * 50;
+    uint64_t per_outer_target =
+        pp.targetDynOps / std::max<uint64_t>(1, pp.outerTrip);
+    uint64_t inner = 16;
+    if (per_outer_target > vec_cost + call_cost) {
+        inner = std::max<uint64_t>(
+            16, (per_outer_target - vec_cost - call_cost) / body);
+    }
+
+    // --- Outer loop ---
+    int ov = b.constInt(0, Type::PtrInt);
+    int outer_head = b.newBlock();
+    int outer_exit = b.newBlock();
+    b.jmp(outer_head);
+    b.setBlock(outer_head);
+
+    for (int c = 0; c < pp.callsPerOuter; c++)
+        b.call(1);
+
+    // --- Inner loop ---
+    {
+        int iv = b.constInt(0, Type::PtrInt);
+        int inner_head = b.newBlock();
+        int inner_exit = b.newBlock();
+        b.jmp(inner_head);
+        b.setBlock(inner_head);
+        b.func().blocks[size_t(inner_head)].isLoopHeader = true;
+
+        int last_loaded = -1;
+        for (int g = 0; g < pp.groups; g++) {
+            emitGroup(iv, g);
+            // emitGroup's load is the value hammocks key off.
+            // Recompute a handle: reload cheaply from acc rotation.
+        }
+        // A data value for the hammock conditions.
+        {
+            int idx = index(iv, 41, nInts - 1);
+            int addr = b.gep(baseInts, idx, 4, 0);
+            last_loaded = b.load(addr, Type::I32);
+        }
+        for (int k = 0; k < pp.rmwPerIter; k++)
+            emitRmw(iv, k);
+        for (int s = 0; s < pp.chaseSteps; s++)
+            emitChase(s);
+        if (pp.useI64)
+            emitWide(iv);
+        for (int g = 0; g < pp.fpGroups; g++)
+            emitFpGroup(iv, g);
+        for (int h = 0; h < pp.hammocks; h++)
+            emitHammock(iv, last_loaded, h);
+
+        b.arithImmInto(iv, IrOp::Add, iv, 1, Type::PtrInt);
+        int c = b.icmpImm(Cond::Lt, iv, int64_t(inner));
+        b.br(c, inner_head, inner_exit,
+             1.0 - 1.0 / double(inner), true);
+        b.setBlock(inner_exit);
+    }
+
+    for (int v = 0; v < pp.vecLoops; v++)
+        emitVecLoop(v);
+
+    b.arithImmInto(ov, IrOp::Add, ov, 1, Type::PtrInt);
+    int oc = b.icmpImm(Cond::Lt, ov, int64_t(pp.outerTrip));
+    b.br(oc, outer_head, outer_exit,
+         1.0 - 1.0 / double(pp.outerTrip), true);
+    b.setBlock(outer_exit);
+
+    // --- Folds and observable output ---
+    int res = b.constInt(0, Type::I32);
+    for (size_t j = 0; j < acc.size(); j++) {
+        b.arithInto(res, IrOp::Add, res, acc[j], Type::I32);
+        if (j < 64) {
+            int addr = b.gep(baseOut, -1, 1, int64_t(4 * j));
+            b.store(addr, acc[j], Type::I32);
+        }
+    }
+    for (size_t j = 0; j < facc.size(); j++) {
+        int fi = b.f2i(facc[j], Type::I32);
+        b.arithInto(res, IrOp::Xor, res, fi, Type::I32);
+        int addr = b.gep(baseFpOut, -1, 1, int64_t(8 * j));
+        b.store(addr, facc[j], Type::F64);
+    }
+    if (pp.useI64) {
+        int addr = b.gep(baseWide, -1, 1, 0);
+        b.store(addr, wacc, Type::I64);
+    }
+    b.ret(res);
+
+    if (pp.callsPerOuter > 0)
+        emitLeafFunc();
+
+    mod.validate();
+    return mod;
+}
+
+} // namespace
+
+IrModule
+buildPhase(const PhaseProfile &profile)
+{
+    Gen g(profile);
+    return g.build();
+}
+
+const IrModule &
+phaseModule(int phase_index)
+{
+    static std::vector<IrModule> cache;
+    static std::vector<bool> built;
+    const auto &phases = allPhases();
+    if (cache.empty()) {
+        cache.resize(phases.size());
+        built.assign(phases.size(), false);
+    }
+    panic_if(phase_index < 0 ||
+             size_t(phase_index) >= phases.size(),
+             "bad phase index %d", phase_index);
+    if (!built[size_t(phase_index)]) {
+        cache[size_t(phase_index)] =
+            buildPhase(phases[size_t(phase_index)]);
+        built[size_t(phase_index)] = true;
+    }
+    return cache[size_t(phase_index)];
+}
+
+} // namespace cisa

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Workload synthesis: turns a PhaseProfile into a real IR program.
+ *
+ * The generated program is a nest of loops over initialized memory
+ * regions. Every behavioural property is produced by construction,
+ * not by annotation: register pressure comes from live accumulators,
+ * branch (un)predictability from data-dependent vs induction-derived
+ * conditions, cache behaviour from region sizes / strides / pointer
+ * chases, vectorizability from canonical F64 loops, and 64-bit
+ * affinity from I64 arithmetic. Because the program is executed
+ * functionally, the timing models see genuine addresses and genuine
+ * branch outcomes.
+ */
+
+#ifndef CISA_WORKLOADS_SYNTH_HH
+#define CISA_WORKLOADS_SYNTH_HH
+
+#include "compiler/ir.hh"
+#include "workloads/profiles.hh"
+
+namespace cisa
+{
+
+/** Build the IR program for one phase. Deterministic in the seed. */
+IrModule buildPhase(const PhaseProfile &profile);
+
+/**
+ * Cached access to phase programs: building is cheap but the suite
+ * is consulted constantly during design-space exploration.
+ */
+const IrModule &phaseModule(int phase_index);
+
+} // namespace cisa
+
+#endif // CISA_WORKLOADS_SYNTH_HH

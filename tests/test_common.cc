@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG determinism, statistics
+ * helpers, tables, and binary serialization round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/serialize.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace cisa
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Pcg32 a(123, 7);
+    Pcg32 b(123, 7);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsDiffer)
+{
+    Pcg32 a(123, 7);
+    Pcg32 b(123, 8);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Pcg32 r(9, 1);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Pcg32 r(5, 2);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Pcg32 a(77, 1);
+    Pcg32 c1 = a.fork(1);
+    Pcg32 c2 = a.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += c1.next() == c2.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Stats, Means)
+{
+    std::vector<double> xs = {1.0, 2.0, 4.0};
+    EXPECT_NEAR(mean(xs), 7.0 / 3.0, 1e-12);
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+    EXPECT_NEAR(harmonicMean(xs), 3.0 / 1.75, 1e-12);
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Accum)
+{
+    Accum a;
+    a.add(3.0);
+    a.add(1.0);
+    a.add(2.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 1.0);
+    EXPECT_EQ(a.max(), 3.0);
+    EXPECT_NEAR(a.mean(), 2.0, 1e-12);
+}
+
+TEST(Stats, HistogramPercentile)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; i++)
+        h.add(double(i) + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 2.0);
+    EXPECT_EQ(h.total(), 100u);
+}
+
+TEST(Table, RendersAligned)
+{
+    Table t("demo");
+    t.header({"a", "bb"});
+    t.row({"1", "2"});
+    t.row({"333", "4"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("| 333 |"), std::string::npos);
+}
+
+TEST(Table, NumbersFormat)
+{
+    EXPECT_EQ(Table::num(1.5, 2), "1.50");
+    EXPECT_EQ(Table::num(int64_t(42)), "42");
+    EXPECT_EQ(Table::pct(0.123), "+12.3%");
+}
+
+TEST(Serialize, RoundTrip)
+{
+    std::string path = "/tmp/cisa_ser_test.bin";
+    {
+        BinWriter w(path);
+        ASSERT_TRUE(w.ok());
+        w.u32(7);
+        w.u64(1ULL << 40);
+        w.f64(3.25);
+        w.str("hello");
+        w.vecF64({1.0, 2.0, 3.0});
+        ASSERT_TRUE(w.ok());
+    }
+    {
+        BinReader r(path);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.u32(), 7u);
+        EXPECT_EQ(r.u64(), 1ULL << 40);
+        EXPECT_EQ(r.f64(), 3.25);
+        EXPECT_EQ(r.str(), "hello");
+        auto v = r.vecF64();
+        ASSERT_EQ(v.size(), 3u);
+        EXPECT_EQ(v[1], 2.0);
+        EXPECT_TRUE(r.ok());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileNotOk)
+{
+    BinReader r("/tmp/definitely_missing_cisa_file.bin");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Env, Defaults)
+{
+    EXPECT_EQ(envInt("CISA_NOT_SET_XYZ", 42), 42);
+    EXPECT_EQ(envStr("CISA_NOT_SET_XYZ", "dflt"), "dflt");
+    EXPECT_GT(simUopBudget(), 0u);
+}
+
+TEST(Logging, Strfmt)
+{
+    EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");
+}
+
+} // namespace
+} // namespace cisa

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of the public facade (core/cisa.hh): evaluatePhase and
+ * compileAndRun must compose the subsystems coherently, and their
+ * outputs must satisfy cross-layer consistency properties (work
+ * scaling, energy accounting, area/power agreement with the power
+ * model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cisa.hh"
+
+namespace cisa
+{
+namespace
+{
+
+MicroArchConfig
+midCore()
+{
+    for (const auto &c : MicroArchConfig::enumerate()) {
+        if (c.outOfOrder && c.width == 2 &&
+            c.bpred == BpKind::Tournament && c.iqSize == 64 &&
+            c.uopCache && c.l1iKB == 32 && c.lsqSize == 16) {
+            return c;
+        }
+    }
+    return MicroArchConfig{};
+}
+
+TEST(Core, Version)
+{
+    EXPECT_NE(std::string(versionString()).find("cisa"),
+              std::string::npos);
+}
+
+TEST(Core, EvaluatePhaseIsConsistent)
+{
+    PhaseRun r = evaluatePhase(0, FeatureSet::x86_64(), midCore(),
+                               3000);
+    EXPECT_GT(r.perf.ipc, 0.05);
+    EXPECT_GT(r.code.instrs, 50u);
+    EXPECT_GT(r.mix.uops, r.mix.macroOps * 99 / 100);
+    EXPECT_GT(r.timePerRunSec, 0.0);
+    EXPECT_GT(r.energyPerRunJ, 0.0);
+    // Facade numbers agree with the power model.
+    CoreConfig cc{FeatureSet::x86_64(), midCore()};
+    EXPECT_DOUBLE_EQ(r.areaMm2, coreAreaMm2(cc));
+    EXPECT_DOUBLE_EQ(r.peakPowerW, corePeakPowerW(cc));
+    // Energy breakdown sums to total.
+    const EnergyBreakdown &e = r.energy;
+    EXPECT_NEAR(e.total(),
+                e.fetch + e.bpred + e.decode + e.rename +
+                    e.scheduler + e.regfile + e.fu + e.lsq +
+                    e.leakage,
+                1e-15);
+}
+
+TEST(Core, CompileAndRunMatchesInterpreter)
+{
+    const IrModule &m = phaseModule(3);
+    CompiledRun run = compileAndRun(m, FeatureSet::superset());
+    MemImage img = MemImage::build(run.transformedIr, 64);
+    ExecResult ref = interpret(run.transformedIr, img);
+    EXPECT_EQ(run.result.intChecksum, ref.intChecksum);
+    EXPECT_EQ(run.result.retVal, ref.retVal);
+}
+
+TEST(Core, MoreTimedUopsMoreCycles)
+{
+    PhaseRun a = evaluatePhase(0, FeatureSet::x86_64(), midCore(),
+                               2000);
+    PhaseRun b = evaluatePhase(0, FeatureSet::x86_64(), midCore(),
+                               8000);
+    EXPECT_GT(b.perf.cycles, a.perf.cycles);
+    // Per-run time is an intensive quantity: roughly budget-free.
+    EXPECT_NEAR(b.timePerRunSec / a.timePerRunSec, 1.0, 0.35);
+}
+
+TEST(Core, ContentionSlowsARun)
+{
+    RunEnv alone;
+    RunEnv shared;
+    shared.l2Share = 0.25;
+    shared.memContention = 1.3;
+    // lbm: big footprint, feels the L2 squeeze.
+    int lbm0 = 0, at = 0;
+    for (const auto &b : specSuite()) {
+        if (b.name == "lbm")
+            lbm0 = at;
+        at += int(b.phases.size());
+    }
+    PhaseRun a = evaluatePhase(lbm0, FeatureSet::x86_64(),
+                               midCore(), 4000, alone);
+    PhaseRun s = evaluatePhase(lbm0, FeatureSet::x86_64(),
+                               midCore(), 4000, shared);
+    EXPECT_GE(s.timePerRunSec, a.timePerRunSec);
+}
+
+TEST(Core, AllFeatureSetsEvaluate)
+{
+    // Smoke property: every viable feature set flows through the
+    // whole stack on a real phase.
+    for (int i = 0; i < FeatureSet::count(); i += 5) {
+        PhaseRun r = evaluatePhase(10, FeatureSet::byId(i),
+                                   midCore(), 1500);
+        EXPECT_GT(r.perf.ipc, 0.02) << FeatureSet::byId(i).name();
+        EXPECT_GT(r.energyPerRunJ, 0.0);
+    }
+}
+
+} // namespace
+} // namespace cisa

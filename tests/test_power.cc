@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests of the McPAT-style power/area model: the paper's per-core
+ * ranges and feature deltas, monotonicity in structure sizes, and
+ * activity-based energy behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy.hh"
+#include "power/power.hh"
+
+namespace cisa
+{
+namespace
+{
+
+CoreConfig
+cfgOf(const char *fs, int uarch_id)
+{
+    return {FeatureSet::parse(fs), MicroArchConfig::byId(uarch_id)};
+}
+
+TEST(Power, PaperRanges)
+{
+    double amin = 1e18, amax = 0, pmin = 1e18, pmax = 0;
+    for (const auto &ua : MicroArchConfig::enumerate()) {
+        for (const auto &fs : FeatureSet::enumerate()) {
+            CoreConfig cc{fs, ua};
+            double a = coreAreaMm2(cc);
+            double p = corePeakPowerW(cc);
+            amin = std::min(amin, a);
+            amax = std::max(amax, a);
+            pmin = std::min(pmin, p);
+            pmax = std::max(pmax, p);
+        }
+    }
+    // Paper: 4.8-23.4 W and 9.4-28.6 mm^2.
+    EXPECT_NEAR(pmin, 4.8, 2.0);
+    EXPECT_NEAR(pmax, 23.4, 4.0);
+    EXPECT_NEAR(amin, 9.4, 1.5);
+    EXPECT_NEAR(amax, 28.6, 4.5);
+}
+
+TEST(Power, SimdDelta)
+{
+    // Paper: dropping SIMD saves ~7.4% peak power, ~17.3% area.
+    int u = 170;
+    double ax = coreAreaMm2(cfgOf("x86-32D-64W-P", u));
+    double am = coreAreaMm2(cfgOf("microx86-32D-64W-P", u));
+    double px = corePeakPowerW(cfgOf("x86-32D-64W-P", u));
+    double pm = corePeakPowerW(cfgOf("microx86-32D-64W-P", u));
+    EXPECT_NEAR((am / ax - 1.0) * 100.0, -17.3, 8.0);
+    EXPECT_NEAR((pm / px - 1.0) * 100.0, -7.4, 4.0);
+}
+
+TEST(Power, WidthDelta)
+{
+    // Paper: 64-bit registers cost up to ~6.4% peak power.
+    int u = 170;
+    double p64 = corePeakPowerW(cfgOf("x86-32D-64W-P", u));
+    double p32 = corePeakPowerW(cfgOf("x86-32D-32W-P", u));
+    EXPECT_NEAR((p64 / p32 - 1.0) * 100.0, 6.4, 3.5);
+}
+
+TEST(Power, DepthScalesBackend)
+{
+    int u = 170;
+    double a8 = coreAreaMm2(cfgOf("x86-16D-64W-P", u));
+    double a64 = coreAreaMm2(cfgOf("x86-64D-64W-P", u));
+    EXPECT_GT(a64, a8);
+    // The effect is partial (renamed PRF dominates).
+    EXPECT_LT(a64 / a8, 1.10);
+}
+
+TEST(Power, MonotoneInStructures)
+{
+    // Bigger caches, wider machines, more ALUs cost more.
+    MicroArchConfig small = MicroArchConfig::byId(0);
+    FeatureSet fs = FeatureSet::x86_64();
+    MicroArchConfig big = small;
+    big.l1dKB *= 2;
+    EXPECT_GT(coreAreaMm2({fs, big}), coreAreaMm2({fs, small}));
+    big = small;
+    big.intAlus += 2;
+    EXPECT_GT(corePeakPowerW({fs, big}),
+              corePeakPowerW({fs, small}));
+    big = small;
+    big.l2KB *= 2;
+    EXPECT_GT(coreAreaMm2({fs, big}), coreAreaMm2({fs, small}));
+}
+
+TEST(Power, InOrderSkipsWindows)
+{
+    const auto &all = MicroArchConfig::enumerate();
+    MicroArchConfig io, ooo;
+    bool got_io = false, got_ooo = false;
+    for (const auto &c : all) {
+        if (!c.outOfOrder && c.width == 2 && !got_io) {
+            io = c;
+            got_io = true;
+        }
+        if (c.outOfOrder && c.width == 2 && c.iqSize == 64 &&
+            !got_ooo) {
+            ooo = c;
+            got_ooo = true;
+        }
+    }
+    ASSERT_TRUE(got_io && got_ooo);
+    FeatureSet fs = FeatureSet::x86_64();
+    CoreBreakdown a_io = coreArea({fs, io});
+    CoreBreakdown a_ooo = coreArea({fs, ooo});
+    EXPECT_EQ(a_io.rename, 0.0);
+    EXPECT_EQ(a_io.iq, 0.0);
+    EXPECT_GT(a_ooo.schedulerGroup(), a_io.schedulerGroup());
+}
+
+TEST(Power, BreakdownSumsToTotal)
+{
+    CoreBreakdown b = coreArea(cfgOf("x86-64D-64W-F", 179));
+    double sum = b.l1i + b.bpred + b.ild + b.uopCache + b.decode +
+                 b.rename + b.iq + b.rob + b.regfile + b.intFu +
+                 b.fpFu + b.simdFu + b.lsq + b.l1d + b.l2 +
+                 b.overhead;
+    EXPECT_NEAR(b.total(), sum, 1e-9);
+    EXPECT_GT(b.coreOnly(), 0.0);
+    EXPECT_LT(b.coreOnly(), b.total());
+}
+
+TEST(Energy, ScalesWithActivity)
+{
+    CoreConfig cc = cfgOf("x86-16D-64W-P", 170);
+    PerfStats st;
+    st.cycles = 10000;
+    st.l1dAccesses = 1000;
+    st.issuedUops = 5000;
+    st.aluOps[size_t(MicroClass::IntAlu)] = 5000;
+    st.regReads = 8000;
+    st.regWrites = 4000;
+    EnergyBreakdown e1 = coreEnergy(cc, st);
+    PerfStats st2 = st;
+    st2.l1dAccesses *= 2;
+    st2.issuedUops *= 2;
+    st2.aluOps[size_t(MicroClass::IntAlu)] *= 2;
+    EnergyBreakdown e2 = coreEnergy(cc, st2);
+    EXPECT_GT(e2.fu, e1.fu * 1.9);
+    EXPECT_GT(e2.lsq, e1.lsq * 1.9);
+    // Leakage unchanged (same cycles).
+    EXPECT_NEAR(e2.leakage, e1.leakage, 1e-15);
+}
+
+TEST(Energy, LeakageScalesWithTime)
+{
+    CoreConfig cc = cfgOf("x86-16D-64W-P", 170);
+    PerfStats st;
+    st.cycles = 10000;
+    PerfStats st2;
+    st2.cycles = 20000;
+    EXPECT_NEAR(coreEnergy(cc, st2).leakage,
+                2.0 * coreEnergy(cc, st).leakage, 1e-15);
+}
+
+TEST(Energy, MemAccessesDominatelsq)
+{
+    CoreConfig cc = cfgOf("x86-16D-64W-P", 170);
+    PerfStats st;
+    st.cycles = 1000;
+    st.memAccesses = 1000;
+    PerfStats st2;
+    st2.cycles = 1000;
+    st2.l1dAccesses = 1000;
+    EXPECT_GT(coreEnergy(cc, st).lsq,
+              coreEnergy(cc, st2).lsq * 10.0);
+}
+
+TEST(Energy, VendorFixedLengthSavesIld)
+{
+    VendorModel alpha = VendorModel::vendor(VendorIsa::AlphaLike);
+    CoreConfig cc{alpha.features, MicroArchConfig::byId(170)};
+    PerfStats st;
+    st.cycles = 100000;
+    st.ildInstrs = 100000;
+    double with_ild = coreEnergy(cc, st).fetch;
+    double without = coreEnergy(cc, st, &alpha).fetch;
+    EXPECT_LT(without, with_ild);
+}
+
+} // namespace
+} // namespace cisa

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests of the workload substrate: the 49-phase suite structure,
+ * generator determinism, the behavioural properties each benchmark
+ * model promises (pressure, branchiness, footprint, vectorizability,
+ * pointer chasing), and the SimPoint clustering machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "compiler/compiler.hh"
+#include "compiler/exec.hh"
+#include "compiler/interp.hh"
+#include "workloads/profiles.hh"
+#include "workloads/simpoint.hh"
+#include "workloads/synth.hh"
+
+namespace cisa
+{
+namespace
+{
+
+TEST(Profiles, FortyNinePhases)
+{
+    EXPECT_EQ(phaseCount(), 49);
+    EXPECT_EQ(specSuite().size(), 8u);
+    // bzip2 has 8 phases like the paper's 8 regions.
+    EXPECT_EQ(specSuite()[size_t(benchIndex("bzip2"))].phases.size(),
+              8u);
+    EXPECT_EQ(specSuite()[size_t(benchIndex("sjeng"))].phases.size(),
+              8u);
+}
+
+TEST(Profiles, WeightsNormalized)
+{
+    for (const auto &b : specSuite()) {
+        double sum = 0;
+        for (const auto &p : b.phases)
+            sum += p.weight;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << b.name;
+    }
+}
+
+TEST(Profiles, CharacterMatchesPaper)
+{
+    const auto &hmmer =
+        specSuite()[size_t(benchIndex("hmmer"))].phases[0];
+    const auto &lbm = specSuite()[size_t(benchIndex("lbm"))].phases[0];
+    const auto &mcf = specSuite()[size_t(benchIndex("mcf"))].phases[0];
+    const auto &sjeng =
+        specSuite()[size_t(benchIndex("sjeng"))].phases[0];
+    EXPECT_GT(hmmer.accumulators, 2 * lbm.accumulators);
+    EXPECT_TRUE(mcf.pointerChase);
+    EXPECT_GT(sjeng.hammocks, 0);
+    EXPECT_FALSE(sjeng.hammockPredictable);
+    EXPECT_GT(lbm.vecLoops, 0);
+    EXPECT_GT(lbm.footprintKB, 4 * hmmer.footprintKB);
+    EXPECT_TRUE(specSuite()[size_t(benchIndex("bzip2"))]
+                    .phases[0]
+                    .useI64);
+}
+
+TEST(Synth, Deterministic)
+{
+    IrModule a = buildPhase(allPhases()[5]);
+    IrModule b = buildPhase(allPhases()[5]);
+    EXPECT_EQ(a.print(), b.print());
+}
+
+TEST(Synth, PhasesDiffer)
+{
+    IrModule a = buildPhase(allPhases()[0]);
+    IrModule b = buildPhase(allPhases()[1]);
+    EXPECT_NE(a.print(), b.print());
+}
+
+TEST(Synth, ProgramsRunToCompletion)
+{
+    for (int ph = 0; ph < phaseCount(); ph += 5) {
+        PhaseProfile p = allPhases()[size_t(ph)];
+        p.targetDynOps = 8000;
+        p.outerTrip = 2;
+        IrModule m = buildPhase(p);
+        MemImage img = MemImage::build(m, 64);
+        ExecResult r = interpret(m, img, 1ULL << 24);
+        EXPECT_FALSE(r.ranOut) << p.name();
+        EXPECT_GT(r.stores, 0u) << p.name();
+    }
+}
+
+TEST(Synth, PointerChaseMissesCaches)
+{
+    // The mcf model's chase region exceeds any L1; its loads must
+    // produce serially dependent addresses spread over the region.
+    PhaseProfile p =
+        specSuite()[size_t(benchIndex("mcf"))].phases[0];
+    p.targetDynOps = 20000;
+    p.outerTrip = 2;
+    IrModule m = buildPhase(p);
+    CompileOptions opts;
+    opts.target = FeatureSet::x86_64();
+    IrModule ir;
+    MachineProgram prog = compile(m, opts, nullptr, &ir);
+    MemImage img = MemImage::build(ir, 64);
+    Trace tr;
+    executeMachine(prog, img, 1ULL << 30, &tr);
+    // Distinct chase addresses: count unique line addresses among
+    // loads into the chain region.
+    uint64_t lo = img.regionBase[5];
+    uint64_t hi = lo + 1024 * 1024 * 64;
+    std::set<uint64_t> lines;
+    for (const auto &op : tr.ops) {
+        if (op.readsMem() && op.maddr >= lo && op.maddr < hi)
+            lines.insert(op.maddr >> 6);
+    }
+    EXPECT_GT(lines.size(), 200u);
+}
+
+TEST(Synth, VectorizableLoopsAreCanonical)
+{
+    PhaseProfile p =
+        specSuite()[size_t(benchIndex("lbm"))].phases[0];
+    p.targetDynOps = 8000;
+    IrModule m = buildPhase(p);
+    CompileOptions opts;
+    opts.target = FeatureSet::superset();
+    CompileReport rep;
+    compile(m, opts, &rep);
+    EXPECT_EQ(rep.vec.loopsRejected, 0);
+    EXPECT_GE(rep.vec.loopsVectorized, p.vecLoops);
+}
+
+TEST(Simpoint, KmeansSeparatesClusters)
+{
+    // Two well-separated blobs must be recovered exactly.
+    std::vector<std::vector<double>> pts;
+    for (int i = 0; i < 40; i++) {
+        double base = i < 20 ? 0.0 : 10.0;
+        pts.push_back({base + (i % 5) * 0.01,
+                       base - (i % 3) * 0.01});
+    }
+    KMeansResult r = kmeans(pts, 2, 50, 7);
+    for (int i = 1; i < 20; i++)
+        EXPECT_EQ(r.assignment[size_t(i)], r.assignment[0]);
+    for (int i = 21; i < 40; i++)
+        EXPECT_EQ(r.assignment[size_t(i)], r.assignment[20]);
+    EXPECT_NE(r.assignment[0], r.assignment[20]);
+}
+
+TEST(Simpoint, FindsPhasesInStitchedTrace)
+{
+    // Stitch two very different phases; the BBV clustering should
+    // use at least two clusters and assign different clusters to
+    // the two halves.
+    auto trace_for = [&](const char *bench) {
+        PhaseProfile p =
+            specSuite()[size_t(benchIndex(bench))].phases[0];
+        p.targetDynOps = 30000;
+        p.outerTrip = 2;
+        IrModule m = buildPhase(p);
+        CompileOptions opts;
+        opts.target = FeatureSet::x86_64();
+        IrModule ir;
+        MachineProgram prog = compile(m, opts, nullptr, &ir);
+        MemImage img = MemImage::build(ir, 64);
+        Trace tr;
+        executeMachine(prog, img, 1ULL << 30, &tr);
+        return tr;
+    };
+    Trace a = trace_for("hmmer");
+    Trace b = trace_for("lbm");
+    Trace all;
+    all.ops = a.ops;
+    size_t half = all.ops.size();
+    for (const auto &op : b.ops)
+        all.ops.push_back(op);
+
+    SimpointResult sp = findSimpoints(all, 4000, 6);
+    ASSERT_GE(sp.k, 2);
+    size_t half_iv = half / 4000;
+    // Majority cluster of each half must differ.
+    std::map<int, int> ca, cb;
+    for (size_t i = 0; i < sp.assignment.size(); i++) {
+        if (i < half_iv)
+            ca[sp.assignment[i]]++;
+        else
+            cb[sp.assignment[i]]++;
+    }
+    auto arg_max = [](const std::map<int, int> &m) {
+        int best = -1, cnt = -1;
+        for (auto &[k, v] : m) {
+            if (v > cnt) {
+                cnt = v;
+                best = k;
+            }
+        }
+        return best;
+    };
+    EXPECT_NE(arg_max(ca), arg_max(cb));
+}
+
+TEST(Simpoint, WeightsSumToOne)
+{
+    Trace tr;
+    // A synthetic trace alternating between two pc regions.
+    for (int i = 0; i < 40000; i++) {
+        DynOp op;
+        op.pc = (i / 10000) % 2 ? 0x400000 + uint64_t(i % 64) * 4
+                                : 0x500000 + uint64_t(i % 32) * 4;
+        op.flags = (i % 8 == 7) ? DynIsBranch : 0;
+        tr.ops.push_back(op);
+    }
+    SimpointResult sp = findSimpoints(tr, 2000, 5);
+    double sum = 0;
+    for (double w : sp.weights)
+        sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (int s : sp.simpoints)
+        EXPECT_LT(s, int(sp.assignment.size()));
+}
+
+} // namespace
+} // namespace cisa
