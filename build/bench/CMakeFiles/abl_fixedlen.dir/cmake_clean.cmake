@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fixedlen.dir/abl_fixedlen.cc.o"
+  "CMakeFiles/abl_fixedlen.dir/abl_fixedlen.cc.o.d"
+  "abl_fixedlen"
+  "abl_fixedlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fixedlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_uopcache.dir/abl_uopcache.cc.o"
+  "CMakeFiles/abl_uopcache.dir/abl_uopcache.cc.o.d"
+  "abl_uopcache"
+  "abl_uopcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_uopcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libcisa_benchcommon.a"
+  "../lib/libcisa_benchcommon.pdb"
+  "CMakeFiles/cisa_benchcommon.dir/benchcommon.cc.o"
+  "CMakeFiles/cisa_benchcommon.dir/benchcommon.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

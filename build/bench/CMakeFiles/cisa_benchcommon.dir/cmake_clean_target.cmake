@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libcisa_benchcommon.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_instr_mix.dir/fig02_instr_mix.cc.o"
+  "CMakeFiles/fig02_instr_mix.dir/fig02_instr_mix.cc.o.d"
+  "fig02_instr_mix"
+  "fig02_instr_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_instr_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

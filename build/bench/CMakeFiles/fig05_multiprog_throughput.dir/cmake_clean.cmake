@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_multiprog_throughput.dir/fig05_multiprog_throughput.cc.o"
+  "CMakeFiles/fig05_multiprog_throughput.dir/fig05_multiprog_throughput.cc.o.d"
+  "fig05_multiprog_throughput"
+  "fig05_multiprog_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_multiprog_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_multiprog_edp.dir/fig06_multiprog_edp.cc.o"
+  "CMakeFiles/fig06_multiprog_edp.dir/fig06_multiprog_edp.cc.o.d"
+  "fig06_multiprog_edp"
+  "fig06_multiprog_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_multiprog_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_singlethread_power.dir/fig07_singlethread_power.cc.o"
+  "CMakeFiles/fig07_singlethread_power.dir/fig07_singlethread_power.cc.o.d"
+  "fig07_singlethread_power"
+  "fig07_singlethread_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_singlethread_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

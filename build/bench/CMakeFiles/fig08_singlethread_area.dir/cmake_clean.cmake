@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_singlethread_area.dir/fig08_singlethread_area.cc.o"
+  "CMakeFiles/fig08_singlethread_area.dir/fig08_singlethread_area.cc.o.d"
+  "fig08_singlethread_area"
+  "fig08_singlethread_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_singlethread_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_feature_sensitivity.dir/fig09_feature_sensitivity.cc.o"
+  "CMakeFiles/fig09_feature_sensitivity.dir/fig09_feature_sensitivity.cc.o.d"
+  "fig09_feature_sensitivity"
+  "fig09_feature_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_feature_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

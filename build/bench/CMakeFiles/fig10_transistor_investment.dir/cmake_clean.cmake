@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_transistor_investment.dir/fig10_transistor_investment.cc.o"
+  "CMakeFiles/fig10_transistor_investment.dir/fig10_transistor_investment.cc.o.d"
+  "fig10_transistor_investment"
+  "fig10_transistor_investment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_transistor_investment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

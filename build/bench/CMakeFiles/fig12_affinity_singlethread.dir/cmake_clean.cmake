@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_affinity_singlethread.dir/fig12_affinity_singlethread.cc.o"
+  "CMakeFiles/fig12_affinity_singlethread.dir/fig12_affinity_singlethread.cc.o.d"
+  "fig12_affinity_singlethread"
+  "fig12_affinity_singlethread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_affinity_singlethread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_affinity_singlethread.
+# This may be replaced when dependencies are built.

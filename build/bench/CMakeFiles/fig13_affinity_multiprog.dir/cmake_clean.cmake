@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_affinity_multiprog.dir/fig13_affinity_multiprog.cc.o"
+  "CMakeFiles/fig13_affinity_multiprog.dir/fig13_affinity_multiprog.cc.o.d"
+  "fig13_affinity_multiprog"
+  "fig13_affinity_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_affinity_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_downgrade_cost.dir/fig14_downgrade_cost.cc.o"
+  "CMakeFiles/fig14_downgrade_cost.dir/fig14_downgrade_cost.cc.o.d"
+  "fig14_downgrade_cost"
+  "fig14_downgrade_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_downgrade_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_codegen_stats.dir/sec3_codegen_stats.cc.o"
+  "CMakeFiles/sec3_codegen_stats.dir/sec3_codegen_stats.cc.o.d"
+  "sec3_codegen_stats"
+  "sec3_codegen_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_codegen_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_decoder_area.dir/sec5_decoder_area.cc.o"
+  "CMakeFiles/sec5_decoder_area.dir/sec5_decoder_area.cc.o.d"
+  "sec5_decoder_area"
+  "sec5_decoder_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_decoder_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

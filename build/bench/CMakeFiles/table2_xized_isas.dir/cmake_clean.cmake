@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_xized_isas.dir/table2_xized_isas.cc.o"
+  "CMakeFiles/table2_xized_isas.dir/table2_xized_isas.cc.o.d"
+  "table2_xized_isas"
+  "table2_xized_isas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_xized_isas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/downgrade_lab.cpp" "examples/CMakeFiles/downgrade_lab.dir/downgrade_lab.cpp.o" "gcc" "examples/CMakeFiles/downgrade_lab.dir/downgrade_lab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/cisa_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/cisa_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cisa_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/decoder/CMakeFiles/cisa_decoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/cisa_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cisa_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/cisa_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cisa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cisa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

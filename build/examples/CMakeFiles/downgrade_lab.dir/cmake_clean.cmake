@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downgrade_lab.dir/downgrade_lab.cpp.o"
+  "CMakeFiles/downgrade_lab.dir/downgrade_lab.cpp.o.d"
+  "downgrade_lab"
+  "downgrade_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downgrade_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

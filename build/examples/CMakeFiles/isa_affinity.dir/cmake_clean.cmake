@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_affinity.dir/isa_affinity.cpp.o"
+  "CMakeFiles/isa_affinity.dir/isa_affinity.cpp.o.d"
+  "isa_affinity"
+  "isa_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_discovery.dir/phase_discovery.cpp.o"
+  "CMakeFiles/phase_discovery.dir/phase_discovery.cpp.o.d"
+  "phase_discovery"
+  "phase_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

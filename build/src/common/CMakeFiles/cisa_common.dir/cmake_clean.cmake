@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_common.dir/env.cc.o"
+  "CMakeFiles/cisa_common.dir/env.cc.o.d"
+  "CMakeFiles/cisa_common.dir/logging.cc.o"
+  "CMakeFiles/cisa_common.dir/logging.cc.o.d"
+  "CMakeFiles/cisa_common.dir/serialize.cc.o"
+  "CMakeFiles/cisa_common.dir/serialize.cc.o.d"
+  "CMakeFiles/cisa_common.dir/stats.cc.o"
+  "CMakeFiles/cisa_common.dir/stats.cc.o.d"
+  "CMakeFiles/cisa_common.dir/table.cc.o"
+  "CMakeFiles/cisa_common.dir/table.cc.o.d"
+  "libcisa_common.a"
+  "libcisa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/compiler.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/compiler.cc.o.d"
+  "/root/repo/src/compiler/exec.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/exec.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/exec.cc.o.d"
+  "/root/repo/src/compiler/interp.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/interp.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/interp.cc.o.d"
+  "/root/repo/src/compiler/ir.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/ir.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/ir.cc.o.d"
+  "/root/repo/src/compiler/machine.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/machine.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/machine.cc.o.d"
+  "/root/repo/src/compiler/passes/dce.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/dce.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/dce.cc.o.d"
+  "/root/repo/src/compiler/passes/encode.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/encode.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/encode.cc.o.d"
+  "/root/repo/src/compiler/passes/ifconvert.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/ifconvert.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/ifconvert.cc.o.d"
+  "/root/repo/src/compiler/passes/isel.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/isel.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/isel.cc.o.d"
+  "/root/repo/src/compiler/passes/lvn.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/lvn.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/lvn.cc.o.d"
+  "/root/repo/src/compiler/passes/regalloc.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/regalloc.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/regalloc.cc.o.d"
+  "/root/repo/src/compiler/passes/sched.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/sched.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/sched.cc.o.d"
+  "/root/repo/src/compiler/passes/vectorize.cc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/vectorize.cc.o" "gcc" "src/compiler/CMakeFiles/cisa_compiler.dir/passes/vectorize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/cisa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cisa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

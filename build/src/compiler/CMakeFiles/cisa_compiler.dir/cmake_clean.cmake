@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_compiler.dir/analysis.cc.o"
+  "CMakeFiles/cisa_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/compiler.cc.o"
+  "CMakeFiles/cisa_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/exec.cc.o"
+  "CMakeFiles/cisa_compiler.dir/exec.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/interp.cc.o"
+  "CMakeFiles/cisa_compiler.dir/interp.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/ir.cc.o"
+  "CMakeFiles/cisa_compiler.dir/ir.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/machine.cc.o"
+  "CMakeFiles/cisa_compiler.dir/machine.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/passes/dce.cc.o"
+  "CMakeFiles/cisa_compiler.dir/passes/dce.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/passes/encode.cc.o"
+  "CMakeFiles/cisa_compiler.dir/passes/encode.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/passes/ifconvert.cc.o"
+  "CMakeFiles/cisa_compiler.dir/passes/ifconvert.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/passes/isel.cc.o"
+  "CMakeFiles/cisa_compiler.dir/passes/isel.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/passes/lvn.cc.o"
+  "CMakeFiles/cisa_compiler.dir/passes/lvn.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/passes/regalloc.cc.o"
+  "CMakeFiles/cisa_compiler.dir/passes/regalloc.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/passes/sched.cc.o"
+  "CMakeFiles/cisa_compiler.dir/passes/sched.cc.o.d"
+  "CMakeFiles/cisa_compiler.dir/passes/vectorize.cc.o"
+  "CMakeFiles/cisa_compiler.dir/passes/vectorize.cc.o.d"
+  "libcisa_compiler.a"
+  "libcisa_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cisa_compiler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_core.dir/cisa.cc.o"
+  "CMakeFiles/cisa_core.dir/cisa.cc.o.d"
+  "libcisa_core.a"
+  "libcisa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

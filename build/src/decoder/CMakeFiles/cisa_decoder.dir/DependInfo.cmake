@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decoder/decodemodel.cc" "src/decoder/CMakeFiles/cisa_decoder.dir/decodemodel.cc.o" "gcc" "src/decoder/CMakeFiles/cisa_decoder.dir/decodemodel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/cisa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/cisa_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/cisa_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cisa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_decoder.dir/decodemodel.cc.o"
+  "CMakeFiles/cisa_decoder.dir/decodemodel.cc.o.d"
+  "libcisa_decoder.a"
+  "libcisa_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

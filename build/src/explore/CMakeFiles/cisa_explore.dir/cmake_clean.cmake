@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_explore.dir/campaign.cc.o"
+  "CMakeFiles/cisa_explore.dir/campaign.cc.o.d"
+  "CMakeFiles/cisa_explore.dir/designpoint.cc.o"
+  "CMakeFiles/cisa_explore.dir/designpoint.cc.o.d"
+  "CMakeFiles/cisa_explore.dir/schedule.cc.o"
+  "CMakeFiles/cisa_explore.dir/schedule.cc.o.d"
+  "CMakeFiles/cisa_explore.dir/search.cc.o"
+  "CMakeFiles/cisa_explore.dir/search.cc.o.d"
+  "libcisa_explore.a"
+  "libcisa_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

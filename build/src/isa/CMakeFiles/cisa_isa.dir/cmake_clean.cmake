@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_isa.dir/encoding.cc.o"
+  "CMakeFiles/cisa_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/cisa_isa.dir/features.cc.o"
+  "CMakeFiles/cisa_isa.dir/features.cc.o.d"
+  "CMakeFiles/cisa_isa.dir/opcodes.cc.o"
+  "CMakeFiles/cisa_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/cisa_isa.dir/registers.cc.o"
+  "CMakeFiles/cisa_isa.dir/registers.cc.o.d"
+  "CMakeFiles/cisa_isa.dir/vendor.cc.o"
+  "CMakeFiles/cisa_isa.dir/vendor.cc.o.d"
+  "libcisa_isa.a"
+  "libcisa_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_migration.dir/cost.cc.o"
+  "CMakeFiles/cisa_migration.dir/cost.cc.o.d"
+  "CMakeFiles/cisa_migration.dir/translate.cc.o"
+  "CMakeFiles/cisa_migration.dir/translate.cc.o.d"
+  "libcisa_migration.a"
+  "libcisa_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_power.dir/energy.cc.o"
+  "CMakeFiles/cisa_power.dir/energy.cc.o.d"
+  "CMakeFiles/cisa_power.dir/power.cc.o"
+  "CMakeFiles/cisa_power.dir/power.cc.o.d"
+  "libcisa_power.a"
+  "libcisa_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/bpred.cc" "src/uarch/CMakeFiles/cisa_uarch.dir/bpred.cc.o" "gcc" "src/uarch/CMakeFiles/cisa_uarch.dir/bpred.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/cisa_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/cisa_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/uarch/CMakeFiles/cisa_uarch.dir/core.cc.o" "gcc" "src/uarch/CMakeFiles/cisa_uarch.dir/core.cc.o.d"
+  "/root/repo/src/uarch/perfstats.cc" "src/uarch/CMakeFiles/cisa_uarch.dir/perfstats.cc.o" "gcc" "src/uarch/CMakeFiles/cisa_uarch.dir/perfstats.cc.o.d"
+  "/root/repo/src/uarch/uconfig.cc" "src/uarch/CMakeFiles/cisa_uarch.dir/uconfig.cc.o" "gcc" "src/uarch/CMakeFiles/cisa_uarch.dir/uconfig.cc.o.d"
+  "/root/repo/src/uarch/uopcache.cc" "src/uarch/CMakeFiles/cisa_uarch.dir/uopcache.cc.o" "gcc" "src/uarch/CMakeFiles/cisa_uarch.dir/uopcache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/cisa_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cisa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cisa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

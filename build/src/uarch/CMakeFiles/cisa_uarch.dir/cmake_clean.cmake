@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_uarch.dir/bpred.cc.o"
+  "CMakeFiles/cisa_uarch.dir/bpred.cc.o.d"
+  "CMakeFiles/cisa_uarch.dir/cache.cc.o"
+  "CMakeFiles/cisa_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/cisa_uarch.dir/core.cc.o"
+  "CMakeFiles/cisa_uarch.dir/core.cc.o.d"
+  "CMakeFiles/cisa_uarch.dir/perfstats.cc.o"
+  "CMakeFiles/cisa_uarch.dir/perfstats.cc.o.d"
+  "CMakeFiles/cisa_uarch.dir/uconfig.cc.o"
+  "CMakeFiles/cisa_uarch.dir/uconfig.cc.o.d"
+  "CMakeFiles/cisa_uarch.dir/uopcache.cc.o"
+  "CMakeFiles/cisa_uarch.dir/uopcache.cc.o.d"
+  "libcisa_uarch.a"
+  "libcisa_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

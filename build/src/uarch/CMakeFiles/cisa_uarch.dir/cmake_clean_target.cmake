@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcisa_uarch.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisa_workloads.dir/profiles.cc.o"
+  "CMakeFiles/cisa_workloads.dir/profiles.cc.o.d"
+  "CMakeFiles/cisa_workloads.dir/simpoint.cc.o"
+  "CMakeFiles/cisa_workloads.dir/simpoint.cc.o.d"
+  "CMakeFiles/cisa_workloads.dir/synth.cc.o"
+  "CMakeFiles/cisa_workloads.dir/synth.cc.o.d"
+  "libcisa_workloads.a"
+  "libcisa_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisa_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

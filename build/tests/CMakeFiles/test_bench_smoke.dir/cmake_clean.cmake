@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_smoke.dir/test_bench_smoke.cc.o"
+  "CMakeFiles/test_bench_smoke.dir/test_bench_smoke.cc.o.d"
+  "test_bench_smoke"
+  "test_bench_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compile_units.dir/test_compile_units.cc.o"
+  "CMakeFiles/test_compile_units.dir/test_compile_units.cc.o.d"
+  "test_compile_units"
+  "test_compile_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compile_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
