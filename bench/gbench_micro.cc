@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hh"
 #include "core/cisa.hh"
 #include "uarch/bpred.hh"
 #include "uarch/cache.hh"
@@ -136,6 +137,48 @@ BM_CacheAccess(benchmark::State &state)
 }
 
 void
+BM_ParallelFor(benchmark::State &state)
+{
+    // Pool fan-out overhead vs. per-index work: each index does a
+    // fixed FP kernel, so items/s exposes scheduling cost at small n
+    // and scaling at large n.
+    size_t n = size_t(state.range(0));
+    std::vector<double> out(n);
+    for (auto _ : state) {
+        parallelFor(n, [&](uint64_t i) {
+            double x = double(i) + 1.0;
+            for (int k = 0; k < 64; k++)
+                x = x * 1.0000001 + 0.25;
+            out[i] = x;
+        });
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(int64_t(n) * state.iterations());
+    state.counters["threads"] =
+        double(ThreadPool::get().threads());
+}
+
+void
+BM_ParallelForSerialBaseline(benchmark::State &state)
+{
+    size_t n = size_t(state.range(0));
+    std::vector<double> out(n);
+    ScopedThreadLimit serial(1);
+    for (auto _ : state) {
+        parallelFor(n, [&](uint64_t i) {
+            double x = double(i) + 1.0;
+            for (int k = 0; k < 64; k++)
+                x = x * 1.0000001 + 0.25;
+            out[i] = x;
+        });
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(int64_t(n) * state.iterations());
+}
+
+void
 BM_WorkloadSynthesis(benchmark::State &state)
 {
     const PhaseProfile &p = allPhases()[size_t(state.range(0))];
@@ -161,6 +204,8 @@ BENCHMARK(BM_IrInterpreter);
 BENCHMARK(BM_TimingSimulation)->Arg(0)->Arg(1);
 BENCHMARK(BM_BranchPredictor)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_ParallelFor)->Arg(64)->Arg(4096)->Arg(262144);
+BENCHMARK(BM_ParallelForSerialBaseline)->Arg(4096);
 BENCHMARK(BM_WorkloadSynthesis)->Arg(0)->Arg(25);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Wall-clock measurement of the DSE campaign hot path: one cold slab
+ * (49 phases x 180 microarchitectures x 2 run environments) computed
+ * serially and again on the full CISA_THREADS pool, inside a single
+ * process so compile/simulate work is identical. Prints both times,
+ * the speedup, and verifies the two tables are byte-identical — the
+ * acceptance evidence for the parallel engine (target: >= 2.5x at
+ * CISA_THREADS=4 on a 4+-core host).
+ *
+ * Knobs: CISA_THREADS (pool width), CISA_SIM_UOPS / CISA_SIM_WARMUP
+ * (per-cell simulation budget), CISA_BENCH_SLAB (slab index,
+ * default: the x86-64 composite slab).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/benchcommon.hh"
+#include "common/env.hh"
+#include "common/parallel.hh"
+#include "explore/campaign.hh"
+
+using namespace cisa;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    int slab = int(envInt("CISA_BENCH_SLAB",
+                          FeatureSet::x86_64().id()));
+    int threads = ThreadPool::get().threads();
+
+    // Warm the phase-module cache so both legs time compilation and
+    // simulation, not one-off IR synthesis.
+    for (int p = 0; p < phaseCount(); p++)
+        phaseModule(p);
+
+    std::printf("campaign slab %d: %d phases x %d uarches x 2 envs, "
+                "sim budget %llu+%llu uops\n",
+                slab, phaseCount(), DesignPoint::kUarchCount,
+                (unsigned long long)simUopBudget(),
+                (unsigned long long)simWarmupUops());
+
+    std::vector<PhasePerf> serial;
+    double t_serial;
+    {
+        ScopedThreadLimit limit(1);
+        auto t0 = std::chrono::steady_clock::now();
+        serial = computeSlabPerf(slab);
+        t_serial = secondsSince(t0);
+    }
+    std::printf("  CISA_THREADS=1 : %8.3f s\n", t_serial);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<PhasePerf> parallel = computeSlabPerf(slab);
+    double t_par = secondsSince(t0);
+    std::printf("  CISA_THREADS=%-2d: %8.3f s\n", threads, t_par);
+
+    bool identical =
+        serial.size() == parallel.size() &&
+        std::memcmp(serial.data(), parallel.data(),
+                    serial.size() * sizeof(PhasePerf)) == 0;
+    std::printf("  speedup        : %.2fx\n",
+                t_par > 0 ? t_serial / t_par : 0.0);
+    std::printf("  tables         : %s\n",
+                identical ? "bit-identical" : "MISMATCH");
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,277 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace cisa
+{
+
+namespace
+{
+/** Active ScopedThreadLimit cap; 0 = uncapped. */
+std::atomic<int> g_thread_limit{0};
+} // namespace
+
+int
+parallelThreads()
+{
+    int hw = int(std::thread::hardware_concurrency());
+    if (hw < 1)
+        hw = 1;
+    int n = int(envInt("CISA_THREADS", hw));
+    return n < 1 ? 1 : n;
+}
+
+struct ThreadPool::Impl
+{
+    std::vector<std::thread> workers;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                cv.wait(lk,
+                        [&] { return stop || !queue.empty(); });
+                if (stop && queue.empty())
+                    return;
+                task = std::move(queue.front());
+                queue.pop_front();
+            }
+            task();
+        }
+    }
+};
+
+ThreadPool &
+ThreadPool::get()
+{
+    static ThreadPool pool(parallelThreads());
+    return pool;
+}
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl)
+{
+    int workers = threads - 1;
+    if (workers < 0)
+        workers = 0;
+    impl_->workers.reserve(size_t(workers));
+    for (int t = 0; t < workers; t++)
+        impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    for (auto &w : impl_->workers)
+        w.join();
+}
+
+int
+ThreadPool::threads() const
+{
+    int n = int(impl_->workers.size()) + 1;
+    int limit = g_thread_limit.load(std::memory_order_relaxed);
+    if (limit > 0 && limit < n)
+        n = limit;
+    return n;
+}
+
+void
+ThreadPool::post(std::function<void()> fn)
+{
+    if (impl_->workers.empty()) {
+        fn();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        impl_->queue.push_back(std::move(fn));
+    }
+    impl_->cv.notify_one();
+}
+
+/**
+ * Shared between a TaskGroup and the pool tickets it posted, so a
+ * ticket drained after the group died finds an empty queue instead
+ * of a dangling pointer.
+ */
+struct TaskGroup::State
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    int active = 0;
+    std::exception_ptr error;
+
+    /** Pop and run one task; false if the queue was empty. */
+    bool
+    runOne()
+    {
+        std::function<void()> task;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (queue.empty())
+                return false;
+            task = std::move(queue.front());
+            queue.pop_front();
+            active++;
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu);
+            if (!error)
+                error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            active--;
+            if (queue.empty() && active == 0)
+                cv.notify_all();
+        }
+        return true;
+    }
+};
+
+TaskGroup::TaskGroup(ThreadPool &pool)
+    : pool_(pool), st_(new State)
+{
+}
+
+TaskGroup::~TaskGroup()
+{
+    try {
+        wait();
+    } catch (...) {
+        // Destructor must not throw; wait() explicitly to observe
+        // task errors.
+    }
+}
+
+void
+TaskGroup::run(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lk(st_->mu);
+        st_->queue.push_back(std::move(fn));
+    }
+    std::shared_ptr<State> st = st_;
+    pool_.post([st] { st->runOne(); });
+}
+
+void
+TaskGroup::wait()
+{
+    // Help drain our own queue first: guarantees progress even when
+    // every pool worker is blocked inside some outer task (nested
+    // parallelism), and keeps the caller busy instead of idle.
+    while (st_->runOne()) {
+    }
+    std::unique_lock<std::mutex> lk(st_->mu);
+    st_->cv.wait(lk, [&] {
+        return st_->queue.empty() && st_->active == 0;
+    });
+    if (st_->error) {
+        std::exception_ptr e = st_->error;
+        st_->error = nullptr;
+        lk.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::parallelFor(uint64_t n,
+                        const std::function<void(uint64_t)> &fn)
+{
+    if (n == 0)
+        return;
+    uint64_t lanes = uint64_t(threads());
+    if (lanes > n)
+        lanes = n;
+    if (lanes <= 1) {
+        for (uint64_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+
+    // Chunked dynamic scheduling: ~8 chunks per lane balances load
+    // without an atomic per index.
+    uint64_t chunk = n / (lanes * 8);
+    if (chunk < 1)
+        chunk = 1;
+    std::atomic<uint64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    std::exception_ptr error;
+
+    auto body = [&] {
+        for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            uint64_t begin =
+                next.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= n)
+                return;
+            uint64_t end = begin + chunk;
+            if (end > n)
+                end = n;
+            try {
+                for (uint64_t i = begin; i < end; i++)
+                    fn(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lk(err_mu);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    TaskGroup group(*this);
+    for (uint64_t t = 1; t < lanes; t++)
+        group.run(body);
+    body();
+    group.wait();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+parallelFor(uint64_t n, const std::function<void(uint64_t)> &fn)
+{
+    ThreadPool::get().parallelFor(n, fn);
+}
+
+ScopedThreadLimit::ScopedThreadLimit(int threads)
+    : prev_(g_thread_limit.exchange(threads < 1 ? 1 : threads))
+{
+}
+
+ScopedThreadLimit::~ScopedThreadLimit()
+{
+    g_thread_limit.store(prev_);
+}
+
+} // namespace cisa

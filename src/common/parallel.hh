@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Reusable parallel-execution layer: a fixed-size worker pool shared
+ * by the whole process, a chunked parallelFor() index loop, and a
+ * fork/join task-queue API. This is what lets the design-space
+ * campaign (29 slabs x 49 phases x 180 microarchitectures x 2 run
+ * environments) saturate the machine instead of one core.
+ *
+ * Sizing comes from the CISA_THREADS environment knob (default:
+ * hardware concurrency). CISA_THREADS=1 restores fully serial
+ * execution: parallelFor() then runs inline on the caller with no
+ * worker involvement, byte-for-byte the old behaviour.
+ *
+ * Determinism contract: parallelFor(n, fn) invokes fn(i) exactly once
+ * for every i in [0, n) with no ordering guarantee, so callers that
+ * need thread-count-independent results must make every index write
+ * its own disjoint output slot and must not touch a shared RNG or
+ * accumulate floating point across indices inside fn. All campaign
+ * and search call sites follow that rule, which is why their tables
+ * are bit-identical at any thread count.
+ *
+ * Nesting is safe: the calling thread always participates in its own
+ * loop and drains its own task group, so a parallelFor() issued from
+ * inside a pool worker (e.g. slab prewarm -> computeSlab) degrades to
+ * caller-executed work instead of deadlocking when no worker is free.
+ */
+
+#ifndef CISA_COMMON_PARALLEL_HH
+#define CISA_COMMON_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace cisa
+{
+
+/** Resolved CISA_THREADS value (>= 1; default hw concurrency). */
+int parallelThreads();
+
+/**
+ * Fixed-size worker pool. One process-wide instance (get()) serves
+ * all parallel loops; independent instances exist only for tests.
+ */
+class ThreadPool
+{
+  public:
+    /** The process-wide pool, sized by CISA_THREADS. */
+    static ThreadPool &get();
+
+    /** Pool with @p threads total lanes (including the caller). */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Usable parallelism right now: worker count + the calling
+     * thread, capped by any active ScopedThreadLimit.
+     */
+    int threads() const;
+
+    /**
+     * Fire-and-forget task; @p fn must not throw. Runs inline when
+     * the pool has no workers. Use TaskGroup when completion or
+     * exceptions matter.
+     */
+    void post(std::function<void()> fn);
+
+    /**
+     * Invoke fn(i) once for each i in [0, n), chunked over the pool;
+     * the caller participates. Blocks until all indices ran. The
+     * first exception thrown by fn is rethrown here (remaining
+     * chunks are abandoned, in-flight indices finish).
+     */
+    void parallelFor(uint64_t n,
+                     const std::function<void(uint64_t)> &fn);
+
+  private:
+    friend class TaskGroup;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Fork/join task set on top of a pool. run() enqueues; wait() lets
+ * the caller help drain its own queue (nesting-safe) and rethrows
+ * the first exception any task raised.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool = ThreadPool::get());
+    ~TaskGroup(); ///< waits, but swallows task exceptions; prefer
+                  ///< an explicit wait().
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Enqueue one task. */
+    void run(std::function<void()> fn);
+
+    /** Block until every task ran; rethrows the first task error. */
+    void wait();
+
+  private:
+    struct State;
+    ThreadPool &pool_;
+    std::shared_ptr<State> st_;
+};
+
+/** parallelFor() on the process-wide pool. */
+void parallelFor(uint64_t n, const std::function<void(uint64_t)> &fn);
+
+/**
+ * Temporarily cap the lanes parallelFor()/threads() may use; limit 1
+ * forces serial inline execution. Used by the determinism tests and
+ * the campaign bench to compare thread counts inside one process.
+ * Affects the whole process; establish it from a single thread.
+ */
+class ScopedThreadLimit
+{
+  public:
+    explicit ScopedThreadLimit(int threads);
+    ~ScopedThreadLimit();
+
+    ScopedThreadLimit(const ScopedThreadLimit &) = delete;
+    ScopedThreadLimit &operator=(const ScopedThreadLimit &) = delete;
+
+  private:
+    int prev_;
+};
+
+} // namespace cisa
+
+#endif // CISA_COMMON_PARALLEL_HH

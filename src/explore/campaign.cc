@@ -1,7 +1,10 @@
 #include "explore/campaign.hh"
 
+#include <algorithm>
+
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/serialize.hh"
 #include "compiler/compiler.hh"
 #include "compiler/exec.hh"
@@ -34,7 +37,6 @@ Campaign::Campaign()
     size_t n = size_t(DesignPoint::kTotalRows) *
                size_t(phaseCount());
     table_.assign(n, {});
-    done_.assign(kSlabs, false);
     load();
 }
 
@@ -65,8 +67,8 @@ Campaign::load()
             return;
         if (!present)
             continue;
-        size_t rows = 26 > s ? size_t(DesignPoint::kUarchCount)
-                             : size_t(DesignPoint::kUarchCount);
+        // Every slab — composite or vendor — spans kUarchCount rows.
+        size_t rows = size_t(DesignPoint::kUarchCount);
         size_t base = size_t(s) * rows * size_t(phaseCount());
         for (size_t k = 0; k < rows * size_t(phaseCount()); k++) {
             PhasePerf &p = table_[base + k];
@@ -77,11 +79,11 @@ Campaign::load()
         }
         if (!r.ok())
             return;
-        done_[size_t(s)] = true;
+        ready_[size_t(s)].store(true, std::memory_order_release);
     }
     int ready = 0;
     for (int s = 0; s < kSlabs; s++)
-        ready += done_[size_t(s)];
+        ready += slabReady(s);
     if (ready)
         inform("loaded %d/%d DSE slabs from %s", ready, kSlabs,
                path_.c_str());
@@ -100,8 +102,10 @@ Campaign::save() const
     w.u64(budgetKey_);
     w.u32(uint32_t(phaseCount()));
     for (int s = 0; s < kSlabs; s++) {
-        w.u32(done_[size_t(s)] ? 1 : 0);
-        if (!done_[size_t(s)])
+        bool have =
+            ready_[size_t(s)].load(std::memory_order_acquire);
+        w.u32(have ? 1 : 0);
+        if (!have)
             continue;
         size_t rows = size_t(DesignPoint::kUarchCount);
         size_t base = size_t(s) * rows * size_t(phaseCount());
@@ -127,15 +131,47 @@ void
 Campaign::ensureSlab(int slab)
 {
     panic_if(slab < 0 || slab >= kSlabs, "bad slab %d", slab);
-    if (done_[size_t(slab)])
+    // Lock-free fast path: the release-store below pairs with this
+    // acquire, so a ready slab's cells are safe to read unlocked.
+    if (ready_[size_t(slab)].load(std::memory_order_acquire))
         return;
-    computeSlab(slab);
-    done_[size_t(slab)] = true;
+
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        if (ready_[size_t(slab)].load(std::memory_order_relaxed))
+            return;
+        if (!computing_[size_t(slab)])
+            break;
+        // Another thread is on it; wait rather than recompute.
+        cv_.wait(lk);
+    }
+    computing_[size_t(slab)] = true;
+    lk.unlock();
+
+    std::vector<PhasePerf> cells;
+    try {
+        cells = computeSlabPerf(slab);
+    } catch (...) {
+        lk.lock();
+        computing_[size_t(slab)] = false;
+        cv_.notify_all();
+        throw;
+    }
+
+    lk.lock();
+    size_t base = size_t(slab) *
+                  size_t(DesignPoint::kUarchCount) *
+                  size_t(phaseCount());
+    std::copy(cells.begin(), cells.end(),
+              table_.begin() + long(base));
+    computing_[size_t(slab)] = false;
+    ready_[size_t(slab)].store(true, std::memory_order_release);
     save();
+    cv_.notify_all();
 }
 
-void
-Campaign::computeSlab(int slab)
+std::vector<PhasePerf>
+computeSlabPerf(int slab)
 {
     bool is_vendor = slab >= 26;
     VendorModel vm;
@@ -157,8 +193,14 @@ Campaign::computeSlab(int slab)
     uint64_t warm = simWarmupUops();
     const RunEnv solo{};
     const RunEnv mp{0.25, 1.30};
+    size_t phases = size_t(phaseCount());
 
-    for (int ph = 0; ph < phaseCount(); ph++) {
+    // Stage 1: compile and functionally execute each phase exactly
+    // once; the trace is shared read-only by every simulation below.
+    std::vector<Trace> traces(phases);
+    std::vector<double> run_ops(phases, 0.0);
+    parallelFor(phases, [&](uint64_t p) {
+        int ph = int(p);
         const IrModule &mod = phaseModule(ph);
         CompileOptions opts;
         opts.target = fs;
@@ -171,43 +213,46 @@ Campaign::computeSlab(int slab)
                  "phase %d trace truncated; shrink targetDynOps", ph);
         if (is_vendor && vm.codeSizeFactor != 1.0)
             trace = vendorAdjustTrace(trace, vm.codeSizeFactor);
-        double run_ops = double(trace.ops.size());
+        run_ops[p] = double(trace.ops.size());
+        traces[p] = std::move(trace);
+    });
 
-        for (int u = 0; u < DesignPoint::kUarchCount; u++) {
-            DesignPoint dp =
-                is_vendor
-                    ? DesignPoint::vendorPoint(vm.kind, u)
-                    : DesignPoint::composite(slab, u);
-            CoreConfig cc = dp.coreConfig();
-            PhasePerf out;
+    // Stage 2: one task per (uarch, phase) cell — solo and contended
+    // environments together, so exactly one task writes each cell
+    // and the result is thread-count independent.
+    std::vector<PhasePerf> cells(size_t(DesignPoint::kUarchCount) *
+                                 phases);
+    parallelFor(cells.size(), [&](uint64_t k) {
+        int u = int(k / phases);
+        int ph = int(k % phases);
+        DesignPoint dp =
+            is_vendor ? DesignPoint::vendorPoint(vm.kind, u)
+                      : DesignPoint::composite(slab, u);
+        CoreConfig cc = dp.coreConfig();
+        const Trace &trace = traces[size_t(ph)];
+        PhasePerf out;
 
-            PerfResult rs = simulateCore(cc, trace, timed, warm,
-                                         solo);
-            double scale =
-                run_ops / double(rs.stats.macroOps);
-            out.timePerRun =
-                float(secondsOf(rs.cycles) * scale);
-            out.energyPerRun = float(
-                coreEnergy(cc, rs.stats,
-                           is_vendor ? &vm : nullptr)
-                    .total() *
-                scale);
+        PerfResult rs = simulateCore(cc, trace, timed, warm, solo);
+        double scale =
+            run_ops[size_t(ph)] / double(rs.stats.macroOps);
+        out.timePerRun = float(secondsOf(rs.cycles) * scale);
+        out.energyPerRun = float(
+            coreEnergy(cc, rs.stats, is_vendor ? &vm : nullptr)
+                .total() *
+            scale);
 
-            PerfResult rm = simulateCore(cc, trace, timed, warm, mp);
-            double scale_m =
-                run_ops / double(rm.stats.macroOps);
-            out.timePerRunMp =
-                float(secondsOf(rm.cycles) * scale_m);
-            out.energyPerRunMp = float(
-                coreEnergy(cc, rm.stats,
-                           is_vendor ? &vm : nullptr)
-                    .total() *
-                scale_m);
+        PerfResult rm = simulateCore(cc, trace, timed, warm, mp);
+        double scale_m =
+            run_ops[size_t(ph)] / double(rm.stats.macroOps);
+        out.timePerRunMp = float(secondsOf(rm.cycles) * scale_m);
+        out.energyPerRunMp = float(
+            coreEnergy(cc, rm.stats, is_vendor ? &vm : nullptr)
+                .total() *
+            scale_m);
 
-            table_[size_t(dp.row()) * size_t(phaseCount()) +
-                   size_t(ph)] = out;
-        }
-    }
+        cells[k] = out;
+    });
+    return cells;
 }
 
 } // namespace cisa

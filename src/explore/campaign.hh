@@ -17,6 +17,10 @@
 #ifndef CISA_EXPLORE_CAMPAIGN_HH
 #define CISA_EXPLORE_CAMPAIGN_HH
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <vector>
 
 #include "explore/designpoint.hh"
@@ -35,10 +39,30 @@ struct PhasePerf
 };
 
 /**
+ * Compute one slab's full PhasePerf block: every (microarchitecture,
+ * phase) cell of one ISA (or vendor), laid out uarch-major —
+ * entry [u * phaseCount() + ph] — exactly the contiguous region the
+ * slab occupies inside Campaign's table. Phases are compiled and
+ * functionally executed once each, then all cells are simulated on
+ * the process thread pool; results are bit-identical at any
+ * CISA_THREADS because each cell is written by exactly one task and
+ * nothing on the parallel path shares an RNG. Exposed outside
+ * Campaign so determinism tests and the campaign bench can time the
+ * computation without going through the singleton's disk cache.
+ */
+std::vector<PhasePerf> computeSlabPerf(int slab);
+
+/**
  * Lazily-computed, disk-backed table of PhasePerf over all design
  * rows and phases. One "slab" = one ISA (or vendor) across all 180
  * microarchitectures and 49 phases; slabs are computed on first
  * touch and persisted immediately.
+ *
+ * Thread safety: at(), ensureSlab() and slabReady() may be called
+ * from any thread. Each slab is computed exactly once; concurrent
+ * requests for the same slab block until it is ready, while requests
+ * for distinct slabs compute in parallel (each additionally fanning
+ * its cells out over the shared pool).
  */
 class Campaign
 {
@@ -60,18 +84,28 @@ class Campaign
         26 + DesignPoint::kVendorCount;
 
     /** True if the slab is already computed (no side effects). */
-    bool slabReady(int slab) const { return done_[size_t(slab)]; }
+    bool slabReady(int slab) const
+    {
+        return ready_[size_t(slab)].load(std::memory_order_acquire);
+    }
 
   private:
     Campaign();
     void load();
     void save() const;
-    void computeSlab(int slab);
 
     std::string path_;
     uint64_t budgetKey_ = 0;
     std::vector<PhasePerf> table_; ///< kTotalRows x phases
-    std::vector<bool> done_;
+
+    /** Fast-path flags: a release-store after the slab's cells land
+     * in table_, so an acquire-load suffices to read them unlocked. */
+    std::array<std::atomic<bool>, kSlabs> ready_{};
+
+    /** Guards table_ publication, computing_, and cache writes. */
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::array<bool, kSlabs> computing_{};
 };
 
 } // namespace cisa

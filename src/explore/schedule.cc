@@ -51,15 +51,16 @@ referenceCore()
 double
 refPhaseTime(int phase)
 {
-    static std::vector<double> cache;
-    if (cache.empty()) {
-        cache.resize(size_t(phaseCount()), 0.0);
+    // Magic-static init: safe to race from parallel evaluate sweeps.
+    static const std::vector<double> cache = [] {
+        std::vector<double> v(size_t(phaseCount()), 0.0);
         for (int p = 0; p < phaseCount(); p++) {
-            cache[size_t(p)] =
+            v[size_t(p)] =
                 double(Campaign::get().at(referenceCore(), p)
                            .timePerRun);
         }
-    }
+        return v;
+    }();
     return cache[size_t(phase)];
 }
 
@@ -151,9 +152,9 @@ MigrationCensus::add(const MigrationCensus &o)
 double
 referenceTime(int bench)
 {
-    static std::vector<double> cache;
-    if (cache.empty()) {
-        cache.resize(specSuite().size(), 0.0);
+    // Magic-static init: safe to race from parallel evaluate sweeps.
+    static const std::vector<double> cache = [] {
+        std::vector<double> v(specSuite().size(), 0.0);
         for (size_t b = 0; b < specSuite().size(); b++) {
             double t = 0;
             for (size_t p = 0;
@@ -161,9 +162,10 @@ referenceTime(int bench)
                 int gp = benchStarts()[b] + int(p);
                 t += phaseRuns(int(b), int(p)) * refPhaseTime(gp);
             }
-            cache[b] = t;
+            v[b] = t;
         }
-    }
+        return v;
+    }();
     return cache[size_t(bench)];
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 
 namespace cisa
@@ -63,9 +64,6 @@ familyCandidates(Family family, const IsaFilter &filter)
         }
         break;
     }
-    if (family == Family::CompositeFull && filter) {
-        // filter already applied above
-    }
     return out;
 }
 
@@ -119,14 +117,22 @@ prune(const std::vector<DesignPoint> &cands, Objective obj,
         DesignPoint dp;
         CandScore s;
     };
+    // Score every candidate in parallel (each index writes its own
+    // slot), then group serially in candidate order so the shortlist
+    // is identical at any thread count.
+    std::vector<CandScore> scores(cands.size());
+    parallelFor(cands.size(), [&](uint64_t i) {
+        scores[i] = scoreCandidate(cands[i], mp);
+    });
+
     // Group by ISA (slab).
     std::unordered_map<int, std::vector<Entry>> groups;
-    for (const auto &dp : cands) {
-        CandScore s = scoreCandidate(dp, mp);
+    for (size_t i = 0; i < cands.size(); i++) {
+        const CandScore &s = scores[i];
         // A candidate that alone busts the budget is useless.
         if (s.power > budget.powerW || s.area > budget.areaMm2)
             continue;
-        groups[Campaign::slabOf(dp)].push_back({dp, s});
+        groups[Campaign::slabOf(cands[i])].push_back({cands[i], s});
     }
 
     std::vector<DesignPoint> out;
@@ -172,9 +178,17 @@ searchDesign(Family family, Objective objective, const Budget &budget,
     panic_if(cands.empty(), "no candidates for family %s",
              familyName(family));
     // Make sure all slabs involved are computed before timing-
-    // sensitive search loops.
-    for (const auto &dp : cands)
-        Campaign::get().ensureSlab(Campaign::slabOf(dp));
+    // sensitive search loops. Distinct slabs overlap on the pool;
+    // ensureSlab's per-slab once semantics keep this idempotent.
+    std::vector<int> slabs;
+    for (const auto &dp : cands) {
+        int s = Campaign::slabOf(dp);
+        if (std::find(slabs.begin(), slabs.end(), s) == slabs.end())
+            slabs.push_back(s);
+    }
+    parallelFor(slabs.size(), [&](uint64_t i) {
+        Campaign::get().ensureSlab(slabs[i]);
+    });
 
     cands = prune(cands, objective, budget);
 
@@ -193,15 +207,26 @@ searchDesign(Family family, Objective objective, const Budget &budget,
     SearchResult best;
     best.score = -1e300;
 
-    // Homogeneous: exhaustive over identical quadruples.
+    // Sentinel below any reachable score; infeasible candidates keep
+    // it, so the ordered reduction skips them exactly like the old
+    // serial `continue`.
+    constexpr double kNoScore = -1e300;
+
+    // Homogeneous: exhaustive over identical quadruples, evaluated
+    // in parallel with a serial in-order reduction (ties resolve to
+    // the earliest candidate, as before).
     if (family == Family::Homogeneous) {
-        for (const auto &dp : cands) {
+        std::vector<double> sc(cands.size(), kNoScore);
+        parallelFor(cands.size(), [&](uint64_t i) {
+            const DesignPoint &dp = cands[i];
             MulticoreDesign d{{dp, dp, dp, dp}};
-            if (!budget.feasible(d))
-                continue;
-            double s = evaluate(d);
-            if (s > best.score) {
-                best = {d, s, true};
+            if (budget.feasible(d))
+                sc[i] = evaluate(d);
+        });
+        for (size_t i = 0; i < cands.size(); i++) {
+            if (sc[i] > best.score) {
+                const DesignPoint &dp = cands[i];
+                best = {{{dp, dp, dp, dp}}, sc[i], true};
             }
         }
         return best;
@@ -248,18 +273,25 @@ searchDesign(Family family, Objective objective, const Budget &budget,
             improved = false;
             for (int s = 0; s < 4; s++) {
                 DesignPoint keep = cur.cores[size_t(s)];
+                // Sweep every replacement for slot s in parallel;
+                // the in-order reduction reproduces the serial
+                // first-best tie-breaking bit for bit.
+                std::vector<double> sweep(cands.size(), kNoScore);
+                parallelFor(cands.size(), [&](uint64_t i) {
+                    if (cands[i] == keep)
+                        return;
+                    MulticoreDesign trial = cur;
+                    trial.cores[size_t(s)] = cands[i];
+                    if (!budget.feasible(trial))
+                        return;
+                    sweep[i] = evaluate(trial);
+                });
                 DesignPoint best_dp = keep;
                 double best_s = cur_score;
-                for (const auto &dp : cands) {
-                    if (dp == keep)
-                        continue;
-                    cur.cores[size_t(s)] = dp;
-                    if (!budget.feasible(cur))
-                        continue;
-                    double sc = evaluate(cur);
-                    if (sc > best_s) {
-                        best_s = sc;
-                        best_dp = dp;
+                for (size_t i = 0; i < cands.size(); i++) {
+                    if (sweep[i] > best_s) {
+                        best_s = sweep[i];
+                        best_dp = cands[i];
                     }
                 }
                 cur.cores[size_t(s)] = best_dp;

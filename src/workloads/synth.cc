@@ -1,6 +1,7 @@
 #include "workloads/synth.hh"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -497,22 +498,26 @@ buildPhase(const PhaseProfile &profile)
 const IrModule &
 phaseModule(int phase_index)
 {
-    static std::vector<IrModule> cache;
-    static std::vector<bool> built;
+    // Per-phase once semantics: distinct phases build concurrently
+    // from the campaign's parallel compile stage, each exactly once.
+    // The vectors are sized at construction and never resized, so
+    // entries are stable across concurrent call_once sections.
+    struct PhaseCache
+    {
+        std::vector<IrModule> mods;
+        std::vector<std::once_flag> once;
+        explicit PhaseCache(size_t n) : mods(n), once(n) {}
+    };
     const auto &phases = allPhases();
-    if (cache.empty()) {
-        cache.resize(phases.size());
-        built.assign(phases.size(), false);
-    }
+    static PhaseCache cache(phases.size());
     panic_if(phase_index < 0 ||
              size_t(phase_index) >= phases.size(),
              "bad phase index %d", phase_index);
-    if (!built[size_t(phase_index)]) {
-        cache[size_t(phase_index)] =
-            buildPhase(phases[size_t(phase_index)]);
-        built[size_t(phase_index)] = true;
-    }
-    return cache[size_t(phase_index)];
+    size_t i = size_t(phase_index);
+    std::call_once(cache.once[i], [&] {
+        cache.mods[i] = buildPhase(phases[i]);
+    });
+    return cache.mods[i];
 }
 
 } // namespace cisa

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the parallel-execution layer and the determinism
+ * guarantee of the parallel campaign: parallelFor semantics (empty
+ * range, fewer items than threads, full coverage, exception
+ * propagation, nesting), the task-queue API, and byte-identical
+ * slab computation across thread counts. The ctest suite runs this
+ * binary under CISA_THREADS=4 (and TSan when CISA_ENABLE_TSAN is
+ * on) so races on the campaign/search hot path are caught.
+ */
+
+#include <cstdlib>
+
+// Must run before any Campaign::get() in this process.
+namespace
+{
+struct EnvSetup
+{
+    EnvSetup()
+    {
+        setenv("CISA_SIM_UOPS", "700", 1);
+        setenv("CISA_SIM_WARMUP", "150", 1);
+        setenv("CISA_DSE_CACHE", "/tmp/cisa_parallel_cache.bin", 1);
+        // Exercise the pool even where ctest didn't set the knob;
+        // never shrink an explicit setting.
+        setenv("CISA_THREADS", "4", 0);
+    }
+} env_setup;
+} // namespace
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "explore/campaign.hh"
+
+namespace cisa
+{
+namespace
+{
+
+TEST(ParallelFor, EmptyRangeRunsNothing)
+{
+    std::atomic<int> calls{0};
+    parallelFor(0, [&](uint64_t) { calls++; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    constexpr uint64_t n = 10007; // prime: uneven chunking
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(n, [&](uint64_t i) { hits[i]++; });
+    for (uint64_t i = 0; i < n; i++)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, FewerItemsThanThreads)
+{
+    ASSERT_GE(ThreadPool::get().threads(), 2)
+        << "run with CISA_THREADS >= 2";
+    std::vector<std::atomic<int>> hits(3);
+    parallelFor(3, [&](uint64_t i) { hits[i]++; });
+    for (int i = 0; i < 3; i++)
+        EXPECT_EQ(hits[size_t(i)].load(), 1);
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolSurvives)
+{
+    EXPECT_THROW(
+        parallelFor(1000,
+                    [&](uint64_t i) {
+                        if (i == 37)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+    // The pool stays usable after a failed loop.
+    std::atomic<int> calls{0};
+    parallelFor(64, [&](uint64_t) { calls++; });
+    EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ParallelFor, NestedLoopsDoNotDeadlock)
+{
+    std::atomic<int> total{0};
+    parallelFor(4, [&](uint64_t) {
+        parallelFor(100, [&](uint64_t) { total++; });
+    });
+    EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ParallelFor, ScopedLimitOneIsSerialAndOrdered)
+{
+    ScopedThreadLimit serial(1);
+    std::vector<uint64_t> order; // unsynchronized: serial contract
+    parallelFor(257, [&](uint64_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 257u);
+    for (uint64_t i = 0; i < order.size(); i++)
+        ASSERT_EQ(order[i], i);
+}
+
+TEST(TaskGroup, RunsAllTasks)
+{
+    std::atomic<int> done{0};
+    TaskGroup g;
+    for (int t = 0; t < 100; t++)
+        g.run([&] { done++; });
+    g.wait();
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(TaskGroup, WaitRethrowsTaskError)
+{
+    TaskGroup g;
+    g.run([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(g.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, PrivatePoolAndThreadKnob)
+{
+    EXPECT_GE(parallelThreads(), 1);
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threads(), 3);
+    std::vector<std::atomic<int>> hits(500);
+    pool.parallelFor(500, [&](uint64_t i) { hits[i]++; });
+    for (int i = 0; i < 500; i++)
+        ASSERT_EQ(hits[size_t(i)].load(), 1);
+}
+
+/**
+ * The acceptance property of the whole PR: one slab computed
+ * serially (CISA_THREADS=1 semantics via ScopedThreadLimit) and on
+ * the full pool must produce byte-identical PhasePerf tables.
+ */
+TEST(CampaignDeterminism, SlabIsBitIdenticalAcrossThreadCounts)
+{
+    int slab = FeatureSet::thumbLike().id();
+    std::vector<PhasePerf> serial;
+    {
+        ScopedThreadLimit limit(1);
+        serial = computeSlabPerf(slab);
+    }
+    std::vector<PhasePerf> parallel = computeSlabPerf(slab);
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(),
+              size_t(DesignPoint::kUarchCount) *
+                  size_t(phaseCount()));
+    static_assert(std::is_trivially_copyable_v<PhasePerf>);
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(PhasePerf)),
+              0);
+}
+
+TEST(CampaignDeterminism, ConcurrentAtOnSameSlabIsConsistent)
+{
+    Campaign &camp = Campaign::get();
+    DesignPoint dp = DesignPoint::composite(
+        FeatureSet::thumbLike().id(), 17);
+    // Hammer at() for an uncomputed-or-cached slab from many tasks;
+    // every reader must observe the same published cell.
+    const PhasePerf &first = camp.at(dp, 3);
+    float t0 = first.timePerRun;
+    std::atomic<int> mismatches{0};
+    parallelFor(64, [&](uint64_t) {
+        if (camp.at(dp, 3).timePerRun != t0)
+            mismatches++;
+    });
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_TRUE(camp.slabReady(Campaign::slabOf(dp)));
+}
+
+} // namespace
+} // namespace cisa
