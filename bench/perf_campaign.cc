@@ -2,11 +2,19 @@
  * @file
  * Wall-clock measurement of the DSE campaign hot path: one cold slab
  * (49 phases x 180 microarchitectures x 2 run environments) computed
- * serially and again on the full CISA_THREADS pool, inside a single
- * process so compile/simulate work is identical. Prints both times,
- * the speedup, and verifies the two tables are byte-identical — the
- * acceptance evidence for the parallel engine (target: >= 2.5x at
- * CISA_THREADS=4 on a 4+-core host).
+ * three ways inside a single process so compile/simulate work is
+ * identical — serially on the live engine, on the full CISA_THREADS
+ * pool with the live engine, and on the pool with the memoized
+ * replay engine (packed traces + structural-stream memo). Prints all
+ * three times, the speedups, and verifies the three tables are
+ * byte-identical — the acceptance evidence for both the parallel
+ * engine (PR 1: >= 2.5x pool vs serial at CISA_THREADS=4 on a
+ * 4+-core host) and the replay engine (PR 2: >= 2x replay vs pool at
+ * the same thread count, an algorithmic win that shows even on one
+ * core).
+ *
+ * With --json, emits a single machine-readable JSON object on stdout
+ * instead (see scripts/bench_perf.sh, which seeds BENCH_PR<N>.json).
  *
  * Knobs: CISA_THREADS (pool width), CISA_SIM_UOPS / CISA_SIM_WARMUP
  * (per-cell simulation budget), CISA_BENCH_SLAB (slab index,
@@ -35,48 +43,93 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+bool
+sameTable(const std::vector<PhasePerf> &a,
+          const std::vector<PhasePerf> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(PhasePerf)) == 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
     int slab = int(envInt("CISA_BENCH_SLAB",
                           FeatureSet::x86_64().id()));
     int threads = ThreadPool::get().threads();
 
-    // Warm the phase-module cache so both legs time compilation and
+    // Warm the phase-module cache so every leg times compilation and
     // simulation, not one-off IR synthesis.
     for (int p = 0; p < phaseCount(); p++)
         phaseModule(p);
 
-    std::printf("campaign slab %d: %d phases x %d uarches x 2 envs, "
-                "sim budget %llu+%llu uops\n",
-                slab, phaseCount(), DesignPoint::kUarchCount,
-                (unsigned long long)simUopBudget(),
-                (unsigned long long)simWarmupUops());
+    if (!json) {
+        std::printf(
+            "campaign slab %d: %d phases x %d uarches x 2 envs, "
+            "sim budget %llu+%llu uops\n",
+            slab, phaseCount(), DesignPoint::kUarchCount,
+            (unsigned long long)simUopBudget(),
+            (unsigned long long)simWarmupUops());
+    }
 
     std::vector<PhasePerf> serial;
     double t_serial;
     {
         ScopedThreadLimit limit(1);
         auto t0 = std::chrono::steady_clock::now();
-        serial = computeSlabPerf(slab);
+        serial = computeSlabPerf(slab, SlabEngine::Live);
         t_serial = secondsSince(t0);
     }
-    std::printf("  CISA_THREADS=1 : %8.3f s\n", t_serial);
 
     auto t0 = std::chrono::steady_clock::now();
-    std::vector<PhasePerf> parallel = computeSlabPerf(slab);
-    double t_par = secondsSince(t0);
-    std::printf("  CISA_THREADS=%-2d: %8.3f s\n", threads, t_par);
+    std::vector<PhasePerf> pool =
+        computeSlabPerf(slab, SlabEngine::Live);
+    double t_pool = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    std::vector<PhasePerf> replay =
+        computeSlabPerf(slab, SlabEngine::Replay);
+    double t_replay = secondsSince(t0);
 
     bool identical =
-        serial.size() == parallel.size() &&
-        std::memcmp(serial.data(), parallel.data(),
-                    serial.size() * sizeof(PhasePerf)) == 0;
-    std::printf("  speedup        : %.2fx\n",
-                t_par > 0 ? t_serial / t_par : 0.0);
-    std::printf("  tables         : %s\n",
-                identical ? "bit-identical" : "MISMATCH");
+        sameTable(serial, pool) && sameTable(serial, replay);
+    double sp_pool = t_pool > 0 ? t_serial / t_pool : 0.0;
+    double sp_replay = t_replay > 0 ? t_pool / t_replay : 0.0;
+
+    if (json) {
+        std::printf(
+            "{\n"
+            "  \"bench\": \"perf_campaign\",\n"
+            "  \"slab\": %d,\n"
+            "  \"threads\": %d,\n"
+            "  \"phases\": %d,\n"
+            "  \"uarches\": %d,\n"
+            "  \"sim_uops\": %llu,\n"
+            "  \"sim_warmup\": %llu,\n"
+            "  \"serial_live_s\": %.3f,\n"
+            "  \"pool_live_s\": %.3f,\n"
+            "  \"pool_replay_s\": %.3f,\n"
+            "  \"speedup_pool_vs_serial\": %.2f,\n"
+            "  \"speedup_replay_vs_pool\": %.2f,\n"
+            "  \"tables_identical\": %s\n"
+            "}\n",
+            slab, threads, phaseCount(), DesignPoint::kUarchCount,
+            (unsigned long long)simUopBudget(),
+            (unsigned long long)simWarmupUops(), t_serial, t_pool,
+            t_replay, sp_pool, sp_replay,
+            identical ? "true" : "false");
+    } else {
+        std::printf("  serial live    : %8.3f s\n", t_serial);
+        std::printf("  pool live  x%-2d : %8.3f s  (%.2fx)\n",
+                    threads, t_pool, sp_pool);
+        std::printf("  pool replay x%-2d: %8.3f s  (%.2fx vs pool)\n",
+                    threads, t_replay, sp_replay);
+        std::printf("  tables         : %s\n",
+                    identical ? "bit-identical" : "MISMATCH");
+    }
     return identical ? 0 : 1;
 }

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Seed the perf trajectory: run bench/perf_campaign in --json mode
+# and write the result to BENCH_PR<N>.json at the repo root.
+#
+# Usage: scripts/bench_perf.sh [pr-number] [build-dir]
+#
+# Honors the usual knobs (CISA_THREADS, CISA_SIM_UOPS,
+# CISA_SIM_WARMUP, CISA_BENCH_SLAB); defaults measure the full
+# production budget, which takes a few minutes on one core.
+set -eu
+
+pr="${1:-2}"
+build="${2:-build}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+bin="$root/$build/bench/perf_campaign"
+
+if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $build)" >&2
+    exit 1
+fi
+
+out="$root/BENCH_PR${pr}.json"
+"$bin" --json > "$out"
+echo "wrote $out:"
+cat "$out"

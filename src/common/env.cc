@@ -41,6 +41,12 @@ dseCachePath()
     return envStr("CISA_DSE_CACHE", "dse_cache.bin");
 }
 
+bool
+replayEnabled()
+{
+    return envInt("CISA_REPLAY", 1) != 0;
+}
+
 int
 searchRestarts()
 {

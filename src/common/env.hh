@@ -29,6 +29,10 @@ uint64_t simWarmupUops();
 /** Path of the design-space-exploration result cache. */
 std::string dseCachePath();
 
+/** Whether the campaign uses the memoized replay engine
+ * (CISA_REPLAY, default on; results are bit-identical either way). */
+bool replayEnabled();
+
 /** Hill-climbing restarts in the multicore search. */
 int searchRestarts();
 

@@ -76,12 +76,13 @@ struct Machine
     uint64_t fuel;
     Trace *trace;
     uint64_t traceCap;
+    uint64_t recordCap;
     bool stop = false;
 
     Machine(const MachineProgram &p, MemImage &image, uint64_t f,
-            Trace *t, uint64_t cap)
+            Trace *t, uint64_t cap, uint64_t rec_cap)
         : prog(p), img(image), ptrBits(p.target.widthBits()), fuel(f),
-          trace(t), traceCap(cap)
+          trace(t), traceCap(cap), recordCap(rec_cap)
     {
         gpr[kSpReg] = int64_t(img.stackBase + img.stackSize - 64);
     }
@@ -268,6 +269,11 @@ Machine::recordDyn(const MachineInstr &i, bool pred_false, bool taken,
         stop = true;
         return;
     }
+    // Past the record cap the run keeps executing (the DynStats
+    // aggregates above still accumulate) but stops materializing
+    // DynOps; see executeMachine's record_cap parameter.
+    if (trace->ops.size() >= recordCap)
+        return;
 
     DynOp op;
     op.pc = i.addr;
@@ -600,9 +606,10 @@ Machine::run(int func_idx, int depth)
 ExecResult
 executeMachine(const MachineProgram &prog, MemImage &img,
                uint64_t max_macro_ops, Trace *trace,
-               uint64_t trace_cap)
+               uint64_t trace_cap, uint64_t record_cap)
 {
-    Machine m(prog, img, max_macro_ops, trace, trace_cap);
+    Machine m(prog, img, max_macro_ops, trace, trace_cap,
+              record_cap);
     m.run(0, 0);
 
     if (trace) {

@@ -119,11 +119,18 @@ struct Trace
  * @param max_macro_ops fuel limit
  * @param trace optional trace sink
  * @param trace_cap stop executing after this many trace entries
+ * @param record_cap stop *storing* DynOps after this many entries
+ *     while execution (and DynStats accounting) continues to the
+ *     end of the run. Callers that only simulate a bounded uop
+ *     budget over the trace prefix pass the budget here and read
+ *     the full-run op count from Trace::dyn.macroOps, skipping the
+ *     construction of millions of DynOps nothing ever reads.
  */
 ExecResult executeMachine(const MachineProgram &prog, MemImage &img,
                           uint64_t max_macro_ops = 1ULL << 32,
                           Trace *trace = nullptr,
-                          uint64_t trace_cap = 1ULL << 22);
+                          uint64_t trace_cap = 1ULL << 22,
+                          uint64_t record_cap = ~uint64_t(0));
 
 } // namespace cisa
 

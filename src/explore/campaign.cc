@@ -12,6 +12,7 @@
 #include "migration/translate.hh"
 #include "power/energy.hh"
 #include "uarch/core.hh"
+#include "uarch/replay.hh"
 #include "workloads/synth.hh"
 
 namespace cisa
@@ -171,7 +172,7 @@ Campaign::ensureSlab(int slab)
 }
 
 std::vector<PhasePerf>
-computeSlabPerf(int slab)
+computeSlabPerf(int slab, SlabEngine engine)
 {
     bool is_vendor = slab >= 26;
     VendorModel vm;
@@ -197,6 +198,18 @@ computeSlabPerf(int slab)
 
     // Stage 1: compile and functionally execute each phase exactly
     // once; the trace is shared read-only by every simulation below.
+    //
+    // A cell only ever consumes the first (warm + timed) uops of a
+    // trace — at least one uop per macro-op, so (warm + timed) + 1
+    // stored ops bound every simulation below (+1 so the final
+    // consumed op still has a real successor target). Composite
+    // slabs therefore cap *recording* there while the run executes
+    // to completion for the per-run op count (Trace::dyn.macroOps,
+    // which equals ops.size() for an uncapped, untruncated run).
+    // Vendor slabs keep full recording: vendorAdjustTrace rewrites
+    // the whole trace and its output length feeds run_ops.
+    uint64_t record_cap =
+        is_vendor ? ~uint64_t(0) : warm + timed + 1;
     std::vector<Trace> traces(phases);
     std::vector<double> run_ops(phases, 0.0);
     parallelFor(phases, [&](uint64_t p) {
@@ -208,14 +221,75 @@ computeSlabPerf(int slab)
         MachineProgram prog = compile(mod, opts, nullptr, &ir);
         MemImage img = MemImage::build(ir, fs.widthBits());
         Trace trace;
-        executeMachine(prog, img, 1ULL << 31, &trace, 1ULL << 21);
+        executeMachine(prog, img, 1ULL << 31, &trace, 1ULL << 21,
+                       record_cap);
         panic_if(trace.truncated,
                  "phase %d trace truncated; shrink targetDynOps", ph);
         if (is_vendor && vm.codeSizeFactor != 1.0)
             trace = vendorAdjustTrace(trace, vm.codeSizeFactor);
-        run_ops[p] = double(trace.ops.size());
+        run_ops[p] = is_vendor ? double(trace.ops.size())
+                               : double(trace.dyn.macroOps);
         traces[p] = std::move(trace);
     });
+
+    // Stage 1b (replay engine): pack each phase trace once, then
+    // compute the memoized structural streams — one per distinct
+    // (cache slice + environment + predictor) fingerprint instead of
+    // one per cell. The 180-config space collapses onto a handful of
+    // structural slices (2 cache geometries x 3 predictors x 2
+    // environments), so almost all per-cell cache/predictor work is
+    // amortized away.
+    bool replay = engine == SlabEngine::Auto
+                      ? replayEnabled()
+                      : engine == SlabEngine::Replay;
+    uint64_t max_steps = warm + timed;
+    std::vector<ReplayTrace> packed;
+    struct StreamSlice
+    {
+        MicroArchConfig uarch;
+        RunEnv env;
+        uint64_t key;
+    };
+    std::vector<StreamSlice> slices;
+    // slice index per (uarch id, env): env 0 = solo, 1 = contended.
+    std::vector<std::array<int, 2>> sliceOf;
+    std::vector<std::vector<StructuralStream>> streams;
+    if (replay) {
+        sliceOf.resize(size_t(DesignPoint::kUarchCount));
+        const RunEnv *envs[2] = {&solo, &mp};
+        for (int u = 0; u < DesignPoint::kUarchCount; u++) {
+            MicroArchConfig ua = MicroArchConfig::byId(u);
+            for (int e = 0; e < 2; e++) {
+                uint64_t key = structuralFingerprint(ua, *envs[e]);
+                int si = -1;
+                for (size_t k = 0; k < slices.size(); k++) {
+                    if (slices[k].key == key) {
+                        si = int(k);
+                        break;
+                    }
+                }
+                if (si < 0) {
+                    si = int(slices.size());
+                    slices.push_back({ua, *envs[e], key});
+                }
+                sliceOf[size_t(u)][size_t(e)] = si;
+            }
+        }
+        packed.resize(phases);
+        parallelFor(phases, [&](uint64_t p) {
+            packed[p] = ReplayTrace::build(traces[p], max_steps);
+        });
+        streams.assign(phases,
+                       std::vector<StructuralStream>(slices.size()));
+        parallelFor(phases * slices.size(), [&](uint64_t k) {
+            size_t p = k / slices.size();
+            size_t si = k % slices.size();
+            CoreConfig cc{fs, slices[si].uarch};
+            streams[p][si] = buildStructuralStream(
+                cc, slices[si].env, traces[p], packed[p], timed,
+                warm);
+        });
+    }
 
     // Stage 2: one task per (uarch, phase) cell — solo and contended
     // environments together, so exactly one task writes each cell
@@ -232,7 +306,21 @@ computeSlabPerf(int slab)
         const Trace &trace = traces[size_t(ph)];
         PhasePerf out;
 
-        PerfResult rs = simulateCore(cc, trace, timed, warm, solo);
+        PerfResult rs, rm;
+        if (replay) {
+            const ReplayTrace &pk = packed[size_t(ph)];
+            const auto &ss = streams[size_t(ph)];
+            rs = simulateCoreReplay(
+                cc, pk, ss[size_t(sliceOf[size_t(u)][0])], timed,
+                warm, solo);
+            rm = simulateCoreReplay(
+                cc, pk, ss[size_t(sliceOf[size_t(u)][1])], timed,
+                warm, mp);
+        } else {
+            rs = simulateCore(cc, trace, timed, warm, solo);
+            rm = simulateCore(cc, trace, timed, warm, mp);
+        }
+
         double scale =
             run_ops[size_t(ph)] / double(rs.stats.macroOps);
         out.timePerRun = float(secondsOf(rs.cycles) * scale);
@@ -241,7 +329,6 @@ computeSlabPerf(int slab)
                 .total() *
             scale);
 
-        PerfResult rm = simulateCore(cc, trace, timed, warm, mp);
         double scale_m =
             run_ops[size_t(ph)] / double(rm.stats.macroOps);
         out.timePerRunMp = float(secondsOf(rm.cycles) * scale_m);

@@ -38,6 +38,14 @@ struct PhasePerf
     float energyPerRunMp = 0;
 };
 
+/** Which simulation engine computeSlabPerf runs its cells on. */
+enum class SlabEngine
+{
+    Auto,   ///< CISA_REPLAY env knob (default: Replay)
+    Live,   ///< simulateCore per cell (the seed path)
+    Replay, ///< packed traces + memoized structural streams
+};
+
 /**
  * Compute one slab's full PhasePerf block: every (microarchitecture,
  * phase) cell of one ISA (or vendor), laid out uarch-major —
@@ -46,11 +54,15 @@ struct PhasePerf
  * functionally executed once each, then all cells are simulated on
  * the process thread pool; results are bit-identical at any
  * CISA_THREADS because each cell is written by exactly one task and
- * nothing on the parallel path shares an RNG. Exposed outside
- * Campaign so determinism tests and the campaign bench can time the
- * computation without going through the singleton's disk cache.
+ * nothing on the parallel path shares an RNG — and bit-identical
+ * across SlabEngine choices, because the replay engine memoizes only
+ * timing-independent structural streams (see src/uarch/replay.hh).
+ * Exposed outside Campaign so determinism tests and the campaign
+ * bench can time the computation without going through the
+ * singleton's disk cache.
  */
-std::vector<PhasePerf> computeSlabPerf(int slab);
+std::vector<PhasePerf> computeSlabPerf(
+    int slab, SlabEngine engine = SlabEngine::Auto);
 
 /**
  * Lazily-computed, disk-backed table of PhasePerf over all design

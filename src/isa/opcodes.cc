@@ -71,53 +71,8 @@ microClassName(MicroClass c)
     }
 }
 
-int
-microLatency(MicroClass c)
-{
-    switch (c) {
-      case MicroClass::IntAlu:  return 1;
-      case MicroClass::IntMul:  return 3;
-      case MicroClass::IntDiv:  return 12;
-      case MicroClass::FpAlu:   return 3;
-      case MicroClass::FpMul:   return 4;
-      case MicroClass::FpDiv:   return 12;
-      case MicroClass::SimdAlu: return 2;
-      case MicroClass::SimdMul: return 4;
-      case MicroClass::Load:    return 1; // plus memory hierarchy
-      case MicroClass::Store:   return 1;
-      case MicroClass::Branch:  return 1;
-      default: panic("bad micro class %d", int(c));
-    }
-}
 
-bool
-isIntClass(MicroClass c)
-{
-    switch (c) {
-      case MicroClass::IntAlu:
-      case MicroClass::IntMul:
-      case MicroClass::IntDiv:
-      case MicroClass::Branch:
-        return true;
-      default:
-        return false;
-    }
-}
 
-bool
-isFpSimdClass(MicroClass c)
-{
-    switch (c) {
-      case MicroClass::FpAlu:
-      case MicroClass::FpMul:
-      case MicroClass::FpDiv:
-      case MicroClass::SimdAlu:
-      case MicroClass::SimdMul:
-        return true;
-      default:
-        return false;
-    }
-}
 
 MicroClass
 opClass(Op op)

@@ -69,14 +69,57 @@ enum class MicroClass : uint8_t {
 const char *microClassName(MicroClass c);
 
 /** Execution latency (cycles) of a micro-op class, excluding memory
- * hierarchy time for loads. */
-int microLatency(MicroClass c);
+ * hierarchy time for loads. Constexpr: evaluated once per issued uop
+ * on the simulation hot path, so it must inline to a table lookup
+ * rather than cost a call. */
+constexpr int
+microLatency(MicroClass c)
+{
+    switch (c) {
+      case MicroClass::IntAlu:  return 1;
+      case MicroClass::IntMul:  return 3;
+      case MicroClass::IntDiv:  return 12;
+      case MicroClass::FpAlu:   return 3;
+      case MicroClass::FpMul:   return 4;
+      case MicroClass::FpDiv:   return 12;
+      case MicroClass::SimdAlu: return 2;
+      case MicroClass::SimdMul: return 4;
+      case MicroClass::Load:    return 1; // plus memory hierarchy
+      case MicroClass::Store:   return 1;
+      default:                  return 1; // Branch
+    }
+}
 
 /** True if @p c issues to an integer ALU-type port. */
-bool isIntClass(MicroClass c);
+constexpr bool
+isIntClass(MicroClass c)
+{
+    switch (c) {
+      case MicroClass::IntAlu:
+      case MicroClass::IntMul:
+      case MicroClass::IntDiv:
+      case MicroClass::Branch:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** True if @p c issues to the FP/SIMD port group. */
-bool isFpSimdClass(MicroClass c);
+constexpr bool
+isFpSimdClass(MicroClass c)
+{
+    switch (c) {
+      case MicroClass::FpAlu:
+      case MicroClass::FpMul:
+      case MicroClass::FpDiv:
+      case MicroClass::SimdAlu:
+      case MicroClass::SimdMul:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** Compute micro-op class of @p op (ignoring memory form). */
 MicroClass opClass(Op op);

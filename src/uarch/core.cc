@@ -1,11 +1,8 @@
 #include "uarch/core.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 #include "common/rng.hh"
-#include "uarch/bpred.hh"
-#include "uarch/uopcache.hh"
+#include "uarch/engine.hh"
 
 namespace cisa
 {
@@ -23,602 +20,16 @@ CoreConfig::fingerprint() const
                        uarch.fingerprint());
 }
 
-namespace
-{
-
-/** Functional-unit pools with per-unit next-free cycles. */
-struct FuPools
-{
-    std::vector<uint64_t> intAlu;
-    std::vector<uint64_t> intMul;
-    std::vector<uint64_t> fpAlu;
-    std::vector<uint64_t> ldPort;
-    std::vector<uint64_t> stPort;
-
-    explicit FuPools(const MicroArchConfig &c)
-        : intAlu(size_t(c.intAlus), 0),
-          intMul(size_t(c.intMuls), 0),
-          fpAlu(size_t(c.fpAlus), 0),
-          ldPort(size_t(std::min(2, c.width)), 0),
-          stPort(1, 0)
-    {}
-
-    std::vector<uint64_t> &
-    poolFor(MicroClass cls)
-    {
-        switch (cls) {
-          case MicroClass::IntMul:
-          case MicroClass::IntDiv:
-            return intMul;
-          case MicroClass::FpAlu:
-          case MicroClass::FpMul:
-          case MicroClass::FpDiv:
-          case MicroClass::SimdAlu:
-          case MicroClass::SimdMul:
-            return fpAlu;
-          case MicroClass::Load:
-            return ldPort;
-          case MicroClass::Store:
-            return stPort;
-          default:
-            return intAlu;
-        }
-    }
-
-    /** Earliest-free unit index in @p pool. */
-    static size_t
-    earliest(const std::vector<uint64_t> &pool)
-    {
-        size_t best = 0;
-        for (size_t i = 1; i < pool.size(); i++) {
-            if (pool[i] < pool[best])
-                best = i;
-        }
-        return best;
-    }
-};
-
-/** Ring of cycle stamps modelling a finite window (ROB/IQ/LSQ). */
-class Ring
-{
-  public:
-    explicit Ring(size_t n) : slots_(n, 0) {}
-
-    /** Cycle at which a free slot is available. */
-    uint64_t freeAt() const { return slots_[head_]; }
-
-    /** Occupy a slot that releases at @p release_cycle. */
-    void
-    push(uint64_t release_cycle)
-    {
-        slots_[head_] = release_cycle;
-        head_ = (head_ + 1) % slots_.size();
-    }
-
-  private:
-    std::vector<uint64_t> slots_;
-    size_t head_ = 0;
-};
-
-/** One micro-op expanded for execution. */
-struct XUop
-{
-    MicroClass cls;
-    int16_t srcs[4] = {-1, -1, -1, -1};
-    int16_t dst = -1;
-    bool isLoad = false;
-    bool isStore = false;
-    bool writesFlags = false;
-};
-
-/** The simulation engine. */
-struct Engine
-{
-    const CoreConfig &cfg;
-    const Trace &trace;
-    MemSystem mem;
-    std::unique_ptr<BranchPredictor> bp;
-    UopCache uc;
-    FuPools fu;
-    Ring rob, iq, lsq;
-    PerfStats st;
-
-    // Register ready times, indexed by rename-space id.
-    uint64_t regReady[kNumArchIds] = {};
-
-    // Front-end state.
-    uint64_t fetchCycle = 1;
-    int fetchMacroBudget;
-    int fetchByteBudget;
-    int fetchUopBudget;
-    uint64_t curLine = ~uint64_t(0);
-    uint64_t redirect = 0;
-
-    // Dispatch / issue / commit state.
-    uint64_t dispatchCycle = 1;
-    int dispatchBudget;
-    uint64_t lastIssue = 0;
-    uint64_t lastCommit = 0;
-    int commitBudget;
-    bool prevWasFusableCmp = false;
-    uint64_t prevEnd = 0;
-
-    // Store buffer: recent stores forward to matching loads.
-    struct SbEntry
-    {
-        uint64_t addr = ~uint64_t(0);
-        uint8_t size = 0;
-        uint64_t ready = 0;
-    };
-    static constexpr size_t kSbSize = 16;
-    SbEntry storeBuf[kSbSize];
-    size_t sbHead = 0;
-
-    // Branch target buffer (taken-target bubbles) and a return
-    // address stack.
-    static constexpr size_t kBtbSize = 512;
-    uint64_t btb[kBtbSize] = {};
-    uint64_t ras[16] = {};
-    size_t rasTop = 0;
-
-    static constexpr int kIldBytesPerCycle = 16;
-
-    Engine(const CoreConfig &c, const Trace &t, const RunEnv &env)
-        : cfg(c), trace(t),
-          mem(c.uarch, env.l2Share, env.memContention),
-          bp(BranchPredictor::create(c.uarch.bpred)),
-          fu(c.uarch),
-          rob(size_t(c.uarch.robSize)),
-          iq(size_t(c.uarch.iqSize)),
-          lsq(size_t(c.uarch.lsqSize)),
-          fetchMacroBudget(c.uarch.width),
-          fetchByteBudget(kIldBytesPerCycle),
-          fetchUopBudget(c.uarch.width),
-          dispatchBudget(c.uarch.width),
-          commitBudget(c.uarch.width)
-    {}
-
-    int frontendDepth() const { return cfg.uarch.outOfOrder ? 8 : 5; }
-
-    void
-    resetFetchBudgets(int uop_bw)
-    {
-        fetchMacroBudget = cfg.uarch.width;
-        fetchByteBudget = kIldBytesPerCycle;
-        fetchUopBudget = uop_bw;
-    }
-
-    /** Decode bandwidth in uops/cycle on the non-uop-cache path. */
-    int
-    decodeBandwidth() const
-    {
-        int bw = cfg.uarch.simpleDecoders;
-        if (cfg.isa.complexity == Complexity::X86)
-            bw += 4; // the 1:4 complex decoder + MSROM
-        return bw;
-    }
-
-    void step(const DynOp &op);
-    uint64_t issueUop(const XUop &u, uint64_t dispatch,
-                      uint64_t chain_ready, uint64_t mem_lat);
-};
-
-uint64_t
-Engine::issueUop(const XUop &u, uint64_t dispatch,
-                 uint64_t chain_ready, uint64_t mem_lat)
-{
-    uint64_t ready = std::max(dispatch + 1, chain_ready);
-    for (int16_t s : u.srcs) {
-        if (s >= 0)
-            ready = std::max(ready, regReady[s]);
-    }
-    if (!cfg.uarch.outOfOrder)
-        ready = std::max(ready, lastIssue);
-
-    auto &pool = fu.poolFor(u.cls);
-    size_t unit = FuPools::earliest(pool);
-    uint64_t issue = std::max(ready, pool[unit]);
-
-    int lat = microLatency(u.cls);
-    uint64_t complete = issue + uint64_t(lat) + mem_lat;
-    bool pipelined = u.cls != MicroClass::IntDiv &&
-                     u.cls != MicroClass::FpDiv;
-    pool[unit] = pipelined ? issue + 1 : complete;
-
-    if (u.dst >= 0)
-        regReady[u.dst] = complete;
-    if (u.writesFlags)
-        regReady[kFlagsReg] = complete;
-    lastIssue = std::max(lastIssue, issue);
-
-    st.issuedUops++;
-    st.aluOps[size_t(u.cls)]++;
-    int nsrc = 0;
-    for (int16_t s : u.srcs)
-        nsrc += s >= 0;
-    st.regReads += uint64_t(nsrc);
-    st.regWrites += u.dst >= 0;
-    if (isFpSimdClass(u.cls))
-        st.fpRegOps++;
-    return complete;
-}
-
-void
-Engine::step(const DynOp &op)
-{
-    // ---- Fetch ----
-    if (fetchCycle < redirect) {
-        fetchCycle = redirect;
-        resetFetchBudgets(fetchUopBudget);
-        curLine = ~uint64_t(0); // refetch the line after redirect
-    }
-    uint64_t line = op.pc >> 6;
-    if (line != curLine) {
-        int lat = mem.fetchAccess(op.pc);
-        st.l1iAccesses++;
-        if (lat > 1) {
-            st.l1iMisses++;
-            fetchCycle += uint64_t(lat - 1);
-        }
-        curLine = line;
-    }
-
-    bool uc_hit = false;
-    if (cfg.uarch.uopCache) {
-        st.uopCacheLookups++;
-        uc_hit = uc.lookup(op.pc);
-        if (uc_hit)
-            st.uopCacheHits++;
-        else
-            uc.fill(op.pc);
-    }
-    int uop_bw = uc_hit ? 6 : decodeBandwidth();
-
-    // Macro fusion: a conditional branch directly following a
-    // flag-writing single-uop ALU op shares its slot.
-    bool fused_branch = cfg.uarch.uopFusion && prevWasFusableCmp &&
-                        op.isBranch() && op.readsFlags;
-    if (fused_branch)
-        st.fusedMacroOps++;
-    prevWasFusableCmp = op.writesFlags && !op.isBranch() &&
-                        op.uops == 1 && op.form == MemForm::None;
-
-    int uops = op.uops;
-    int slot_uops = fused_branch ? 0 : uops;
-
-    // Micro fusion: a load-op pair occupies one slot up to issue.
-    int window_slots = slot_uops;
-    if (cfg.uarch.uopFusion && op.form == MemForm::LoadOp &&
-        uops == 2) {
-        window_slots = 1;
-        st.fusedMicroOps++;
-    }
-
-    fetchMacroBudget -= 1;
-    fetchByteBudget -= op.len;
-    fetchUopBudget -= slot_uops;
-    if (fetchMacroBudget < 0 || fetchByteBudget < 0 ||
-        fetchUopBudget < 0) {
-        fetchCycle++;
-        resetFetchBudgets(uop_bw);
-        fetchMacroBudget -= 1;
-        fetchByteBudget -= op.len;
-        fetchUopBudget -= slot_uops;
-    }
-
-    st.macroOps++;
-    st.uops += uint64_t(uops);
-    st.fetchBytes += op.len;
-    if (!uc_hit) {
-        st.ildInstrs++;
-        st.decodedUops += uint64_t(uops);
-        if (uops > 1)
-            st.msromUops += uint64_t(uops);
-    }
-    if (op.flags & DynPredicated) {
-        if (op.predFalse())
-            st.predFalseUops += uint64_t(uops);
-    }
-
-    // ---- Dispatch (rename + window allocation) ----
-    uint64_t disp = std::max(dispatchCycle,
-                             fetchCycle + uint64_t(frontendDepth()));
-    int mem_slots = (op.readsMem() ? 1 : 0) +
-                    (op.writesMem() ? 1 : 0) +
-                    (op.predFalse() &&
-                     op.form != MemForm::None ? 1 : 0);
-    for (int s = 0; s < window_slots; s++)
-        disp = std::max(disp, rob.freeAt());
-    if (cfg.uarch.outOfOrder) {
-        for (int s = 0; s < window_slots; s++)
-            disp = std::max(disp, iq.freeAt());
-    }
-    for (int s = 0; s < mem_slots; s++)
-        disp = std::max(disp, lsq.freeAt());
-
-    if (disp > dispatchCycle) {
-        dispatchCycle = disp;
-        dispatchBudget = cfg.uarch.width;
-    }
-    dispatchBudget -= std::max(window_slots, fused_branch ? 0 : 1);
-    if (dispatchBudget < 0) {
-        dispatchCycle++;
-        dispatchBudget = cfg.uarch.width - window_slots;
-        disp = dispatchCycle;
-    }
-    if (cfg.uarch.outOfOrder) {
-        st.renamedUops += uint64_t(slot_uops);
-        st.iqWrites += uint64_t(window_slots);
-    }
-    st.robWrites += uint64_t(window_slots);
-
-    // ---- Execute ----
-    uint64_t end = disp + 1;
-    bool pf = op.predFalse();
-
-    // Memory latency seen by this op's load uop: forwarded from the
-    // store buffer when a recent store covers it, else the cache
-    // hierarchy.
-    uint64_t load_lat = 0;
-    uint64_t fwd_ready = 0;
-    if (op.readsMem() && !pf) {
-        bool forwarded = false;
-        for (const auto &sb : storeBuf) {
-            if (op.maddr >= sb.addr &&
-                op.maddr + op.msize <= sb.addr + sb.size) {
-                forwarded = true;
-                fwd_ready = std::max(fwd_ready, sb.ready);
-            }
-        }
-        if (forwarded) {
-            st.sbForwards++;
-        } else {
-            load_lat = uint64_t(mem.dataAccess(op.maddr, false)) - 1;
-        }
-        st.lsqOps++;
-    }
-
-    auto mkSrcs = [&](XUop &u, bool addr, bool data) {
-        int k = 0;
-        if (addr) {
-            if (op.base >= 0)
-                u.srcs[k++] = op.base;
-            if (op.index >= 0)
-                u.srcs[k++] = op.index;
-        }
-        if (data) {
-            if (op.src1 >= 0)
-                u.srcs[k++] = op.src1;
-            if (op.src2 >= 0 && k < 4)
-                u.srcs[k++] = op.src2;
-            if (op.readsDst && op.dst >= 0 && k < 4)
-                u.srcs[k++] = op.dst;
-        }
-        if (op.pred >= 0 && k < 4)
-            u.srcs[k++] = op.pred;
-    };
-
-    if (pf) {
-        // Predicated-false: consumes a slot, reads the predicate,
-        // writes nothing.
-        XUop u;
-        u.cls = MicroClass::IntAlu;
-        if (op.pred >= 0)
-            u.srcs[0] = op.pred;
-        end = issueUop(u, disp, 0, 0);
-    } else {
-        switch (op.form) {
-          case MemForm::None: {
-            XUop u;
-            u.cls = op.cls;
-            u.dst = op.dst;
-            u.writesFlags = op.writesFlags;
-            mkSrcs(u, false, true);
-            if (op.readsFlags && op.pred < 0) {
-                for (int k = 0; k < 4; k++) {
-                    if (u.srcs[k] < 0) {
-                        u.srcs[k] = kFlagsReg;
-                        break;
-                    }
-                }
-            }
-            uint64_t complete = issueUop(u, disp, 0, 0);
-            // Extra uops of a cracked macro (e.g. mulpd) chain on.
-            for (int extra = 1; extra < uops; extra++) {
-                XUop e;
-                e.cls = op.cls;
-                e.dst = op.dst;
-                e.srcs[0] = op.dst;
-                complete = issueUop(e, disp, complete, 0);
-            }
-            end = complete;
-            break;
-          }
-          case MemForm::Load: {
-            XUop u;
-            u.cls = MicroClass::Load;
-            u.dst = op.dst;
-            mkSrcs(u, true, false);
-            end = issueUop(u, disp, fwd_ready, load_lat);
-            break;
-          }
-          case MemForm::Store: {
-            XUop u;
-            u.cls = MicroClass::Store;
-            mkSrcs(u, true, true);
-            uint64_t complete = issueUop(u, disp, 0, 0);
-            mem.dataAccess(op.maddr, true);
-            st.lsqOps++;
-            storeBuf[sbHead] = {op.maddr, op.msize, complete};
-            sbHead = (sbHead + 1) % kSbSize;
-            end = complete;
-            break;
-          }
-          case MemForm::LoadOp: {
-            XUop ld;
-            ld.cls = MicroClass::Load;
-            mkSrcs(ld, true, false);
-            uint64_t ld_done = issueUop(ld, disp, fwd_ready,
-                                        load_lat);
-            XUop alu;
-            alu.cls = op.cls;
-            alu.dst = op.dst;
-            alu.writesFlags = op.writesFlags;
-            mkSrcs(alu, false, true);
-            end = issueUop(alu, disp, ld_done, 0);
-            for (int extra = 2; extra < uops; extra++) {
-                XUop e;
-                e.cls = op.cls;
-                e.dst = op.dst;
-                e.srcs[0] = op.dst;
-                end = issueUop(e, disp, end, 0);
-            }
-            break;
-          }
-          case MemForm::LoadOpStore: {
-            XUop ld;
-            ld.cls = MicroClass::Load;
-            mkSrcs(ld, true, false);
-            uint64_t ld_done = issueUop(ld, disp, fwd_ready,
-                                        load_lat);
-            XUop alu;
-            alu.cls = op.cls;
-            alu.writesFlags = op.writesFlags;
-            mkSrcs(alu, false, true);
-            uint64_t alu_done = issueUop(alu, disp, ld_done, 0);
-            XUop agen;
-            agen.cls = MicroClass::IntAlu;
-            mkSrcs(agen, true, false);
-            issueUop(agen, disp, 0, 0);
-            XUop stu;
-            stu.cls = MicroClass::Store;
-            end = issueUop(stu, disp, alu_done, 0);
-            mem.dataAccess(op.maddr, true);
-            st.lsqOps++;
-            storeBuf[sbHead] = {op.maddr, op.msize, end};
-            sbHead = (sbHead + 1) % kSbSize;
-            break;
-          }
-        }
-    }
-
-    // ---- Branch resolution ----
-    if (op.isBranch()) {
-        bool conditional = op.readsFlags;
-        bool taken = op.taken();
-        bool mispredict = false;
-        if (conditional) {
-            st.bpLookups++;
-            bool pred = bp->predict(op.pc);
-            bp->update(op.pc, taken);
-            mispredict = pred != taken;
-        }
-        if (mispredict) {
-            st.bpMispredicts++;
-            redirect = end + 1;
-        } else if (taken) {
-            // Taken control flow needs a target: the BTB provides
-            // it for branches/jumps/calls, the RAS for returns.
-            if (op.flags & DynRet) {
-                uint64_t predicted = ras[(rasTop + 15) % 16];
-                rasTop = (rasTop + 15) % 16;
-                if (predicted != op.target) {
-                    st.btbMisses++;
-                    fetchCycle += 2;
-                }
-            } else {
-                size_t slot = (op.pc >> 1) % kBtbSize;
-                if (btb[slot] != op.target) {
-                    st.btbMisses++;
-                    btb[slot] = op.target;
-                    fetchCycle += 2;
-                }
-                if (op.flags & DynCall) {
-                    ras[rasTop] = op.pc + op.len;
-                    rasTop = (rasTop + 1) % 16;
-                }
-            }
-        }
-    }
-
-    // ---- Commit ----
-    uint64_t commit = std::max(end + 1, lastCommit);
-    if (commit > lastCommit) {
-        lastCommit = commit;
-        commitBudget = cfg.uarch.width;
-    }
-    commitBudget -= std::max(1, window_slots);
-    if (commitBudget < 0) {
-        lastCommit++;
-        commitBudget = cfg.uarch.width;
-        commit = lastCommit;
-    }
-    for (int s = 0; s < window_slots; s++) {
-        rob.push(commit);
-        if (cfg.uarch.outOfOrder)
-            iq.push(end);
-    }
-    for (int s = 0; s < mem_slots; s++)
-        lsq.push(commit);
-
-    st.cycles = std::max(st.cycles, commit);
-    prevEnd = end;
-}
-
-} // namespace
-
 PerfResult
 simulateCore(const CoreConfig &cfg, const Trace &trace,
              uint64_t timed_uops, uint64_t warmup_uops,
              const RunEnv &env)
 {
     panic_if(trace.ops.empty(), "empty trace");
-    Engine eng(cfg, trace, env);
-
-    PerfStats warm_snapshot;
-    uint64_t warm_cycles = 0;
-    bool warm_taken = warmup_uops == 0;
-    if (warm_taken)
-        warm_snapshot = eng.st;
-
-    uint64_t done_uops = 0;
-    size_t idx = 0;
-    while (done_uops < warmup_uops + timed_uops) {
-        const DynOp &op = trace.ops[idx];
-        idx = idx + 1 == trace.ops.size() ? 0 : idx + 1;
-        eng.step(op);
-        done_uops += op.uops;
-        if (!warm_taken && done_uops >= warmup_uops) {
-            warm_taken = true;
-            warm_snapshot = eng.st;
-            warm_cycles = eng.st.cycles;
-            // Fold hierarchy stats into the snapshot baseline.
-            warm_snapshot.l1iAccesses = eng.mem.l1i().accesses;
-            warm_snapshot.l1iMisses = eng.mem.l1i().misses;
-            warm_snapshot.l1dAccesses = eng.mem.l1d().accesses;
-            warm_snapshot.l1dMisses = eng.mem.l1d().misses;
-            warm_snapshot.l2Accesses = eng.mem.l2().accesses;
-            warm_snapshot.l2Misses = eng.mem.l2().misses;
-            warm_snapshot.memAccesses = eng.mem.memAccesses();
-        }
-    }
-
-    PerfStats final = eng.st;
-    final.l1iAccesses = eng.mem.l1i().accesses;
-    final.l1iMisses = eng.mem.l1i().misses;
-    final.l1dAccesses = eng.mem.l1d().accesses;
-    final.l1dMisses = eng.mem.l1d().misses;
-    final.l2Accesses = eng.mem.l2().accesses;
-    final.l2Misses = eng.mem.l2().misses;
-    final.memAccesses = eng.mem.memAccesses();
-
-    PerfResult res;
-    res.stats = PerfStats::diff(final, warm_snapshot);
-    res.stats.cycles = final.cycles - warm_cycles;
-    res.cycles = res.stats.cycles;
-    res.ipc = res.stats.ipc();
-    res.upc = res.stats.upc();
-    return res;
+    engine_detail::LiveStructural str(cfg, env);
+    engine_detail::LiveSource src(trace);
+    return engine_detail::runCore(cfg, str, src, timed_uops,
+                                  warmup_uops);
 }
 
 } // namespace cisa

@@ -48,7 +48,9 @@ MicroArchConfig::fingerprint() const
     mix(uopFusion);
     mix(uint64_t(simpleDecoders));
     mix(uint64_t(l1iKB));
+    mix(uint64_t(l1iAssoc));
     mix(uint64_t(l1dKB));
+    mix(uint64_t(l1dAssoc));
     mix(uint64_t(l2KB));
     mix(uint64_t(l2Assoc));
     return h;

@@ -156,6 +156,29 @@ TEST(CampaignDeterminism, SlabIsBitIdenticalAcrossThreadCounts)
               0);
 }
 
+/**
+ * The acceptance property of the replay engine: the memoized
+ * structural-stream path must reproduce the live per-cell path byte
+ * for byte over a whole slab — every (uarch, phase, environment)
+ * cell of a full ISA — on the full thread pool.
+ */
+TEST(CampaignDeterminism, ReplayEngineSlabIsBitIdenticalToLive)
+{
+    // One composite slab and one vendor slab (vendor traces are
+    // code-size-adjusted before packing, a path worth covering).
+    for (int slab : {FeatureSet::thumbLike().id(), 27}) {
+        std::vector<PhasePerf> live =
+            computeSlabPerf(slab, SlabEngine::Live);
+        std::vector<PhasePerf> replay =
+            computeSlabPerf(slab, SlabEngine::Replay);
+        ASSERT_EQ(live.size(), replay.size());
+        EXPECT_EQ(std::memcmp(live.data(), replay.data(),
+                              live.size() * sizeof(PhasePerf)),
+                  0)
+            << "slab " << slab;
+    }
+}
+
 TEST(CampaignDeterminism, ConcurrentAtOnSameSlabIsConsistent)
 {
     Campaign &camp = Campaign::get();

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.hh"
 #include "compiler/compiler.hh"
 #include "uarch/bpred.hh"
 #include "uarch/cache.hh"
 #include "uarch/core.hh"
+#include "uarch/replay.hh"
 #include "uarch/uopcache.hh"
 #include "workloads/profiles.hh"
 #include "workloads/synth.hh"
@@ -392,6 +395,271 @@ TEST(Engine, CallsUseReturnStack)
     PerfResult a = runOn(tr, bigOoo(), FeatureSet::x86_64());
     EXPECT_LT(double(a.stats.btbMisses),
               0.05 * double(a.stats.macroOps));
+}
+
+bool
+sameResult(const PerfResult &a, const PerfResult &b)
+{
+    static_assert(std::is_trivially_copyable_v<PerfStats>);
+    return std::memcmp(&a.stats, &b.stats, sizeof(PerfStats)) == 0 &&
+           a.cycles == b.cycles && a.ipc == b.ipc && a.upc == b.upc;
+}
+
+TEST(Replay, MemoizedStreamsMatchLiveBitForBit)
+{
+    // The acceptance property of the decoupled replay engine: for
+    // any (config, environment, budget), replaying the packed trace
+    // against the memoized structural stream reproduces the live
+    // engine's PerfResult exactly — including repeated-call
+    // determinism of the replay path itself.
+    FeatureSet fs = FeatureSet::x86_64();
+    Trace tr = traceFor("sjeng", fs);
+    const uint64_t timed = 9000, warm = 2000;
+    ReplayTrace rt = ReplayTrace::build(tr, timed + warm);
+
+    MicroArchConfig gshareSmall = smallIo();
+    gshareSmall.bpred = BpKind::Gshare;
+    MicroArchConfig noUc = bigOoo();
+    noUc.uopCache = false;
+    noUc.uopFusion = false;
+    MicroArchConfig localBig = bigOoo();
+    localBig.bpred = BpKind::Local2Level;
+
+    RunEnv solo;
+    RunEnv contended{0.25, 1.30};
+    for (const MicroArchConfig &ua :
+         {bigOoo(), smallIo(), gshareSmall, noUc, localBig}) {
+        for (const RunEnv &env : {solo, contended}) {
+            CoreConfig cc{fs, ua};
+            PerfResult live = simulateCore(cc, tr, timed, warm, env);
+            StructuralStream ss =
+                buildStructuralStream(cc, env, tr, rt, timed, warm);
+            EXPECT_EQ(ss.key, structuralFingerprint(ua, env));
+            PerfResult rep =
+                simulateCoreReplay(cc, rt, ss, timed, warm, env);
+            EXPECT_TRUE(sameResult(live, rep)) << ua.name();
+            PerfResult rep2 =
+                simulateCoreReplay(cc, rt, ss, timed, warm, env);
+            EXPECT_TRUE(sameResult(rep, rep2)) << ua.name();
+        }
+    }
+}
+
+TEST(Replay, MatchesLiveWithoutWarmup)
+{
+    // warmup = 0 exercises the no-snapshot path (MemSnap::warm stays
+    // zeroed and must never be consumed).
+    FeatureSet fs = FeatureSet::x86_64();
+    Trace tr = traceFor("mcf", fs);
+    CoreConfig cc{fs, bigOoo()};
+    ReplayTrace rt = ReplayTrace::build(tr, 8000);
+    StructuralStream ss =
+        buildStructuralStream(cc, {}, tr, rt, 8000, 0);
+    PerfResult live = simulateCore(cc, tr, 8000, 0);
+    PerfResult rep = simulateCoreReplay(cc, rt, ss, 8000, 0);
+    EXPECT_TRUE(sameResult(live, rep));
+}
+
+TEST(Replay, StreamSharedAcrossTimingConfigs)
+{
+    // The point of the memo: every timing-side parameter can change
+    // without invalidating the structural stream. One stream, built
+    // once, must serve both the widest out-of-order config and a
+    // minimal in-order one that share the structural slice.
+    FeatureSet fs = FeatureSet::x86_64();
+    Trace tr = traceFor("astar", fs);
+    const uint64_t timed = 6000, warm = 1500;
+    ReplayTrace rt = ReplayTrace::build(tr, timed + warm);
+
+    MicroArchConfig wide = bigOoo();
+    MicroArchConfig tiny = smallIo();
+    // Align the structural slice (caches + bpred); everything else
+    // stays maximally different.
+    tiny.bpred = wide.bpred;
+    tiny.l1iKB = wide.l1iKB;
+    tiny.l1dKB = wide.l1dKB;
+    tiny.l2KB = wide.l2KB;
+    tiny.l2Assoc = wide.l2Assoc;
+    ASSERT_EQ(structuralFingerprint(wide, {}),
+              structuralFingerprint(tiny, {}));
+
+    StructuralStream ss = buildStructuralStream(
+        CoreConfig{fs, wide}, {}, tr, rt, timed, warm);
+    for (const MicroArchConfig &ua : {wide, tiny}) {
+        CoreConfig cc{fs, ua};
+        PerfResult live = simulateCore(cc, tr, timed, warm);
+        PerfResult rep =
+            simulateCoreReplay(cc, rt, ss, timed, warm);
+        EXPECT_TRUE(sameResult(live, rep)) << ua.name();
+    }
+}
+
+TEST(Replay, FingerprintCoversEveryStructuralField)
+{
+    // The memo key must change whenever a field feeding a structural
+    // model changes (no aliasing), and must NOT change for
+    // timing-only fields (or the memo would stop deduplicating).
+    const MicroArchConfig base;
+    const RunEnv env;
+    uint64_t key = structuralFingerprint(base, env);
+
+    auto perturbed = [&](auto &&set) {
+        MicroArchConfig c = base;
+        set(c);
+        return structuralFingerprint(c, env);
+    };
+
+    // Cache-slice fields.
+    EXPECT_NE(key, perturbed([](auto &c) { c.l1iKB *= 2; }));
+    EXPECT_NE(key, perturbed([](auto &c) { c.l1iAssoc *= 2; }));
+    EXPECT_NE(key, perturbed([](auto &c) { c.l1dKB *= 2; }));
+    EXPECT_NE(key, perturbed([](auto &c) { c.l1dAssoc *= 2; }));
+    EXPECT_NE(key, perturbed([](auto &c) { c.l2KB *= 2; }));
+    EXPECT_NE(key, perturbed([](auto &c) { c.l2Assoc *= 2; }));
+    // Environment fields (scale L2 sets and memory latency).
+    EXPECT_NE(key, structuralFingerprint(base, RunEnv{0.25, 1.0}));
+    EXPECT_NE(key, structuralFingerprint(base, RunEnv{1.0, 1.30}));
+    // Predictor kind.
+    EXPECT_NE(key,
+              perturbed([](auto &c) { c.bpred = BpKind::Gshare; }));
+
+    // Timing-only fields must leave the key unchanged.
+    EXPECT_EQ(key, perturbed([](auto &c) { c.outOfOrder = false; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.width = 4; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.intAlus = 6; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.intMuls = 2; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.fpAlus = 4; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.iqSize = 128; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.robSize = 256; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.intPrf = 256; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.fpPrf = 256; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.lsqSize = 64; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.simpleDecoders = 4; }));
+    // The uop cache's hit stream is config-independent (fixed
+    // geometry); the enable bit is a timing-side gate.
+    EXPECT_EQ(key, perturbed([](auto &c) { c.uopCache = false; }));
+    EXPECT_EQ(key, perturbed([](auto &c) { c.uopFusion = false; }));
+
+    // Individual slices react only to their own fields.
+    MicroArchConfig c = base;
+    c.bpred = BpKind::Local2Level;
+    EXPECT_EQ(cacheSliceFingerprint(base, env),
+              cacheSliceFingerprint(c, env));
+    EXPECT_NE(bpredSliceFingerprint(base), bpredSliceFingerprint(c));
+    c = base;
+    c.l2KB *= 2;
+    EXPECT_EQ(bpredSliceFingerprint(base), bpredSliceFingerprint(c));
+    EXPECT_NE(cacheSliceFingerprint(base, env),
+              cacheSliceFingerprint(c, env));
+    EXPECT_EQ(uopCacheSliceFingerprint(base),
+              uopCacheSliceFingerprint(c));
+}
+
+TEST(UConfig, FingerprintSeparatesL1Associativity)
+{
+    // l1iAssoc/l1dAssoc feed the cache model, so two configs
+    // differing only there must not collide (they would alias in
+    // every fingerprint-keyed cache, not just the replay memo).
+    MicroArchConfig a;
+    MicroArchConfig b = a;
+    b.l1iAssoc = a.l1iAssoc * 2;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    b = a;
+    b.l1dAssoc = a.l1dAssoc * 2;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+/** Hand-built single-uop op helpers for store-buffer tests. */
+DynOp
+mkStore(uint64_t pc, uint64_t addr, uint8_t size)
+{
+    DynOp op;
+    op.pc = pc;
+    op.len = 4;
+    op.form = MemForm::Store;
+    op.cls = MicroClass::Store;
+    op.maddr = addr;
+    op.msize = size;
+    op.src1 = 1;
+    return op;
+}
+
+DynOp
+mkLoad(uint64_t pc, uint64_t addr, uint8_t size)
+{
+    DynOp op;
+    op.pc = pc;
+    op.len = 4;
+    op.form = MemForm::Load;
+    op.cls = MicroClass::Load;
+    op.maddr = addr;
+    op.msize = size;
+    op.dst = 2;
+    return op;
+}
+
+TEST(Engine, StoreBufferForwardsOnlyCoveringStores)
+{
+    // A load forwards iff a buffered store fully covers its bytes
+    // and the store is at most 16 stores in the past (ring size).
+    Trace tr;
+    uint64_t pc = 0x1000;
+    tr.ops.push_back(mkStore(pc += 4, 0x8000, 8));
+    tr.ops.push_back(mkLoad(pc += 4, 0x8000, 8));  // covered: fwd
+    tr.ops.push_back(mkLoad(pc += 4, 0x8004, 8));  // straddles: no
+    tr.ops.push_back(mkLoad(pc += 4, 0x8004, 4));  // inside: fwd
+    // 16 more stores push the 0x8000 entry out of the ring.
+    for (int i = 0; i < 16; i++)
+        tr.ops.push_back(mkStore(pc += 4, 0x20000 + uint64_t(i) * 64,
+                                 8));
+    tr.ops.push_back(mkLoad(pc += 4, 0x8000, 8));  // evicted: no
+    tr.ops.push_back(mkLoad(pc += 4, 0x20000, 8)); // resident: fwd
+
+    uint64_t total = 0;
+    for (const DynOp &op : tr.ops)
+        total += op.uops;
+    CoreConfig cc{FeatureSet::x86_64(), bigOoo()};
+    // One exact lap, no warmup: counters cover each op once.
+    PerfResult r = simulateCore(cc, tr, total, 0);
+    EXPECT_EQ(r.stats.macroOps, tr.ops.size());
+    EXPECT_EQ(r.stats.sbForwards, 3u);
+    // Every load and store allocates an LSQ slot; only non-forwarded
+    // loads and all stores touch the D-cache.
+    EXPECT_EQ(r.stats.lsqOps, 22u);
+}
+
+TEST(PerfStats, WarmupWindowDiffInvariants)
+{
+    // sim(T+W, 0) and sim(T, W) execute the identical step sequence;
+    // the second subtracts the warmup prefix. So every counter of
+    // the windowed run is bounded by the full run, and the uop gap
+    // equals the warmup prefix (to within one op's uops of slack).
+    FeatureSet fs = FeatureSet::x86_64();
+    Trace tr = traceFor("gobmk", fs);
+    CoreConfig cc{fs, bigOoo()};
+    const uint64_t timed = 6000, warm = 3000;
+    PerfResult full = simulateCore(cc, tr, timed + warm, 0);
+    PerfResult tail = simulateCore(cc, tr, timed, warm);
+
+    EXPECT_LE(tail.cycles, full.cycles);
+    EXPECT_LE(tail.stats.macroOps, full.stats.macroOps);
+    EXPECT_LE(tail.stats.uops, full.stats.uops);
+    EXPECT_LE(tail.stats.issuedUops, full.stats.issuedUops);
+    EXPECT_LE(tail.stats.l1dAccesses, full.stats.l1dAccesses);
+    EXPECT_LE(tail.stats.l2Misses, full.stats.l2Misses);
+    EXPECT_LE(tail.stats.bpLookups, full.stats.bpLookups);
+    EXPECT_LE(tail.stats.btbMisses, full.stats.btbMisses);
+    EXPECT_LE(tail.stats.sbForwards, full.stats.sbForwards);
+    EXPECT_LE(tail.stats.regReads, full.stats.regReads);
+
+    uint64_t gap = full.stats.uops - tail.stats.uops;
+    EXPECT_GE(gap, warm);
+    EXPECT_LT(gap, warm + 300); // one op overshoot at most
+
+    // diff(x, x) must be exactly zero everywhere.
+    PerfStats zero = PerfStats::diff(full.stats, full.stats);
+    PerfStats fresh{};
+    EXPECT_EQ(std::memcmp(&zero, &fresh, sizeof(PerfStats)), 0);
 }
 
 } // namespace
