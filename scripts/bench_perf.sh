@@ -1,6 +1,8 @@
 #!/bin/sh
-# Seed the perf trajectory: run bench/perf_campaign in --json mode
-# and write the result to BENCH_PR<N>.json at the repo root.
+# Seed the perf trajectory: run bench/perf_campaign (library hot
+# path) and bench/perf_service (the cisa-serve daemon path) in
+# --json mode and write both objects, wrapped in one JSON document,
+# to BENCH_PR<N>.json at the repo root.
 #
 # Usage: scripts/bench_perf.sh [pr-number] [build-dir]
 #
@@ -9,17 +11,29 @@
 # production budget, which takes a few minutes on one core.
 set -eu
 
-pr="${1:-2}"
+pr="${1:-4}"
 build="${2:-build}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
-bin="$root/$build/bench/perf_campaign"
 
-if [ ! -x "$bin" ]; then
-    echo "error: $bin not built (cmake --build $build)" >&2
-    exit 1
-fi
+for b in perf_campaign perf_service; do
+    if [ ! -x "$root/$build/bench/$b" ]; then
+        echo "error: $root/$build/bench/$b not built" \
+             "(cmake --build $build)" >&2
+        exit 1
+    fi
+done
+
+campaign_json="$("$root/$build/bench/perf_campaign" --json)"
+service_json="$("$root/$build/bench/perf_service" --json)"
 
 out="$root/BENCH_PR${pr}.json"
-"$bin" --json > "$out"
+{
+    echo '{'
+    echo '  "campaign":'
+    echo "$campaign_json" | sed 's/^/  /;$s/$/,/'
+    echo '  "service":'
+    echo "$service_json" | sed 's/^/  /'
+    echo '}'
+} > "$out"
 echo "wrote $out:"
 cat "$out"

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running evaluation work. A
+ * CancelToken is owned by whoever started the work (the service
+ * executor, a test); the campaign/search entry points poll it at
+ * their loop boundaries via checkpoint(), which throws Cancelled.
+ *
+ * Cancellation never changes results: an uncancelled run is
+ * byte-identical with or without a token, because the checkpoints
+ * only ever abort — they are not allowed to alter iteration order or
+ * skip work.
+ *
+ * Deadlines are monotonic maxima: extendDeadline() only ever moves
+ * the deadline later, so a computation shared by several coalesced
+ * requests runs until the *last* interested waiter would give up.
+ */
+
+#ifndef CISA_COMMON_CANCEL_HH
+#define CISA_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace cisa
+{
+
+/** Thrown by CancelToken::checkpoint() once the token trips. */
+struct Cancelled : std::runtime_error
+{
+    Cancelled() : std::runtime_error("cancelled") {}
+};
+
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Request cancellation (idempotent, thread-safe). */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /**
+     * Ensure the token stays live until at least @p tp (moves the
+     * deadline later, never earlier). A token with no deadline set
+     * never expires by time.
+     */
+    void
+    extendDeadline(Clock::time_point tp)
+    {
+        int64_t ns = tp.time_since_epoch().count();
+        int64_t cur = deadlineNs_.load(std::memory_order_relaxed);
+        while (cur < ns &&
+               !deadlineNs_.compare_exchange_weak(
+                   cur, ns, std::memory_order_relaxed)) {
+        }
+    }
+
+    /** True once cancelled or past the deadline. */
+    bool
+    expired() const
+    {
+        if (cancelled_.load(std::memory_order_relaxed))
+            return true;
+        int64_t ns = deadlineNs_.load(std::memory_order_relaxed);
+        return ns > 0 &&
+               Clock::now().time_since_epoch().count() > ns;
+    }
+
+    /** Throw Cancelled if expired; cheap enough for loop headers. */
+    void
+    checkpoint() const
+    {
+        if (expired())
+            throw Cancelled();
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    std::atomic<int64_t> deadlineNs_{0}; ///< 0 = no deadline
+};
+
+/** checkpoint() through an optional token. */
+inline void
+checkCancel(const CancelToken *t)
+{
+    if (t)
+        t->checkpoint();
+}
+
+} // namespace cisa
+
+#endif // CISA_COMMON_CANCEL_HH

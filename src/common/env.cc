@@ -1,9 +1,44 @@
 #include "common/env.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/logging.hh"
 
 namespace cisa
 {
+
+namespace
+{
+
+/**
+ * Strict base-10 parse of an env value. Accepts surrounding
+ * whitespace and a sign; rejects empty digits, trailing junk, and
+ * out-of-int64 magnitudes (ERANGE). Returns false when @p out is
+ * untouched.
+ */
+bool
+parseInt(const char *v, int64_t *out)
+{
+    while (std::isspace(static_cast<unsigned char>(*v)))
+        v++;
+    if (!*v)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long n = std::strtoll(v, &end, 10);
+    if (end == v || errno == ERANGE)
+        return false;
+    while (std::isspace(static_cast<unsigned char>(*end)))
+        end++;
+    if (*end)
+        return false;
+    *out = n;
+    return true;
+}
+
+} // namespace
 
 int64_t
 envInt(const char *name, int64_t dflt)
@@ -11,7 +46,34 @@ envInt(const char *name, int64_t dflt)
     const char *v = std::getenv(name);
     if (!v || !*v)
         return dflt;
-    return std::strtoll(v, nullptr, 10);
+    int64_t n;
+    if (!parseInt(v, &n)) {
+        warn("%s=\"%s\" is not an integer; using default %lld", name,
+             v, (long long)dflt);
+        return dflt;
+    }
+    return n;
+}
+
+int64_t
+envIntRange(const char *name, int64_t dflt, int64_t lo, int64_t hi)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    int64_t n;
+    if (!parseInt(v, &n)) {
+        warn("%s=\"%s\" is not an integer; using default %lld", name,
+             v, (long long)dflt);
+        return dflt;
+    }
+    if (n < lo || n > hi) {
+        warn("%s=%lld is outside [%lld, %lld]; using default %lld",
+             name, (long long)n, (long long)lo, (long long)hi,
+             (long long)dflt);
+        return dflt;
+    }
+    return n;
 }
 
 std::string
@@ -26,13 +88,15 @@ envStr(const char *name, const std::string &dflt)
 uint64_t
 simUopBudget()
 {
-    return uint64_t(envInt("CISA_SIM_UOPS", 6000));
+    return uint64_t(
+        envIntRange("CISA_SIM_UOPS", 6000, 1, int64_t(1) << 31));
 }
 
 uint64_t
 simWarmupUops()
 {
-    return uint64_t(envInt("CISA_SIM_WARMUP", 1500));
+    return uint64_t(
+        envIntRange("CISA_SIM_WARMUP", 1500, 0, int64_t(1) << 31));
 }
 
 std::string
@@ -50,7 +114,31 @@ replayEnabled()
 int
 searchRestarts()
 {
-    return int(envInt("CISA_SEARCH_RESTARTS", 2));
+    return int(envIntRange("CISA_SEARCH_RESTARTS", 2, 1, 1000));
+}
+
+std::string
+serveSocketPath()
+{
+    return envStr("CISA_SERVE_SOCKET", "/tmp/cisa_serve.sock");
+}
+
+int
+serveQueueBound()
+{
+    return int(envIntRange("CISA_SERVE_QUEUE", 64, 1, 1 << 20));
+}
+
+int
+serveWorkers()
+{
+    return int(envIntRange("CISA_SERVE_WORKERS", 2, 1, 256));
+}
+
+int
+serveCacheEntries()
+{
+    return int(envIntRange("CISA_SERVE_CACHE", 256, 0, 1 << 20));
 }
 
 } // namespace cisa

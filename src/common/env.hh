@@ -3,6 +3,11 @@
  * Environment-variable quality knobs shared by tests, benches, and
  * examples. Defaults are chosen so the full benchmark suite completes
  * on a single laptop core; raising CISA_SIM_UOPS tightens results.
+ *
+ * Parsing is strict: a malformed value (`CISA_THREADS=abc`, trailing
+ * junk) or one outside the documented range logs one warning and
+ * falls back to the default instead of silently yielding 0 or
+ * garbage. The consolidated knob table lives in README.md.
  */
 
 #ifndef CISA_COMMON_ENV_HH
@@ -14,8 +19,20 @@
 namespace cisa
 {
 
-/** Integer env var with a default. */
+/**
+ * Integer env var with a default. The whole value must parse as a
+ * base-10 integer (leading/trailing whitespace allowed); otherwise
+ * warns and returns @p dflt.
+ */
 int64_t envInt(const char *name, int64_t dflt);
+
+/**
+ * envInt() restricted to [lo, hi]; an out-of-range value warns and
+ * returns @p dflt (not a clamp — the documented default is what the
+ * warning promises).
+ */
+int64_t envIntRange(const char *name, int64_t dflt, int64_t lo,
+                    int64_t hi);
 
 /** String env var with a default. */
 std::string envStr(const char *name, const std::string &dflt);
@@ -35,6 +52,21 @@ bool replayEnabled();
 
 /** Hill-climbing restarts in the multicore search. */
 int searchRestarts();
+
+/** UNIX-domain socket path of the cisa-serve daemon. */
+std::string serveSocketPath();
+
+/** Bound on queued (not yet running) service requests; a full queue
+ * answers BUSY instead of buffering without limit. */
+int serveQueueBound();
+
+/** Dispatcher threads draining the service queue (each request then
+ * fans its own work out over the CISA_THREADS pool). */
+int serveWorkers();
+
+/** Completed-response cache entries kept by the service (0 turns the
+ * cache off; coalescing of in-flight duplicates is always on). */
+int serveCacheEntries();
 
 } // namespace cisa
 

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared 64-bit hashing helpers. Every stable fingerprint in the
+ * system — structural-slice memo keys (src/uarch/replay.cc),
+ * microarchitecture config ids (src/uarch/uconfig.cc), and service
+ * request keys (src/service/request.cc) — is built from these, so
+ * there is exactly one hasher to audit for aliasing.
+ *
+ * Two families:
+ *  - splitmix64 / hashCombine: field-at-a-time struct fingerprints
+ *    (order-dependent, 64-bit in, 64-bit out).
+ *  - fnv1a: byte-stream hashing for serialized payloads and frame
+ *    checksums (FNV-1a, 64-bit offset basis/prime).
+ */
+
+#ifndef CISA_COMMON_HASH_HH
+#define CISA_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cisa
+{
+
+/** SplitMix64 hash step; used for stable config fingerprints. */
+inline uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Order-dependent combiner for building hashes of structs. */
+inline uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    return splitmix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) +
+                           (h >> 2)));
+}
+
+constexpr uint64_t kFnv1aBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/** FNV-1a over a byte range, continuing from @p h. */
+inline uint64_t
+fnv1a(const void *data, size_t n, uint64_t h = kFnv1aBasis)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; i++) {
+        h ^= p[i];
+        h *= kFnv1aPrime;
+    }
+    return h;
+}
+
+/** FNV-1a over a string. */
+inline uint64_t
+fnv1a(std::string_view s, uint64_t h = kFnv1aBasis)
+{
+    return fnv1a(s.data(), s.size(), h);
+}
+
+} // namespace cisa
+
+#endif // CISA_COMMON_HASH_HH

@@ -26,8 +26,7 @@ parallelThreads()
     int hw = int(std::thread::hardware_concurrency());
     if (hw < 1)
         hw = 1;
-    int n = int(envInt("CISA_THREADS", hw));
-    return n < 1 ? 1 : n;
+    return int(envIntRange("CISA_THREADS", hw, 1, 4096));
 }
 
 struct ThreadPool::Impl

@@ -10,6 +10,11 @@
 
 #include <cstdint>
 
+// Historically splitmix64/hashCombine lived here; they moved to the
+// shared hashing header but remain visible through this include for
+// the many seeding call sites that mix hashing into RNG setup.
+#include "common/hash.hh"
+
 namespace cisa
 {
 
@@ -96,24 +101,6 @@ class Pcg32
     uint64_t state_;
     uint64_t inc_;
 };
-
-/** SplitMix64 hash step; used for stable config fingerprints. */
-inline uint64_t
-splitmix64(uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-/** Order-dependent combiner for building hashes of structs. */
-inline uint64_t
-hashCombine(uint64_t h, uint64_t v)
-{
-    return splitmix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) +
-                           (h >> 2)));
-}
 
 } // namespace cisa
 

@@ -1,6 +1,7 @@
 #include "explore/campaign.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/env.hh"
 #include "common/logging.hh"
@@ -120,6 +121,16 @@ Campaign::save() const
     }
 }
 
+std::vector<PhasePerf>
+Campaign::slabPerf(int slab, const CancelToken *cancel)
+{
+    ensureSlab(slab, cancel);
+    size_t rows = size_t(DesignPoint::kUarchCount);
+    size_t base = size_t(slab) * rows * size_t(phaseCount());
+    return {table_.begin() + long(base),
+            table_.begin() + long(base + rows * size_t(phaseCount()))};
+}
+
 const PhasePerf &
 Campaign::at(const DesignPoint &dp, int phase)
 {
@@ -129,7 +140,7 @@ Campaign::at(const DesignPoint &dp, int phase)
 }
 
 void
-Campaign::ensureSlab(int slab)
+Campaign::ensureSlab(int slab, const CancelToken *cancel)
 {
     panic_if(slab < 0 || slab >= kSlabs, "bad slab %d", slab);
     // Lock-free fast path: the release-store below pairs with this
@@ -143,15 +154,21 @@ Campaign::ensureSlab(int slab)
             return;
         if (!computing_[size_t(slab)])
             break;
-        // Another thread is on it; wait rather than recompute.
-        cv_.wait(lk);
+        // Another thread is on it; wait rather than recompute. A
+        // cancelled waiter gives up without disturbing that run.
+        if (cancel) {
+            checkCancel(cancel);
+            cv_.wait_for(lk, std::chrono::milliseconds(20));
+        } else {
+            cv_.wait(lk);
+        }
     }
     computing_[size_t(slab)] = true;
     lk.unlock();
 
     std::vector<PhasePerf> cells;
     try {
-        cells = computeSlabPerf(slab);
+        cells = computeSlabPerf(slab, SlabEngine::Auto, cancel);
     } catch (...) {
         lk.lock();
         computing_[size_t(slab)] = false;
@@ -172,8 +189,10 @@ Campaign::ensureSlab(int slab)
 }
 
 std::vector<PhasePerf>
-computeSlabPerf(int slab, SlabEngine engine)
+computeSlabPerf(int slab, SlabEngine engine,
+                const CancelToken *cancel)
 {
+    checkCancel(cancel);
     bool is_vendor = slab >= 26;
     VendorModel vm;
     FeatureSet fs;
@@ -213,6 +232,7 @@ computeSlabPerf(int slab, SlabEngine engine)
     std::vector<Trace> traces(phases);
     std::vector<double> run_ops(phases, 0.0);
     parallelFor(phases, [&](uint64_t p) {
+        checkCancel(cancel);
         int ph = int(p);
         const IrModule &mod = phaseModule(ph);
         CompileOptions opts;
@@ -282,6 +302,7 @@ computeSlabPerf(int slab, SlabEngine engine)
         streams.assign(phases,
                        std::vector<StructuralStream>(slices.size()));
         parallelFor(phases * slices.size(), [&](uint64_t k) {
+            checkCancel(cancel);
             size_t p = k / slices.size();
             size_t si = k % slices.size();
             CoreConfig cc{fs, slices[si].uarch};
@@ -297,6 +318,7 @@ computeSlabPerf(int slab, SlabEngine engine)
     std::vector<PhasePerf> cells(size_t(DesignPoint::kUarchCount) *
                                  phases);
     parallelFor(cells.size(), [&](uint64_t k) {
+        checkCancel(cancel);
         int u = int(k / phases);
         int ph = int(k % phases);
         DesignPoint dp =

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "explore/designpoint.hh"
 #include "workloads/profiles.hh"
 
@@ -60,9 +61,14 @@ enum class SlabEngine
  * Exposed outside Campaign so determinism tests and the campaign
  * bench can time the computation without going through the
  * singleton's disk cache.
+ *
+ * @p cancel (optional) is polled at phase/cell boundaries; an
+ * expired token aborts with Cancelled and leaves no partial state.
+ * An uncancelled run is byte-identical with or without a token.
  */
 std::vector<PhasePerf> computeSlabPerf(
-    int slab, SlabEngine engine = SlabEngine::Auto);
+    int slab, SlabEngine engine = SlabEngine::Auto,
+    const CancelToken *cancel = nullptr);
 
 /**
  * Lazily-computed, disk-backed table of PhasePerf over all design
@@ -85,8 +91,17 @@ class Campaign
     /** Measurements for (dp, phase); computes the slab if needed. */
     const PhasePerf &at(const DesignPoint &dp, int phase);
 
-    /** Force a slab (one ISA across all uarches/phases). */
-    void ensureSlab(int slab);
+    /** Force a slab (one ISA across all uarches/phases). A token
+     * cancels only this caller's own computation: if the slab is
+     * being computed by someone else, their run is unaffected and
+     * this call keeps waiting for it. */
+    void ensureSlab(int slab, const CancelToken *cancel = nullptr);
+
+    /** Copy of one slab's full PhasePerf block (computes it if
+     * needed) — the region computeSlabPerf would return, served from
+     * the shared table so repeated consumers never recompute. */
+    std::vector<PhasePerf> slabPerf(
+        int slab, const CancelToken *cancel = nullptr);
 
     /** Slab index of a design point. */
     static int slabOf(const DesignPoint &dp);

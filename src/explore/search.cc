@@ -171,7 +171,8 @@ prune(const std::vector<DesignPoint> &cands, Objective obj,
 
 SearchResult
 searchDesign(Family family, Objective objective, const Budget &budget,
-             uint64_t seed, const IsaFilter &filter)
+             uint64_t seed, const IsaFilter &filter,
+             const CancelToken *cancel)
 {
     std::vector<DesignPoint> cands =
         familyCandidates(family, filter);
@@ -187,9 +188,10 @@ searchDesign(Family family, Objective objective, const Budget &budget,
             slabs.push_back(s);
     }
     parallelFor(slabs.size(), [&](uint64_t i) {
-        Campaign::get().ensureSlab(slabs[i]);
+        Campaign::get().ensureSlab(slabs[i], cancel);
     });
 
+    checkCancel(cancel);
     cands = prune(cands, objective, budget);
 
     // Search evaluation uses a workload sample; the caller re-scores
@@ -218,6 +220,7 @@ searchDesign(Family family, Objective objective, const Budget &budget,
     if (family == Family::Homogeneous) {
         std::vector<double> sc(cands.size(), kNoScore);
         parallelFor(cands.size(), [&](uint64_t i) {
+            checkCancel(cancel);
             const DesignPoint &dp = cands[i];
             MulticoreDesign d{{dp, dp, dp, dp}};
             if (budget.feasible(d))
@@ -246,6 +249,7 @@ searchDesign(Family family, Objective objective, const Budget &budget,
     }
 
     for (int r = 0; r < restarts; r++) {
+        checkCancel(cancel);
         MulticoreDesign cur{{cheapest, cheapest, cheapest,
                              cheapest}};
         if (r > 0) {
@@ -278,6 +282,7 @@ searchDesign(Family family, Objective objective, const Budget &budget,
                 // first-best tie-breaking bit for bit.
                 std::vector<double> sweep(cands.size(), kNoScore);
                 parallelFor(cands.size(), [&](uint64_t i) {
+                    checkCancel(cancel);
                     if (cands[i] == keep)
                         return;
                     MulticoreDesign trial = cur;

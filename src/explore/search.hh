@@ -18,6 +18,7 @@
 
 #include <functional>
 
+#include "common/cancel.hh"
 #include "explore/schedule.hh"
 
 namespace cisa
@@ -62,11 +63,17 @@ struct SearchResult
 /**
  * Find a good 4-core design of @p family for @p objective under
  * @p budget. @p filter restricts composite feature sets (Figure 9's
- * sensitivity studies). Deterministic in @p seed.
+ * sensitivity studies). Deterministic in @p seed. Re-entrant:
+ * concurrent searches share slabs through Campaign but keep all
+ * mutable state on their own stack. @p cancel is polled at slab,
+ * prune, and hill-climb boundaries; an expired token aborts with
+ * Cancelled, and an uncancelled run is byte-identical with or
+ * without a token.
  */
 SearchResult searchDesign(Family family, Objective objective,
                           const Budget &budget, uint64_t seed = 1,
-                          const IsaFilter &filter = nullptr);
+                          const IsaFilter &filter = nullptr,
+                          const CancelToken *cancel = nullptr);
 
 /** Candidate design points of a family (after ISA filtering). */
 std::vector<DesignPoint> familyCandidates(Family family,

@@ -1,0 +1,176 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "service/frame.hh"
+
+namespace cisa
+{
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connect(const std::string &path, std::string *err)
+{
+    close();
+    std::string p = path.empty() ? serveSocketPath() : path;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (p.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = strfmt("socket path too long: %s", p.c_str());
+        return false;
+    }
+    std::strncpy(addr.sun_path, p.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (err)
+            *err = strfmt("socket: %s", std::strerror(errno));
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err)
+            *err = strfmt("connect(%s): %s", p.c_str(),
+                          std::strerror(errno));
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::call(const Request &req, Response *resp,
+             uint32_t deadline_ms, std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        lastError_ = why;
+        if (err)
+            *err = why;
+        return false;
+    };
+    if (fd_ < 0)
+        return fail("not connected");
+    if (!writeFrame(fd_, FrameKind::Request,
+                    encodeRequestEnvelope(req, deadline_ms))) {
+        return fail(strfmt("send: %s", std::strerror(errno)));
+    }
+    Frame frame;
+    std::string why;
+    FrameRead fr = readFrame(fd_, &frame, &why);
+    if (fr == FrameRead::Eof)
+        return fail("server closed the connection");
+    if (fr == FrameRead::Bad)
+        return fail(why);
+    if (frame.kind != FrameKind::Response)
+        return fail("expected a response frame");
+    ByteReader r(frame.payload);
+    if (!Response::decode(r, resp))
+        return fail("undecodable response payload");
+    return true;
+}
+
+namespace
+{
+
+/** Shared shape of the typed wrappers: call + decode-on-Ok. */
+template <class Decode>
+Status
+typedCall(Client &c, const Request &req, uint32_t deadline_ms,
+          Decode &&decode)
+{
+    Response resp;
+    if (!c.call(req, &resp, deadline_ms))
+        return Status::Error;
+    if (resp.status != Status::Ok)
+        return resp.status;
+    ByteReader r(resp.body);
+    if (!decode(r))
+        return Status::Error;
+    return Status::Ok;
+}
+
+} // namespace
+
+Status
+Client::ping(uint32_t deadline_ms)
+{
+    return typedCall(*this, Request::ping(), deadline_ms,
+                     [](ByteReader &) { return true; });
+}
+
+Status
+Client::evalPoint(const DesignPoint &dp, int phase, PhasePerf *out,
+                  uint32_t deadline_ms)
+{
+    return typedCall(*this, Request::evalPoint(dp, phase),
+                     deadline_ms, [&](ByteReader &r) {
+                         return decodePhasePerf(r, out) && r.atEnd();
+                     });
+}
+
+Status
+Client::slabPerf(int slab, std::vector<PhasePerf> *out,
+                 uint32_t deadline_ms)
+{
+    return typedCall(*this, Request::slabPerf(slab), deadline_ms,
+                     [&](ByteReader &r) {
+                         return decodeSlabPerf(r, out) && r.atEnd();
+                     });
+}
+
+Status
+Client::search(Family family, Objective objective,
+               const Budget &budget, uint64_t seed, SearchResult *out,
+               uint32_t deadline_ms)
+{
+    return typedCall(
+        *this,
+        Request::searchDesign(family, objective, budget, seed),
+        deadline_ms, [&](ByteReader &r) {
+            return decodeSearchResult(r, out) && r.atEnd();
+        });
+}
+
+Status
+Client::tableOf(int slab, std::string *out, uint32_t deadline_ms)
+{
+    return typedCall(*this, Request::tableOf(slab), deadline_ms,
+                     [&](ByteReader &r) {
+                         *out = r.str();
+                         return r.ok() && r.atEnd();
+                     });
+}
+
+Status
+Client::stats(StatsSnap *out, uint32_t deadline_ms)
+{
+    return typedCall(*this, Request::stats(), deadline_ms,
+                     [&](ByteReader &r) {
+                         return StatsSnap::decode(r, out) &&
+                                r.atEnd();
+                     });
+}
+
+} // namespace cisa

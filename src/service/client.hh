@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Client library for cisa-serve: a blocking connection that sends
+ * one Request frame and decodes the matching Response frame, plus
+ * typed wrappers for every endpoint. Used by tools/cisa_client, the
+ * service tests, and the service throughput bench.
+ *
+ * A Client is one connection and is not thread-safe; concurrent
+ * callers each open their own (the daemon handles the fan-in, and
+ * identical concurrent requests coalesce server-side).
+ */
+
+#ifndef CISA_SERVICE_CLIENT_HH
+#define CISA_SERVICE_CLIENT_HH
+
+#include <string>
+#include <vector>
+
+#include "service/metrics.hh"
+#include "service/request.hh"
+
+namespace cisa
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to the daemon at @p path (empty = CISA_SERVE_SOCKET). */
+    bool connect(const std::string &path = {},
+                 std::string *err = nullptr);
+
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send @p req and block for its response. @p deadline_ms (0 =
+     * none) rides in the request envelope; the server answers
+     * DEADLINE once it passes. False only on transport failure
+     * (send/recv/decode) — service-level failures come back as
+     * non-Ok response statuses.
+     */
+    bool call(const Request &req, Response *resp,
+              uint32_t deadline_ms = 0, std::string *err = nullptr);
+
+    /**
+     * Typed endpoint wrappers. Each returns the response status
+     * (Status::Error with no decoded payload on transport failure)
+     * and fills its out-parameter only on Status::Ok.
+     */
+    Status ping(uint32_t deadline_ms = 0);
+    Status evalPoint(const DesignPoint &dp, int phase, PhasePerf *out,
+                     uint32_t deadline_ms = 0);
+    Status slabPerf(int slab, std::vector<PhasePerf> *out,
+                    uint32_t deadline_ms = 0);
+    Status search(Family family, Objective objective,
+                  const Budget &budget, uint64_t seed,
+                  SearchResult *out, uint32_t deadline_ms = 0);
+    Status tableOf(int slab, std::string *out,
+                   uint32_t deadline_ms = 0);
+    Status stats(StatsSnap *out, uint32_t deadline_ms = 0);
+
+    /** Last transport/decode diagnostic (after a false call()). */
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    int fd_ = -1;
+    std::string lastError_;
+};
+
+} // namespace cisa
+
+#endif // CISA_SERVICE_CLIENT_HH

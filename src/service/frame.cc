@@ -1,0 +1,165 @@
+#include "service/frame.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace cisa
+{
+
+std::vector<uint8_t>
+encodeFrame(FrameKind kind, const std::vector<uint8_t> &payload)
+{
+    panic_if(payload.size() > kMaxFramePayload,
+             "frame payload %zu exceeds bound", payload.size());
+    ByteWriter w;
+    w.u32(kFrameMagic);
+    w.u16(uint16_t(kind));
+    w.u16(0); // flags, reserved
+    w.u32(uint32_t(payload.size()));
+    w.u64(fnv1a(payload.data(), payload.size()));
+    w.raw(payload.data(), payload.size());
+    return w.take();
+}
+
+FrameDecode
+decodeFrame(const uint8_t *data, size_t n, size_t *pos, Frame *out,
+            std::string *err)
+{
+    auto bad = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return FrameDecode::Bad;
+    };
+    if (n - *pos < kFrameHeaderBytes)
+        return FrameDecode::NeedMore;
+    ByteReader r(data + *pos, n - *pos);
+    uint32_t magic = r.u32();
+    uint16_t kind = r.u16();
+    uint16_t flags = r.u16();
+    uint32_t len = r.u32();
+    uint64_t sum = r.u64();
+    if (magic != kFrameMagic)
+        return bad(strfmt("bad frame magic 0x%08x", magic));
+    if (kind != uint16_t(FrameKind::Request) &&
+        kind != uint16_t(FrameKind::Response)) {
+        return bad(strfmt("unknown frame kind %u", kind));
+    }
+    if (flags != 0)
+        return bad(strfmt("unsupported frame flags 0x%04x", flags));
+    if (len > kMaxFramePayload)
+        return bad(strfmt("oversized frame: %u bytes", len));
+    if (r.remaining() < len)
+        return FrameDecode::NeedMore;
+    const uint8_t *body = data + *pos + kFrameHeaderBytes;
+    if (fnv1a(body, len) != sum)
+        return bad("frame checksum mismatch");
+    out->kind = FrameKind(kind);
+    out->payload.assign(body, body + len);
+    *pos += kFrameHeaderBytes + len;
+    return FrameDecode::Ok;
+}
+
+namespace
+{
+
+bool
+writeAll(int fd, const uint8_t *p, size_t n)
+{
+    while (n > 0) {
+        // MSG_NOSIGNAL: a client that disconnected mid-response
+        // must surface as EPIPE, not kill the daemon with SIGPIPE.
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += size_t(w);
+        n -= size_t(w);
+    }
+    return true;
+}
+
+/** @return bytes read (short on EOF), or -1 on error. */
+ssize_t
+readAll(int fd, uint8_t *p, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            break;
+        got += size_t(r);
+    }
+    return ssize_t(got);
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, FrameKind kind,
+           const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> bytes = encodeFrame(kind, payload);
+    return writeAll(fd, bytes.data(), bytes.size());
+}
+
+FrameRead
+readFrame(int fd, Frame *out, std::string *err)
+{
+    auto bad = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return FrameRead::Bad;
+    };
+    uint8_t hdr[kFrameHeaderBytes];
+    ssize_t got = readAll(fd, hdr, sizeof(hdr));
+    if (got == 0)
+        return FrameRead::Eof;
+    if (got < 0)
+        return bad(strfmt("read: %s", std::strerror(errno)));
+    if (size_t(got) < sizeof(hdr))
+        return bad("disconnect inside frame header");
+
+    // Decode the header alone first so the payload allocation is
+    // bounded before we trust the length field.
+    size_t pos = 0;
+    Frame f;
+    std::string why;
+    FrameDecode d = decodeFrame(hdr, sizeof(hdr), &pos, &f, &why);
+    if (d == FrameDecode::Bad)
+        return bad(why);
+
+    ByteReader r(hdr, sizeof(hdr));
+    r.u32(); // magic
+    uint16_t kind = r.u16();
+    r.u16(); // flags
+    uint32_t len = r.u32();
+    uint64_t sum = r.u64();
+
+    std::vector<uint8_t> payload(len);
+    got = readAll(fd, payload.data(), len);
+    if (got < 0)
+        return bad(strfmt("read: %s", std::strerror(errno)));
+    if (size_t(got) < len)
+        return bad("disconnect inside frame payload");
+    if (fnv1a(payload.data(), payload.size()) != sum)
+        return bad("frame checksum mismatch");
+    out->kind = FrameKind(kind);
+    out->payload = std::move(payload);
+    return FrameRead::Ok;
+}
+
+} // namespace cisa

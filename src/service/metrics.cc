@@ -1,0 +1,161 @@
+#include "service/metrics.hh"
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace cisa
+{
+
+uint64_t
+LatencyHisto::percentileUs(double p) const
+{
+    uint64_t tot = total();
+    if (!tot)
+        return 0;
+    if (p < 0)
+        p = 0;
+    if (p > 1)
+        p = 1;
+    uint64_t target = uint64_t(double(tot - 1) * p) + 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; b++) {
+        seen += counts_[size_t(b)].load(std::memory_order_relaxed);
+        if (seen >= target)
+            return b == 0 ? 1 : uint64_t(1) << b;
+    }
+    return uint64_t(1) << (kBuckets - 1);
+}
+
+uint64_t
+StatsSnap::totalRequests() const
+{
+    uint64_t n = 0;
+    for (const EndpointSnap &e : ep)
+        n += e.requests;
+    return n;
+}
+
+uint64_t
+StatsSnap::totalCoalesced() const
+{
+    uint64_t n = 0;
+    for (const EndpointSnap &e : ep)
+        n += e.coalesced;
+    return n;
+}
+
+uint64_t
+StatsSnap::totalCacheHits() const
+{
+    uint64_t n = 0;
+    for (const EndpointSnap &e : ep)
+        n += e.cacheHits;
+    return n;
+}
+
+std::string
+StatsSnap::render() const
+{
+    Table t(strfmt("cisa-serve stats (queue %llu, peak %llu, "
+                   "in-flight %llu%s)",
+                   (unsigned long long)queueDepth,
+                   (unsigned long long)queuePeak,
+                   (unsigned long long)inFlight,
+                   draining ? ", draining" : ""));
+    t.header({"endpoint", "req", "ok", "coal", "cache", "busy",
+              "ddl", "err", "p50us", "p99us"});
+    for (size_t i = 0; i < ep.size(); i++) {
+        const EndpointSnap &e = ep[i];
+        if (!e.requests)
+            continue;
+        t.row({reqTypeName(ReqType(i)), Table::num(int64_t(e.requests)),
+               Table::num(int64_t(e.ok)),
+               Table::num(int64_t(e.coalesced)),
+               Table::num(int64_t(e.cacheHits)),
+               Table::num(int64_t(e.busy)),
+               Table::num(int64_t(e.deadline)),
+               Table::num(int64_t(e.errors)),
+               Table::num(int64_t(e.p50Us)),
+               Table::num(int64_t(e.p99Us))});
+    }
+    return t.str();
+}
+
+void
+StatsSnap::encode(ByteWriter &w) const
+{
+    w.u32(uint32_t(ep.size()));
+    for (const EndpointSnap &e : ep) {
+        w.u64(e.requests);
+        w.u64(e.ok);
+        w.u64(e.coalesced);
+        w.u64(e.cacheHits);
+        w.u64(e.busy);
+        w.u64(e.deadline);
+        w.u64(e.errors);
+        w.u64(e.latCount);
+        w.u64(e.p50Us);
+        w.u64(e.p99Us);
+    }
+    w.u64(queueDepth);
+    w.u64(queuePeak);
+    w.u64(inFlight);
+    w.u8(draining);
+}
+
+bool
+StatsSnap::decode(ByteReader &r, StatsSnap *out)
+{
+    StatsSnap s;
+    uint32_t n = r.u32();
+    if (!r.ok() || n != s.ep.size())
+        return false;
+    for (EndpointSnap &e : s.ep) {
+        e.requests = r.u64();
+        e.ok = r.u64();
+        e.coalesced = r.u64();
+        e.cacheHits = r.u64();
+        e.busy = r.u64();
+        e.deadline = r.u64();
+        e.errors = r.u64();
+        e.latCount = r.u64();
+        e.p50Us = r.u64();
+        e.p99Us = r.u64();
+    }
+    s.queueDepth = r.u64();
+    s.queuePeak = r.u64();
+    s.inFlight = r.u64();
+    s.draining = r.u8();
+    if (!r.ok())
+        return false;
+    *out = s;
+    return true;
+}
+
+StatsSnap
+ServiceMetrics::snapshot(uint64_t queue_depth, uint64_t in_flight,
+                         bool draining) const
+{
+    StatsSnap s;
+    for (size_t i = 0; i < ep_.size(); i++) {
+        const EndpointMetrics &m = ep_[i];
+        EndpointSnap &e = s.ep[i];
+        e.requests = m.requests.load(std::memory_order_relaxed);
+        e.ok = m.ok.load(std::memory_order_relaxed);
+        e.coalesced = m.coalesced.load(std::memory_order_relaxed);
+        e.cacheHits = m.cacheHits.load(std::memory_order_relaxed);
+        e.busy = m.busy.load(std::memory_order_relaxed);
+        e.deadline = m.deadline.load(std::memory_order_relaxed);
+        e.errors = m.errors.load(std::memory_order_relaxed);
+        e.latCount = m.latency.total();
+        e.p50Us = m.latency.percentileUs(0.50);
+        e.p99Us = m.latency.percentileUs(0.99);
+    }
+    s.queueDepth = queue_depth;
+    s.queuePeak = queuePeak_.load(std::memory_order_relaxed);
+    s.inFlight = in_flight;
+    s.draining = draining ? 1 : 0;
+    return s;
+}
+
+} // namespace cisa

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-endpoint observability for cisa-serve: lock-free request
+ * counters and log-bucketed latency histograms, snapshotted (and
+ * wire-encoded) by the `stats` endpoint.
+ *
+ * All mutators are single atomic increments so the hot path never
+ * takes a lock; a snapshot is a relaxed read of every counter, which
+ * is allowed to tear across counters (stats are advisory) but never
+ * within one.
+ */
+
+#ifndef CISA_SERVICE_METRICS_HH
+#define CISA_SERVICE_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "service/request.hh"
+
+namespace cisa
+{
+
+/**
+ * Latency histogram with power-of-two microsecond buckets: bucket i
+ * holds samples in [2^(i-1), 2^i) us (bucket 0 is < 1 us). 40
+ * buckets cover ~12 days, enough for any request.
+ */
+class LatencyHisto
+{
+  public:
+    static constexpr int kBuckets = 40;
+
+    void
+    add(uint64_t us)
+    {
+        int b = 0;
+        while (us > 0 && b < kBuckets - 1) {
+            us >>= 1;
+            b++;
+        }
+        counts_[size_t(b)].fetch_add(1, std::memory_order_relaxed);
+        total_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    total() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    /** Approximate p-quantile in microseconds (bucket upper edge). */
+    uint64_t percentileUs(double p) const;
+
+  private:
+    std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+    std::atomic<uint64_t> total_{0};
+};
+
+/** Live counters of one endpoint. */
+struct EndpointMetrics
+{
+    std::atomic<uint64_t> requests{0};  ///< submitted (any outcome)
+    std::atomic<uint64_t> ok{0};        ///< completed Ok
+    std::atomic<uint64_t> coalesced{0}; ///< joined an in-flight twin
+    std::atomic<uint64_t> cacheHits{0}; ///< served from result cache
+    std::atomic<uint64_t> busy{0};      ///< rejected: queue full/drain
+    std::atomic<uint64_t> deadline{0};  ///< expired before completion
+    std::atomic<uint64_t> errors{0};    ///< handler failure/bad req
+    LatencyHisto latency;               ///< submit-to-response, Ok only
+};
+
+/** Point-in-time copy of one endpoint's counters. */
+struct EndpointSnap
+{
+    uint64_t requests = 0;
+    uint64_t ok = 0;
+    uint64_t coalesced = 0;
+    uint64_t cacheHits = 0;
+    uint64_t busy = 0;
+    uint64_t deadline = 0;
+    uint64_t errors = 0;
+    uint64_t latCount = 0;
+    uint64_t p50Us = 0;
+    uint64_t p99Us = 0;
+};
+
+/** Point-in-time copy of the whole service's metrics. */
+struct StatsSnap
+{
+    std::array<EndpointSnap, size_t(ReqType::kCount)> ep{};
+    uint64_t queueDepth = 0; ///< queued (not running) right now
+    uint64_t queuePeak = 0;  ///< high-water mark of queueDepth
+    uint64_t inFlight = 0;   ///< running right now
+    uint8_t draining = 0;
+
+    /** Totals across endpoints. */
+    uint64_t totalRequests() const;
+    uint64_t totalCoalesced() const;
+    uint64_t totalCacheHits() const;
+
+    /** Rendered ASCII table (one row per endpoint). */
+    std::string render() const;
+
+    void encode(ByteWriter &w) const;
+    static bool decode(ByteReader &r, StatsSnap *out);
+};
+
+/** The live metrics of one executor. */
+class ServiceMetrics
+{
+  public:
+    EndpointMetrics &
+    at(ReqType t)
+    {
+        return ep_[size_t(t)];
+    }
+
+    /** Record a new queued-depth observation (keeps the peak). */
+    void
+    observeQueueDepth(uint64_t depth)
+    {
+        uint64_t prev = queuePeak_.load(std::memory_order_relaxed);
+        while (prev < depth &&
+               !queuePeak_.compare_exchange_weak(
+                   prev, depth, std::memory_order_relaxed)) {
+        }
+    }
+
+    StatsSnap snapshot(uint64_t queue_depth, uint64_t in_flight,
+                       bool draining) const;
+
+  private:
+    std::array<EndpointMetrics, size_t(ReqType::kCount)> ep_{};
+    std::atomic<uint64_t> queuePeak_{0};
+};
+
+} // namespace cisa
+
+#endif // CISA_SERVICE_METRICS_HH

@@ -1,0 +1,250 @@
+#include "service/server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "service/frame.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+bool
+bindUnixSocket(int fd, const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = strfmt("socket path too long: %s", path.c_str());
+        return false;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // A stale socket file from a dead daemon would make bind fail;
+    // probe it with a connect and only unlink if nobody answers.
+    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+        if (::connect(probe, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            ::close(probe);
+            if (err)
+                *err = strfmt("daemon already listening on %s",
+                              path.c_str());
+            return false;
+        }
+        ::close(probe);
+        ::unlink(path.c_str());
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (err)
+            *err = strfmt("bind(%s): %s", path.c_str(),
+                          std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Server::Server(const Options &opts)
+    : path_(opts.socketPath.empty() ? serveSocketPath()
+                                    : opts.socketPath),
+      exec_(std::make_unique<Executor>(opts.exec))
+{}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string *err)
+{
+    panic_if(started_, "server started twice");
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (err)
+            *err = strfmt("socket: %s", std::strerror(errno));
+        return false;
+    }
+    if (!bindUnixSocket(listenFd_, path_, err)) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        if (err)
+            *err = strfmt("listen: %s", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::pipe(wakePipe_) != 0) {
+        if (err)
+            *err = strfmt("pipe: %s", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    started_ = true;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    inform("cisa-serve listening on %s", path_.c_str());
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    // Async-signal-safe: one atomic store and one write().
+    stopRequested_.store(true, std::memory_order_release);
+    if (wakePipe_[1] >= 0) {
+        char b = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakePipe_[1], &b, 1);
+    }
+}
+
+void
+Server::waitUntilStopped()
+{
+    if (!started_)
+        return;
+    if (acceptor_.joinable())
+        acceptor_.join();
+    stop();
+}
+
+void
+Server::stop()
+{
+    if (!started_ || stopped_.exchange(true))
+        return;
+
+    // 1. Stop accepting new connections.
+    requestStop();
+    if (acceptor_.joinable())
+        acceptor_.join();
+
+    // 2. Drain queued and in-flight work; connection threads keep
+    //    answering (new submissions get BUSY) until clients see
+    //    their final responses.
+    exec_->drain();
+
+    // 3. Unblock readers stuck waiting for client traffic, then
+    //    wait for every connection thread to finish. SHUT_RD only:
+    //    a connection thread that just finished a drained job must
+    //    still be able to write that final response (each thread
+    //    closes its own fd on the way out).
+    {
+        std::unique_lock<std::mutex> lk(connMu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RD);
+        connCv_.wait(lk, [&] { return connCount_ == 0; });
+    }
+
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(path_.c_str());
+    ::close(wakePipe_[0]);
+    ::close(wakePipe_[1]);
+    wakePipe_[0] = wakePipe_[1] = -1;
+    inform("cisa-serve stopped (%s)", path_.c_str());
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        if (stopRequested_.load(std::memory_order_acquire))
+            return;
+        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+                         {wakePipe_[0], POLLIN, 0}};
+        int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("cisa-serve accept poll: %s", std::strerror(errno));
+            return;
+        }
+        if (fds[1].revents || stopRequested_.load(std::memory_order_acquire))
+            return;
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("cisa-serve accept: %s", std::strerror(errno));
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lk(connMu_);
+            connFds_.insert(fd);
+            connCount_++;
+        }
+        std::thread([this, fd] { serveConnection(fd); }).detach();
+    }
+}
+
+void
+Server::serveConnection(int fd)
+{
+    serveFrames(fd);
+    // Closing here (not at stop()) both signals EOF to the client
+    // promptly and keeps a long-lived daemon's connection state
+    // bounded by the number of *live* clients.
+    std::lock_guard<std::mutex> lk(connMu_);
+    connFds_.erase(fd);
+    ::close(fd);
+    connCount_--;
+    connCv_.notify_all();
+}
+
+void
+Server::serveFrames(int fd)
+{
+    for (;;) {
+        Frame frame;
+        std::string err;
+        FrameRead fr = readFrame(fd, &frame, &err);
+        if (fr == FrameRead::Eof)
+            return;
+        if (fr == FrameRead::Bad) {
+            // Framing is no longer trustworthy: answer once, close.
+            ByteWriter w;
+            Response::fail(Status::BadRequest, err).encode(w);
+            writeFrame(fd, FrameKind::Response, w.take());
+            return;
+        }
+        Response resp;
+        if (frame.kind != FrameKind::Request) {
+            resp = Response::fail(Status::BadRequest,
+                                  "expected a request frame");
+        } else {
+            Request req;
+            uint32_t deadline_ms = 0;
+            if (!decodeRequestEnvelope(frame.payload, &req,
+                                       &deadline_ms, &err)) {
+                resp = Response::fail(Status::BadRequest, err);
+            } else {
+                resp = exec_->call(req, deadline_ms);
+            }
+        }
+        ByteWriter w;
+        resp.encode(w);
+        if (!writeFrame(fd, FrameKind::Response, w.take()))
+            return;
+    }
+}
+
+} // namespace cisa

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The cisa-serve transport: a UNIX-domain stream socket speaking the
+ * frame protocol of src/service/frame.hh, one thread per client
+ * connection, all computation delegated to the shared Executor.
+ *
+ * Protocol per connection: the client sends Request frames (request
+ * envelope payloads) and receives exactly one Response frame per
+ * request, in order. A malformed envelope gets a BADREQ response
+ * and the connection stays usable; a corrupt frame (bad magic,
+ * checksum, oversized length) gets one BADREQ response and the
+ * connection is closed, since framing can no longer be trusted.
+ *
+ * Backpressure is end-to-end: when the executor's queue is at its
+ * bound the response is an immediate BUSY frame — the server never
+ * buffers requests beyond the bound, so a flood cannot grow memory
+ * without limit.
+ *
+ * Shutdown: stop() (or requestStop() from a signal handler) stops
+ * accepting, lets the executor drain queued and running work (new
+ * requests meanwhile get BUSY), then closes client sockets and
+ * joins. In-flight responses are delivered before their connections
+ * close.
+ */
+
+#ifndef CISA_SERVICE_SERVER_HH
+#define CISA_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "service/executor.hh"
+
+namespace cisa
+{
+
+class Server
+{
+  public:
+    struct Options
+    {
+        std::string socketPath; ///< empty = CISA_SERVE_SOCKET
+        Executor::Options exec;
+    };
+
+    Server() : Server(Options()) {}
+    explicit Server(const Options &opts);
+    ~Server(); ///< stop()s
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and start accepting. False (with @p err) if the
+     * socket can't be set up (e.g. another daemon holds the path). */
+    bool start(std::string *err = nullptr);
+
+    /** Graceful shutdown; idempotent, safe to call unstarted. */
+    void stop();
+
+    /**
+     * Async-signal-safe shutdown trigger for SIGTERM/SIGINT
+     * handlers: flags the acceptor and wakes it via the self-pipe.
+     * The actual drain happens on the thread that calls stop() (or
+     * waitUntilStopped()).
+     */
+    void requestStop();
+
+    /** Block until requestStop() fires, then run the graceful stop
+     * sequence. The daemon main loop. */
+    void waitUntilStopped();
+
+    const std::string &socketPath() const { return path_; }
+
+    Executor &executor() { return *exec_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    void serveFrames(int fd);
+
+    std::string path_;
+    std::unique_ptr<Executor> exec_;
+
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> stopped_{false};
+    bool started_ = false;
+
+    std::thread acceptor_;
+    /** Live connections: each runs on a detached thread that closes
+     * its own fd and drops out of the set when the client leaves,
+     * so long-lived daemons don't accumulate dead fds or threads.
+     * The count lets stop() wait for every thread to finish. */
+    std::mutex connMu_;
+    std::condition_variable connCv_;
+    std::set<int> connFds_;
+    size_t connCount_ = 0;
+};
+
+} // namespace cisa
+
+#endif // CISA_SERVICE_SERVER_HH

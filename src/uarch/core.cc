@@ -1,7 +1,7 @@
 #include "uarch/core.hh"
 
 #include "common/logging.hh"
-#include "common/rng.hh"
+#include "common/hash.hh"
 #include "uarch/engine.hh"
 
 namespace cisa

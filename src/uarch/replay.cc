@@ -3,7 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
-#include "common/rng.hh"
+#include "common/hash.hh"
 #include "uarch/engine.hh"
 
 namespace cisa

@@ -1,7 +1,7 @@
 #include "uarch/uconfig.hh"
 
 #include "common/logging.hh"
-#include "common/rng.hh"
+#include "common/hash.hh"
 
 namespace cisa
 {

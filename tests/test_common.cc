@@ -159,6 +159,113 @@ TEST(Env, Defaults)
     EXPECT_GT(simUopBudget(), 0u);
 }
 
+TEST(Env, ParsesValidIntegers)
+{
+    setenv("CISA_ENV_TEST", "123", 1);
+    EXPECT_EQ(envInt("CISA_ENV_TEST", 7), 123);
+    setenv("CISA_ENV_TEST", "-5", 1);
+    EXPECT_EQ(envInt("CISA_ENV_TEST", 7), -5);
+    setenv("CISA_ENV_TEST", "  88  ", 1); // surrounding whitespace ok
+    EXPECT_EQ(envInt("CISA_ENV_TEST", 7), 88);
+    unsetenv("CISA_ENV_TEST");
+}
+
+TEST(Env, MalformedFallsBackToDefault)
+{
+    for (const char *bad :
+         {"abc", "12abc", "1.5", "0x10", "--3", "9e4", " "}) {
+        setenv("CISA_ENV_TEST", bad, 1);
+        EXPECT_EQ(envInt("CISA_ENV_TEST", 7), 7) << bad;
+        EXPECT_EQ(envIntRange("CISA_ENV_TEST", 7, 0, 100), 7) << bad;
+    }
+    // Magnitude beyond int64 is malformed, not saturated.
+    setenv("CISA_ENV_TEST", "99999999999999999999999", 1);
+    EXPECT_EQ(envInt("CISA_ENV_TEST", 7), 7);
+    unsetenv("CISA_ENV_TEST");
+}
+
+TEST(Env, OutOfRangeFallsBackToDefault)
+{
+    // The contract is default, NOT clamp: an out-of-range value is
+    // a config error and silently clamping would hide it.
+    setenv("CISA_ENV_TEST", "1000", 1);
+    EXPECT_EQ(envIntRange("CISA_ENV_TEST", 7, 0, 100), 7);
+    setenv("CISA_ENV_TEST", "-1", 1);
+    EXPECT_EQ(envIntRange("CISA_ENV_TEST", 7, 0, 100), 7);
+    setenv("CISA_ENV_TEST", "100", 1); // inclusive bounds
+    EXPECT_EQ(envIntRange("CISA_ENV_TEST", 7, 0, 100), 100);
+    unsetenv("CISA_ENV_TEST");
+}
+
+TEST(Env, KnobsSurviveGarbageValues)
+{
+    // Every numeric CISA_* knob must yield its documented default
+    // when set to garbage — a typo'd environment never crashes or
+    // silently zeroes a simulation parameter.
+    for (const char *name :
+         {"CISA_SIM_UOPS", "CISA_SIM_WARMUP", "CISA_SEARCH_RESTARTS",
+          "CISA_SERVE_QUEUE", "CISA_SERVE_WORKERS",
+          "CISA_SERVE_CACHE"}) {
+        setenv(name, "not-a-number", 1);
+    }
+    EXPECT_EQ(simUopBudget(), 6000u);
+    EXPECT_EQ(simWarmupUops(), 1500u);
+    EXPECT_EQ(searchRestarts(), 2);
+    EXPECT_EQ(serveQueueBound(), 64);
+    EXPECT_EQ(serveWorkers(), 2);
+    EXPECT_EQ(serveCacheEntries(), 256);
+    for (const char *name :
+         {"CISA_SIM_UOPS", "CISA_SIM_WARMUP", "CISA_SEARCH_RESTARTS",
+          "CISA_SERVE_QUEUE", "CISA_SERVE_WORKERS",
+          "CISA_SERVE_CACHE"}) {
+        unsetenv(name);
+    }
+}
+
+TEST(ByteCodec, RoundTrip)
+{
+    ByteWriter w;
+    w.u8(7);
+    w.u16(300);
+    w.u32(1u << 30);
+    w.u64(1ULL << 40);
+    w.f32(1.5f);
+    w.f64(-2.25);
+    w.str("hello");
+    std::vector<uint8_t> buf = w.take();
+
+    ByteReader r(buf);
+    EXPECT_EQ(r.u8(), 7);
+    EXPECT_EQ(r.u16(), 300);
+    EXPECT_EQ(r.u32(), 1u << 30);
+    EXPECT_EQ(r.u64(), 1ULL << 40);
+    EXPECT_EQ(r.f32(), 1.5f);
+    EXPECT_EQ(r.f64(), -2.25);
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteCodec, OverrunSetsErrorNotCrash)
+{
+    ByteWriter w;
+    w.u16(99);
+    std::vector<uint8_t> buf = w.take();
+    ByteReader r(buf);
+    EXPECT_EQ(r.u64(), 0u); // short read: zero value, error flag
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteCodec, OversizedStringRejected)
+{
+    ByteWriter w;
+    w.u32(1u << 20); // claims a 1 MiB string in a 4-byte buffer
+    std::vector<uint8_t> buf = w.take();
+    ByteReader r(buf);
+    EXPECT_EQ(r.str(), "");
+    EXPECT_FALSE(r.ok());
+}
+
 TEST(Logging, Strfmt)
 {
     EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");

@@ -1,0 +1,909 @@
+/**
+ * @file
+ * Tests of the cisa-serve subsystem, bottom-up: frame codec
+ * robustness (round-trips, truncation, corruption), the typed
+ * request/response codecs, executor semantics with injected
+ * synthetic handlers (coalescing, backpressure bound, per-waiter
+ * deadlines, response cache, priority order, drain), and an
+ * end-to-end loopback over a real UNIX socket: concurrent clients,
+ * byte-identical responses, coalesce accounting, deadline frames,
+ * and graceful-drain BUSY rejection.
+ */
+
+#include <cstdlib>
+
+// Must run before any Campaign::get() in this process.
+namespace
+{
+struct EnvSetup
+{
+    EnvSetup()
+    {
+        setenv("CISA_SIM_UOPS", "600", 1);
+        setenv("CISA_SIM_WARMUP", "100", 1);
+        setenv("CISA_DSE_CACHE", "/tmp/cisa_service_cache.bin", 1);
+        setenv("CISA_SEARCH_RESTARTS", "1", 1);
+        setenv("CISA_THREADS", "4", 0);
+    }
+} env_setup;
+} // namespace
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "explore/campaign.hh"
+#include "service/client.hh"
+#include "service/executor.hh"
+#include "service/frame.hh"
+#include "service/server.hh"
+
+namespace cisa
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------
+
+std::vector<uint8_t>
+somePayload()
+{
+    std::vector<uint8_t> p;
+    for (int i = 0; i < 300; i++)
+        p.push_back(uint8_t(i * 7));
+    return p;
+}
+
+TEST(FrameCodec, RoundTrip)
+{
+    std::vector<uint8_t> payload = somePayload();
+    std::vector<uint8_t> wire =
+        encodeFrame(FrameKind::Response, payload);
+    ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+
+    Frame f;
+    std::string err;
+    size_t pos = 0;
+    ASSERT_EQ(decodeFrame(wire.data(), wire.size(), &pos, &f, &err),
+              FrameDecode::Ok)
+        << err;
+    EXPECT_EQ(pos, wire.size());
+    EXPECT_EQ(f.kind, FrameKind::Response);
+    EXPECT_EQ(f.payload, payload);
+}
+
+TEST(FrameCodec, TwoFramesInOneBuffer)
+{
+    std::vector<uint8_t> wire =
+        encodeFrame(FrameKind::Request, {1, 2, 3});
+    std::vector<uint8_t> second =
+        encodeFrame(FrameKind::Response, {4, 5});
+    wire.insert(wire.end(), second.begin(), second.end());
+
+    Frame f;
+    std::string err;
+    size_t pos = 0;
+    ASSERT_EQ(decodeFrame(wire.data(), wire.size(), &pos, &f, &err),
+              FrameDecode::Ok);
+    EXPECT_EQ(f.payload, (std::vector<uint8_t>{1, 2, 3}));
+    ASSERT_EQ(decodeFrame(wire.data(), wire.size(), &pos, &f, &err),
+              FrameDecode::Ok);
+    EXPECT_EQ(f.payload, (std::vector<uint8_t>{4, 5}));
+    EXPECT_EQ(pos, wire.size());
+}
+
+TEST(FrameCodec, EveryTruncationNeedsMore)
+{
+    std::vector<uint8_t> wire =
+        encodeFrame(FrameKind::Request, somePayload());
+    for (size_t n = 0; n < wire.size(); n++) {
+        Frame f;
+        std::string err;
+        size_t pos = 0;
+        EXPECT_EQ(decodeFrame(wire.data(), n, &pos, &f, &err),
+                  FrameDecode::NeedMore)
+            << "prefix length " << n;
+        EXPECT_EQ(pos, 0u);
+    }
+}
+
+TEST(FrameCodec, CorruptHeaderRejected)
+{
+    std::vector<uint8_t> good =
+        encodeFrame(FrameKind::Request, {9, 9, 9});
+    Frame f;
+    std::string err;
+
+    std::vector<uint8_t> bad = good;
+    bad[0] ^= 0xff; // magic
+    size_t pos = 0;
+    EXPECT_EQ(decodeFrame(bad.data(), bad.size(), &pos, &f, &err),
+              FrameDecode::Bad);
+
+    bad = good;
+    bad[4] = 0x77; // unknown kind
+    pos = 0;
+    EXPECT_EQ(decodeFrame(bad.data(), bad.size(), &pos, &f, &err),
+              FrameDecode::Bad);
+
+    bad = good;
+    bad[6] = 1; // reserved flags must be zero
+    pos = 0;
+    EXPECT_EQ(decodeFrame(bad.data(), bad.size(), &pos, &f, &err),
+              FrameDecode::Bad);
+
+    bad = good;
+    bad[11] = 0xff; // length beyond kMaxFramePayload
+    pos = 0;
+    EXPECT_EQ(decodeFrame(bad.data(), bad.size(), &pos, &f, &err),
+              FrameDecode::Bad);
+}
+
+TEST(FrameCodec, EveryBitFlipDetected)
+{
+    // Flipping any single bit of a frame must never yield a
+    // successfully-decoded frame with different bytes: either the
+    // header check or the payload checksum catches it (a larger
+    // length field may report NeedMore — also not a silent
+    // corruption).
+    std::vector<uint8_t> good =
+        encodeFrame(FrameKind::Request, somePayload());
+    for (size_t byte = 0; byte < good.size(); byte++) {
+        for (int bit = 0; bit < 8; bit++) {
+            std::vector<uint8_t> bad = good;
+            bad[byte] ^= uint8_t(1u << bit);
+            Frame f;
+            std::string err;
+            size_t pos = 0;
+            FrameDecode rc =
+                decodeFrame(bad.data(), bad.size(), &pos, &f, &err);
+            ASSERT_NE(rc, FrameDecode::Ok)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Request / response codecs
+// ---------------------------------------------------------------
+
+Request
+roundTripped(const Request &req, uint32_t deadline_in,
+             uint32_t *deadline_out)
+{
+    std::vector<uint8_t> wire =
+        encodeRequestEnvelope(req, deadline_in);
+    Request out;
+    std::string err;
+    EXPECT_TRUE(
+        decodeRequestEnvelope(wire, &out, deadline_out, &err))
+        << err;
+    return out;
+}
+
+TEST(RequestCodec, EveryTypeRoundTrips)
+{
+    std::vector<Request> reqs = {
+        Request::ping(),
+        Request::evalPoint(DesignPoint::composite(13, 42), 7),
+        Request::evalPoint(
+            DesignPoint::vendorPoint(VendorIsa::ThumbLike, 3), 0),
+        Request::slabPerf(27),
+        Request::tableOf(4),
+        Request::searchDesign(Family::CompositeFull,
+                              Objective::MpEdp,
+                              Budget{30.0, 80.0, true}, 99),
+        Request::stats(),
+    };
+    for (const Request &req : reqs) {
+        uint32_t deadline = 0;
+        Request out = roundTripped(req, 1234, &deadline);
+        EXPECT_EQ(deadline, 1234u);
+        EXPECT_EQ(out.type, req.type);
+        EXPECT_EQ(out.fingerprint(), req.fingerprint());
+    }
+    // Fingerprints of distinct requests must be distinct.
+    for (size_t i = 0; i < reqs.size(); i++)
+        for (size_t j = i + 1; j < reqs.size(); j++)
+            EXPECT_NE(reqs[i].fingerprint(), reqs[j].fingerprint());
+}
+
+TEST(RequestCodec, DeadlineExcludedFromFingerprint)
+{
+    Request req = Request::slabPerf(3);
+    std::vector<uint8_t> a = encodeRequestEnvelope(req, 10);
+    std::vector<uint8_t> b = encodeRequestEnvelope(req, 99999);
+    EXPECT_NE(a, b); // envelopes differ...
+    Request ra, rb;
+    uint32_t da = 0, db = 0;
+    std::string err;
+    ASSERT_TRUE(decodeRequestEnvelope(a, &ra, &da, &err));
+    ASSERT_TRUE(decodeRequestEnvelope(b, &rb, &db, &err));
+    // ...but the requests coalesce: same canonical key.
+    EXPECT_EQ(ra.fingerprint(), rb.fingerprint());
+}
+
+TEST(RequestCodec, MalformedRejected)
+{
+    auto rejects = [](std::vector<uint8_t> wire) {
+        Request out;
+        uint32_t deadline = 0;
+        std::string err;
+        return !decodeRequestEnvelope(wire, &out, &deadline, &err);
+    };
+
+    EXPECT_TRUE(rejects({})); // empty
+    EXPECT_TRUE(rejects({1, 2, 3})); // short envelope
+
+    { // unknown request type
+        ByteWriter w;
+        w.u32(0);
+        w.u8(200);
+        EXPECT_TRUE(rejects(w.take()));
+    }
+    { // trailing junk after a valid request
+        std::vector<uint8_t> wire =
+            encodeRequestEnvelope(Request::ping(), 0);
+        wire.push_back(0);
+        EXPECT_TRUE(rejects(wire));
+    }
+    // Out-of-range fields, each corrupted from a valid request.
+    {
+        Request req = Request::slabPerf(0);
+        req.slab.slab = Campaign::kSlabs; // one past the end
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+        req.slab.slab = -1;
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+    }
+    {
+        Request req =
+            Request::evalPoint(DesignPoint::composite(0, 0), 0);
+        req.eval.phase = phaseCount();
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+        req.eval.phase = 0;
+        req.eval.uarchId = DesignPoint::kUarchCount;
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+        req.eval.uarchId = 0;
+        req.eval.isaId = FeatureSet::count();
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+        req.eval.isaId = 0;
+        req.eval.vendor = 200;
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+    }
+    {
+        Request req = Request::searchDesign(
+            Family::Homogeneous, Objective::MpThroughput, Budget{});
+        req.search.family = 99;
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+        req.search.family = 0;
+        req.search.objective = 99;
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+        req.search.objective = 0;
+        req.search.powerW = -1.0;
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+        req.search.powerW = std::nan("");
+        EXPECT_TRUE(rejects(encodeRequestEnvelope(req, 0)));
+    }
+}
+
+TEST(ResponseCodec, RoundTrips)
+{
+    for (Status s : {Status::Ok, Status::Busy, Status::Deadline,
+                     Status::CancelledByPeer, Status::BadRequest,
+                     Status::Error}) {
+        Response in;
+        in.status = s;
+        in.message = s == Status::Ok ? "" : "why";
+        in.body = {1, 2, 3, 4};
+        ByteWriter w;
+        in.encode(w);
+        std::vector<uint8_t> wire = w.take();
+        ByteReader r(wire);
+        Response out;
+        ASSERT_TRUE(Response::decode(r, &out));
+        EXPECT_TRUE(r.atEnd());
+        EXPECT_EQ(out.status, in.status);
+        EXPECT_EQ(out.message, in.message);
+        EXPECT_EQ(out.body, in.body);
+    }
+}
+
+TEST(ResponseCodec, TypedBodiesRoundTrip)
+{
+    PhasePerf p;
+    p.timePerRun = 1.5f;
+    p.energyPerRun = 2.5f;
+    p.timePerRunMp = 3.5f;
+    p.energyPerRunMp = 4.5f;
+    {
+        ByteWriter w;
+        encodePhasePerf(w, p);
+        std::vector<uint8_t> wire = w.take();
+        ByteReader r(wire);
+        PhasePerf out;
+        ASSERT_TRUE(decodePhasePerf(r, &out));
+        EXPECT_EQ(out.timePerRun, p.timePerRun);
+        EXPECT_EQ(out.energyPerRunMp, p.energyPerRunMp);
+    }
+    {
+        ByteWriter w;
+        encodeSlabPerf(w, {p, p, p});
+        std::vector<uint8_t> wire = w.take();
+        ByteReader r(wire);
+        std::vector<PhasePerf> out;
+        ASSERT_TRUE(decodeSlabPerf(r, &out));
+        ASSERT_EQ(out.size(), 3u);
+        EXPECT_EQ(out[2].timePerRunMp, p.timePerRunMp);
+    }
+    { // truncated typed body is rejected, not misread
+        ByteWriter w;
+        encodeSlabPerf(w, {p, p, p});
+        std::vector<uint8_t> wire = w.take();
+        wire.resize(wire.size() - 3);
+        ByteReader r(wire);
+        std::vector<PhasePerf> out;
+        EXPECT_FALSE(decodeSlabPerf(r, &out));
+    }
+}
+
+TEST(StatsCodec, RoundTrips)
+{
+    StatsSnap in;
+    in.ep[size_t(ReqType::Slab)].requests = 17;
+    in.ep[size_t(ReqType::Slab)].coalesced = 5;
+    in.ep[size_t(ReqType::Search)].deadline = 2;
+    in.queueDepth = 3;
+    in.queuePeak = 9;
+    in.inFlight = 2;
+    in.draining = 1;
+    ByteWriter w;
+    in.encode(w);
+    std::vector<uint8_t> wire = w.take();
+    ByteReader r(wire);
+    StatsSnap out;
+    ASSERT_TRUE(StatsSnap::decode(r, &out));
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(out.ep[size_t(ReqType::Slab)].requests, 17u);
+    EXPECT_EQ(out.ep[size_t(ReqType::Slab)].coalesced, 5u);
+    EXPECT_EQ(out.ep[size_t(ReqType::Search)].deadline, 2u);
+    EXPECT_EQ(out.queuePeak, 9u);
+    EXPECT_EQ(out.draining, 1);
+    EXPECT_EQ(out.totalRequests(), 17u);
+    EXPECT_EQ(out.totalCoalesced(), 5u);
+}
+
+// ---------------------------------------------------------------
+// Executor semantics (synthetic handlers)
+// ---------------------------------------------------------------
+
+/** A handler the test can hold open and release. */
+struct GatedHandler
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<int> invocations{0};
+
+    void
+    release()
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        open = true;
+        cv.notify_all();
+    }
+
+    Response
+    operator()(const Request &req, CancelToken &token)
+    {
+        invocations++;
+        std::unique_lock<std::mutex> lk(mu);
+        while (!cv.wait_for(lk, std::chrono::milliseconds(5),
+                            [&] { return open; })) {
+            checkCancel(&token); // throws Cancelled when expired
+        }
+        Response resp;
+        resp.body = {uint8_t(req.type), 42};
+        return resp;
+    }
+};
+
+TEST(Executor, CoalescesConcurrentTwins)
+{
+    GatedHandler gate;
+    Executor::Options opts;
+    opts.queueBound = 16;
+    opts.workers = 2;
+    opts.handler = std::ref(gate);
+    Executor exec(opts);
+
+    constexpr int kClients = 8;
+    std::vector<Response> got(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; i++) {
+        clients.emplace_back([&, i] {
+            got[size_t(i)] = exec.call(Request::slabPerf(5));
+        });
+    }
+    // Wait until the one shared job is running, then release it.
+    while (gate.invocations.load() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    gate.release();
+    for (std::thread &t : clients)
+        t.join();
+
+    // One computation, kClients identical responses. (Late clients
+    // may legitimately hit the cache if they submitted after the
+    // job finished; coalesced + cacheHits covers all but the one
+    // that ran.)
+    EXPECT_EQ(gate.invocations.load(), 1);
+    for (const Response &r : got) {
+        EXPECT_EQ(r.status, Status::Ok);
+        EXPECT_EQ(r.body, got[0].body);
+    }
+    StatsSnap s = exec.snapshot();
+    const EndpointSnap &slab = s.ep[size_t(ReqType::Slab)];
+    EXPECT_EQ(slab.requests, uint64_t(kClients));
+    EXPECT_EQ(slab.coalesced + slab.cacheHits,
+              uint64_t(kClients - 1));
+    EXPECT_GE(slab.coalesced, 1u);
+}
+
+TEST(Executor, QueueBoundGivesBusyAndNeverGrows)
+{
+    GatedHandler gate;
+    Executor::Options opts;
+    opts.queueBound = 3;
+    opts.workers = 1;
+    opts.cacheEntries = 0;
+    opts.handler = std::ref(gate);
+    Executor exec(opts);
+
+    // One request occupies the worker; the queue then fills with
+    // distinct requests up to the bound.
+    std::vector<std::thread> waiters;
+    auto spawn = [&](Request req) {
+        Executor::JobPtr job;
+        Response cached;
+        ASSERT_EQ(exec.submit(req, 0, &job, &cached),
+                  Executor::Admit::Accepted);
+        waiters.emplace_back([&exec, job] { exec.wait(job, 0); });
+    };
+    spawn(Request::ping());
+    while (gate.invocations.load() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (int i = 0; i < 3; i++)
+        spawn(Request::slabPerf(i));
+    EXPECT_EQ(exec.queueDepth(), 3u);
+
+    // A saturated queue rejects immediately and buffers nothing —
+    // no matter how many times we try.
+    for (int i = 0; i < 100; i++) {
+        Executor::JobPtr job;
+        Response cached;
+        EXPECT_EQ(exec.submit(Request::slabPerf(10 + i), 0, &job,
+                              &cached),
+                  Executor::Admit::Busy);
+        EXPECT_LE(exec.queueDepth(), 3u);
+    }
+    StatsSnap s = exec.snapshot();
+    EXPECT_EQ(s.ep[size_t(ReqType::Slab)].busy, 100u);
+    EXPECT_EQ(s.queuePeak, 3u);
+
+    gate.release();
+    for (std::thread &t : waiters)
+        t.join();
+}
+
+TEST(Executor, WaiterDeadlineReturnsDeadline)
+{
+    GatedHandler gate; // never released: the job outlives the waiter
+    Executor::Options opts;
+    opts.queueBound = 4;
+    opts.workers = 1;
+    opts.handler = std::ref(gate);
+    Executor exec(opts);
+
+    auto t0 = std::chrono::steady_clock::now();
+    Response r = exec.call(Request::slabPerf(1), 40);
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    EXPECT_EQ(r.status, Status::Deadline);
+    EXPECT_GE(ms, 35);
+    EXPECT_LT(ms, 5000) << "deadline must not hang";
+    EXPECT_EQ(exec.snapshot().ep[size_t(ReqType::Slab)].deadline,
+              1u);
+    // The lone waiter left, so the token was cancelled and the
+    // gated handler unblocked via checkCancel; the executor must
+    // become idle again (drain would hang otherwise).
+    exec.drain();
+}
+
+TEST(Executor, CachesCompletedResponses)
+{
+    std::atomic<int> runs{0};
+    Executor::Options opts;
+    opts.queueBound = 4;
+    opts.workers = 1;
+    opts.cacheEntries = 8;
+    opts.handler = [&](const Request &, CancelToken &) {
+        runs++;
+        Response r;
+        r.body = {7};
+        return r;
+    };
+    Executor exec(opts);
+
+    EXPECT_EQ(exec.call(Request::slabPerf(2)).status, Status::Ok);
+    EXPECT_EQ(exec.call(Request::slabPerf(2)).status, Status::Ok);
+    EXPECT_EQ(runs.load(), 1) << "second call must be a cache hit";
+    EXPECT_EQ(exec.snapshot().ep[size_t(ReqType::Slab)].cacheHits,
+              1u);
+
+    // Ping is not cacheable: each call runs.
+    EXPECT_EQ(exec.call(Request::ping()).status, Status::Ok);
+    EXPECT_EQ(exec.call(Request::ping()).status, Status::Ok);
+    EXPECT_EQ(runs.load(), 3);
+}
+
+TEST(Executor, CacheEvictsBeyondCapacity)
+{
+    std::atomic<int> runs{0};
+    Executor::Options opts;
+    opts.queueBound = 8;
+    opts.workers = 1;
+    opts.cacheEntries = 2;
+    opts.handler = [&](const Request &, CancelToken &) {
+        runs++;
+        return Response{};
+    };
+    Executor exec(opts);
+
+    for (int slab = 0; slab < 4; slab++)
+        exec.call(Request::slabPerf(slab));
+    EXPECT_EQ(runs.load(), 4);
+    // Slabs 2 and 3 are cached; slab 0 was evicted and recomputes.
+    exec.call(Request::slabPerf(3));
+    EXPECT_EQ(runs.load(), 4);
+    exec.call(Request::slabPerf(0));
+    EXPECT_EQ(runs.load(), 5);
+}
+
+TEST(Executor, PriorityClassOrdersQueue)
+{
+    GatedHandler gate;
+    std::vector<ReqType> order;
+    std::mutex orderMu;
+    Executor::Options opts;
+    opts.queueBound = 8;
+    opts.workers = 1;
+    opts.cacheEntries = 0;
+    opts.handler = [&](const Request &req,
+                       CancelToken &token) -> Response {
+        if (req.type == ReqType::Ping)
+            return gate(req, token); // holds the worker
+        std::lock_guard<std::mutex> lk(orderMu);
+        order.push_back(req.type);
+        return Response{};
+    };
+    Executor exec(opts);
+
+    std::thread blocker(
+        [&] { exec.call(Request::ping()); });
+    while (gate.invocations.load() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Enqueue in "wrong" order: search (class 2), slab (class 1),
+    // eval (class 0). The single worker must drain cheapest-first.
+    std::vector<std::thread> clients;
+    Request search = Request::searchDesign(
+        Family::Homogeneous, Objective::MpThroughput, Budget{});
+    Request slab = Request::slabPerf(1);
+    Request eval =
+        Request::evalPoint(DesignPoint::composite(0, 0), 0);
+    for (const Request *r : {&search, &slab, &eval}) {
+        Executor::JobPtr job;
+        Response cached;
+        ASSERT_EQ(exec.submit(*r, 0, &job, &cached),
+                  Executor::Admit::Accepted);
+        clients.emplace_back([&exec, job] { exec.wait(job, 0); });
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    gate.release();
+    for (std::thread &t : clients)
+        t.join();
+    blocker.join();
+
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], ReqType::Eval);
+    EXPECT_EQ(order[1], ReqType::Slab);
+    EXPECT_EQ(order[2], ReqType::Search);
+}
+
+TEST(Executor, DrainFinishesWorkThenRejects)
+{
+    GatedHandler gate;
+    Executor::Options opts;
+    opts.queueBound = 8;
+    opts.workers = 2;
+    opts.handler = std::ref(gate);
+    Executor exec(opts);
+
+    std::vector<std::thread> clients;
+    std::vector<Response> got(3);
+    for (int i = 0; i < 3; i++) {
+        clients.emplace_back([&, i] {
+            got[size_t(i)] = exec.call(Request::slabPerf(i));
+        });
+    }
+    while (gate.invocations.load() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    std::thread drainer([&] { exec.drain(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Draining: new work is rejected...
+    EXPECT_EQ(exec.call(Request::slabPerf(9)).status, Status::Busy);
+    // ...but queued and running work still completes.
+    gate.release();
+    drainer.join();
+    for (std::thread &t : clients)
+        t.join();
+    for (const Response &r : got)
+        EXPECT_EQ(r.status, Status::Ok);
+    EXPECT_EQ(exec.call(Request::ping()).status, Status::Busy);
+}
+
+TEST(Executor, StatsServedInlineWhenSaturated)
+{
+    GatedHandler gate;
+    Executor::Options opts;
+    opts.queueBound = 1;
+    opts.workers = 1;
+    opts.handler = std::ref(gate);
+    Executor exec(opts);
+
+    std::thread blocker([&] { exec.call(Request::ping()); });
+    while (gate.invocations.load() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Executor::JobPtr job;
+    Response cached;
+    ASSERT_EQ(exec.submit(Request::slabPerf(0), 0, &job, &cached),
+              Executor::Admit::Accepted);
+    std::thread waiter([&exec, job] { exec.wait(job, 0); });
+
+    // Queue is full — but stats must still answer immediately.
+    Response r = exec.call(Request::stats());
+    EXPECT_EQ(r.status, Status::Ok);
+    ByteReader br(r.body);
+    StatsSnap snap;
+    ASSERT_TRUE(StatsSnap::decode(br, &snap));
+    EXPECT_EQ(snap.queueDepth, 1u);
+    EXPECT_EQ(snap.inFlight, 1u);
+
+    gate.release();
+    waiter.join();
+    blocker.join();
+}
+
+// ---------------------------------------------------------------
+// End-to-end loopback over a real UNIX socket
+// ---------------------------------------------------------------
+
+std::string
+testSocketPath(const char *tag)
+{
+    return std::string("/tmp/cisa_serve_test_") + tag + "_" +
+           std::to_string(getpid()) + ".sock";
+}
+
+TEST(ServerE2E, ConcurrentClientsByteIdenticalAndCoalesced)
+{
+    Server::Options opts;
+    opts.socketPath = testSocketPath("e2e");
+    opts.exec.queueBound = 32;
+    opts.exec.workers = 2;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // N clients all ask for the same cold slab at the same moment.
+    constexpr int kClients = 6;
+    constexpr int kSlab = 2;
+    std::vector<Response> got(kClients);
+    std::vector<bool> okTransport(kClients, false);
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; i++) {
+        threads.emplace_back([&, i] {
+            Client c;
+            std::string cerr;
+            if (!c.connect(opts.socketPath, &cerr))
+                return;
+            ready++;
+            while (ready.load() < kClients) // start barrier
+                std::this_thread::yield();
+            okTransport[size_t(i)] =
+                c.call(Request::slabPerf(kSlab), &got[size_t(i)]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int i = 0; i < kClients; i++) {
+        ASSERT_TRUE(okTransport[size_t(i)]) << "client " << i;
+        ASSERT_EQ(got[size_t(i)].status, Status::Ok);
+        // Byte-identical responses across every client.
+        EXPECT_EQ(got[size_t(i)].body, got[0].body);
+    }
+
+    // The response equals a direct library call, byte for byte.
+    ByteWriter w;
+    encodeSlabPerf(w, Campaign::get().slabPerf(kSlab));
+    EXPECT_EQ(got[0].body, w.bytes());
+
+    // All but the first request were deduplicated, and the dedup
+    // is visible in the metrics.
+    StatsSnap s = server.executor().snapshot();
+    const EndpointSnap &slab = s.ep[size_t(ReqType::Slab)];
+    EXPECT_EQ(slab.requests, uint64_t(kClients));
+    EXPECT_EQ(slab.coalesced + slab.cacheHits,
+              uint64_t(kClients - 1));
+
+    server.stop();
+    // The socket file is gone after a clean stop.
+    EXPECT_NE(::access(opts.socketPath.c_str(), F_OK), 0);
+}
+
+TEST(ServerE2E, SlowRequestShortDeadlineGetsDeadlineFrame)
+{
+    Server::Options opts;
+    opts.socketPath = testSocketPath("ddl");
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    Client c;
+    ASSERT_TRUE(c.connect(opts.socketPath, &err)) << err;
+    // A full composite search is far slower than 10 ms even at the
+    // test's tiny simulation budget; the reply must be a DEADLINE
+    // frame, not a hang.
+    SearchResult res;
+    auto t0 = std::chrono::steady_clock::now();
+    Status s = c.search(Family::CompositeFull, Objective::MpEdp,
+                        Budget{25.0, 60.0, false}, 1, &res, 10);
+    auto sec = std::chrono::duration_cast<std::chrono::seconds>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    EXPECT_EQ(s, Status::Deadline);
+    EXPECT_LT(sec, 60) << "deadline response must be prompt";
+
+    server.stop();
+}
+
+TEST(ServerE2E, CorruptFramesRejectedCleanly)
+{
+    Server::Options opts;
+    opts.socketPath = testSocketPath("bad");
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // A valid frame whose payload is not a request envelope gets a
+    // BADREQ response and the connection stays usable.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  opts.socketPath.c_str());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_TRUE(
+        writeFrame(fd, FrameKind::Request, {0xde, 0xad, 0xbe}));
+    Frame f;
+    ASSERT_EQ(readFrame(fd, &f, &err), FrameRead::Ok) << err;
+    {
+        ByteReader r(f.payload);
+        Response resp;
+        ASSERT_TRUE(Response::decode(r, &resp));
+        EXPECT_EQ(resp.status, Status::BadRequest);
+    }
+
+    // Same connection still answers a well-formed request.
+    ASSERT_TRUE(writeFrame(
+        fd, FrameKind::Request,
+        encodeRequestEnvelope(Request::ping(), 0)));
+    ASSERT_EQ(readFrame(fd, &f, &err), FrameRead::Ok) << err;
+    {
+        ByteReader r(f.payload);
+        Response resp;
+        ASSERT_TRUE(Response::decode(r, &resp));
+        EXPECT_EQ(resp.status, Status::Ok);
+    }
+
+    // Raw garbage (no valid frame header) gets one final response
+    // and then the connection is terminated — never a crash or a
+    // hang. (The close may surface as EOF or as ECONNRESET when the
+    // server discards unread junk; both are a clean termination.)
+    const uint8_t junk[32] = {0x13, 0x37};
+    ASSERT_EQ(::write(fd, junk, sizeof(junk)), ssize_t(sizeof(junk)));
+    FrameRead rc = readFrame(fd, &f, &err);
+    if (rc == FrameRead::Ok) {
+        ByteReader r(f.payload);
+        Response resp;
+        ASSERT_TRUE(Response::decode(r, &resp));
+        EXPECT_EQ(resp.status, Status::BadRequest);
+        rc = readFrame(fd, &f, &err);
+    }
+    EXPECT_NE(rc, FrameRead::Ok);
+    ::close(fd);
+
+    server.stop();
+}
+
+TEST(ServerE2E, GracefulDrainRejectsNewWithBusy)
+{
+    GatedHandler gate;
+    Server::Options opts;
+    opts.socketPath = testSocketPath("drain");
+    opts.exec.queueBound = 8;
+    opts.exec.workers = 1;
+    opts.exec.handler = std::ref(gate);
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // Both connections must exist before the stop: once the
+    // acceptor has shut down, no new connections are served.
+    Client probe;
+    ASSERT_TRUE(probe.connect(opts.socketPath, &err)) << err;
+
+    // One in-flight request holds the (synthetic) handler open.
+    Response slow;
+    std::thread inflight([&] {
+        Client c;
+        if (c.connect(opts.socketPath))
+            c.call(Request::slabPerf(0), &slow);
+    });
+    while (gate.invocations.load() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // SIGTERM path: requestStop() from (nominally) a signal
+    // handler, stop() drains on a worker thread.
+    server.requestStop();
+    std::thread stopper([&] { server.stop(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // During the drain, a new request on a live connection is
+    // rejected with BUSY.
+    {
+        Response r;
+        ASSERT_TRUE(probe.call(Request::slabPerf(1), &r))
+            << probe.lastError();
+        EXPECT_EQ(r.status, Status::Busy);
+    }
+
+    // The in-flight request still completes and its response is
+    // delivered before the connection closes.
+    gate.release();
+    stopper.join();
+    inflight.join();
+    EXPECT_EQ(slow.status, Status::Ok);
+}
+
+} // namespace
+} // namespace cisa

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Command-line client for cisa-serve.
+ *
+ * Usage:
+ *   cisa_client [--socket PATH] [--deadline-ms N] CMD [args]
+ *
+ * Commands:
+ *   ping
+ *   eval  ISA UARCH PHASE     ISA = composite feature-set id 0..25,
+ *                             or x86_64 / alpha / thumb
+ *   slab  SLAB                0..25 composite, 26..28 vendor
+ *   table SLAB
+ *   search FAMILY OBJECTIVE [--power W] [--area MM2] [--dynamic]
+ *          [--seed N]
+ *     FAMILY    = homog | single | multivendor | xized | full
+ *     OBJECTIVE = mp-thr | mp-edp | st-perf | st-edp
+ *   stats
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/client.hh"
+
+using namespace cisa;
+
+namespace
+{
+
+int
+usage(const char *argv0, int rc)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--socket PATH] [--deadline-ms N] CMD [args]\n"
+        "  ping | stats | slab SLAB | table SLAB\n"
+        "  eval ISA UARCH PHASE\n"
+        "  search FAMILY OBJECTIVE [--power W] [--area MM2]"
+        " [--dynamic] [--seed N]\n",
+        argv0);
+    return rc;
+}
+
+bool
+parseFamily(const std::string &s, Family *out)
+{
+    if (s == "homog")
+        *out = Family::Homogeneous;
+    else if (s == "single")
+        *out = Family::SingleIsaHetero;
+    else if (s == "multivendor")
+        *out = Family::MultiVendor;
+    else if (s == "xized")
+        *out = Family::CompositeXized;
+    else if (s == "full")
+        *out = Family::CompositeFull;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseObjective(const std::string &s, Objective *out)
+{
+    if (s == "mp-thr")
+        *out = Objective::MpThroughput;
+    else if (s == "mp-edp")
+        *out = Objective::MpEdp;
+    else if (s == "st-perf")
+        *out = Objective::StPerf;
+    else if (s == "st-edp")
+        *out = Objective::StEdp;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseIsa(const std::string &s, DesignPoint *dp, int uarch)
+{
+    if (s == "x86_64")
+        *dp = DesignPoint::vendorPoint(VendorIsa::X86_64, uarch);
+    else if (s == "alpha")
+        *dp = DesignPoint::vendorPoint(VendorIsa::AlphaLike, uarch);
+    else if (s == "thumb")
+        *dp = DesignPoint::vendorPoint(VendorIsa::ThumbLike, uarch);
+    else if (!s.empty() && std::isdigit((unsigned char)s[0]))
+        *dp = DesignPoint::composite(std::atoi(s.c_str()), uarch);
+    else
+        return false;
+    return true;
+}
+
+int
+report(Status s, const Client &c)
+{
+    if (s == Status::Ok)
+        return 0;
+    if (s == Status::Error && !c.lastError().empty())
+        std::fprintf(stderr, "cisa_client: %s\n",
+                     c.lastError().c_str());
+    else
+        std::fprintf(stderr, "cisa_client: %s\n", statusName(s));
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket;
+    uint32_t deadline_ms = 0;
+    int i = 1;
+    for (; i < argc && argv[i][0] == '-'; i++) {
+        if (!std::strcmp(argv[i], "--socket") && i + 1 < argc)
+            socket = argv[++i];
+        else if (!std::strcmp(argv[i], "--deadline-ms") &&
+                 i + 1 < argc)
+            deadline_ms = uint32_t(std::atoi(argv[++i]));
+        else
+            return usage(argv[0],
+                         std::strcmp(argv[i], "--help") ? 1 : 0);
+    }
+    if (i >= argc)
+        return usage(argv[0], 1);
+    std::string cmd = argv[i++];
+
+    Client client;
+    std::string err;
+    if (!client.connect(socket, &err)) {
+        std::fprintf(stderr, "cisa_client: %s\n", err.c_str());
+        return 1;
+    }
+
+    if (cmd == "ping") {
+        Status s = client.ping(deadline_ms);
+        if (s == Status::Ok)
+            std::printf("pong\n");
+        return report(s, client);
+    }
+    if (cmd == "stats") {
+        StatsSnap snap;
+        Status s = client.stats(&snap, deadline_ms);
+        if (s == Status::Ok)
+            std::printf("%s", snap.render().c_str());
+        return report(s, client);
+    }
+    if (cmd == "slab" || cmd == "table") {
+        if (i >= argc)
+            return usage(argv[0], 1);
+        int slab = std::atoi(argv[i]);
+        if (cmd == "table") {
+            std::string table;
+            Status s = client.tableOf(slab, &table, deadline_ms);
+            if (s == Status::Ok)
+                std::printf("%s", table.c_str());
+            return report(s, client);
+        }
+        std::vector<PhasePerf> perf;
+        Status s = client.slabPerf(slab, &perf, deadline_ms);
+        if (s == Status::Ok)
+            std::printf("slab %d: %zu cells\n", slab, perf.size());
+        return report(s, client);
+    }
+    if (cmd == "eval") {
+        if (i + 2 >= argc)
+            return usage(argv[0], 1);
+        DesignPoint dp;
+        if (!parseIsa(argv[i], &dp, std::atoi(argv[i + 1])))
+            return usage(argv[0], 1);
+        int phase = std::atoi(argv[i + 2]);
+        PhasePerf p;
+        Status s = client.evalPoint(dp, phase, &p, deadline_ms);
+        if (s == Status::Ok) {
+            std::printf("%s phase %d: t_solo=%.6gs e_solo=%.6gJ "
+                        "t_mp=%.6gs e_mp=%.6gJ\n",
+                        dp.name().c_str(), phase,
+                        double(p.timePerRun),
+                        double(p.energyPerRun),
+                        double(p.timePerRunMp),
+                        double(p.energyPerRunMp));
+        }
+        return report(s, client);
+    }
+    if (cmd == "search") {
+        if (i + 1 >= argc)
+            return usage(argv[0], 1);
+        Family family;
+        Objective objective;
+        if (!parseFamily(argv[i], &family) ||
+            !parseObjective(argv[i + 1], &objective))
+            return usage(argv[0], 1);
+        i += 2;
+        Budget b;
+        uint64_t seed = 1;
+        for (; i < argc; i++) {
+            if (!std::strcmp(argv[i], "--power") && i + 1 < argc)
+                b.powerW = std::atof(argv[++i]);
+            else if (!std::strcmp(argv[i], "--area") && i + 1 < argc)
+                b.areaMm2 = std::atof(argv[++i]);
+            else if (!std::strcmp(argv[i], "--dynamic"))
+                b.dynamicMulticore = true;
+            else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+                seed = uint64_t(std::atoll(argv[++i]));
+            else
+                return usage(argv[0], 1);
+        }
+        SearchResult res;
+        Status s = client.search(family, objective, b, seed, &res,
+                                 deadline_ms);
+        if (s == Status::Ok) {
+            std::printf("%s / score %.6g%s\n",
+                        familyName(family), res.score,
+                        res.feasible ? "" : " (infeasible)");
+            for (const DesignPoint &dp : res.design.cores)
+                std::printf("  %s\n", dp.name().c_str());
+        }
+        return report(s, client);
+    }
+    return usage(argv[0], 1);
+}

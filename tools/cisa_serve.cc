@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The cisa-serve daemon: binds the service socket, serves requests
+ * until SIGTERM/SIGINT, then drains gracefully and prints the final
+ * per-endpoint stats.
+ *
+ * Usage:
+ *   cisa_serve [--socket PATH] [--queue N] [--workers N] [--cache N]
+ *
+ * Every flag defaults to its CISA_SERVE_* environment knob (see
+ * src/common/env.hh); flags win over the environment.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "service/server.hh"
+
+using namespace cisa;
+
+namespace
+{
+
+Server *g_server = nullptr;
+
+extern "C" void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestStop();
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--socket PATH] [--queue N] [--workers N] "
+        "[--cache N]\n"
+        "  --socket PATH  UNIX socket path (CISA_SERVE_SOCKET)\n"
+        "  --queue N      queue bound, BUSY beyond it "
+        "(CISA_SERVE_QUEUE)\n"
+        "  --workers N    dispatcher threads (CISA_SERVE_WORKERS)\n"
+        "  --cache N      cached responses (CISA_SERVE_CACHE)\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Server::Options opts;
+    for (int i = 1; i < argc; i++) {
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--socket")) {
+            opts.socketPath = val();
+        } else if (!std::strcmp(argv[i], "--queue")) {
+            opts.exec.queueBound = std::atoi(val());
+        } else if (!std::strcmp(argv[i], "--workers")) {
+            opts.exec.workers = std::atoi(val());
+        } else if (!std::strcmp(argv[i], "--cache")) {
+            opts.exec.cacheEntries = std::atoi(val());
+        } else {
+            usage(argv[0]);
+            return std::strcmp(argv[i], "--help") ? 1 : 0;
+        }
+    }
+
+    Server server(opts);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "cisa_serve: %s\n", err.c_str());
+        return 1;
+    }
+
+    g_server = &server;
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    server.waitUntilStopped();
+    g_server = nullptr;
+
+    std::printf("%s", server.executor().snapshot().render().c_str());
+    return 0;
+}
