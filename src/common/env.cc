@@ -106,6 +106,12 @@ dseCachePath()
 }
 
 bool
+dseCacheReadonly()
+{
+    return envInt("CISA_DSE_READONLY", 0) != 0;
+}
+
+bool
 replayEnabled()
 {
     return envInt("CISA_REPLAY", 1) != 0;

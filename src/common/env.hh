@@ -46,6 +46,12 @@ uint64_t simWarmupUops();
 /** Path of the design-space-exploration result cache. */
 std::string dseCachePath();
 
+/** Whether the DSE slab store is opened read-only
+ * (CISA_DSE_READONLY, default off): slabs load and shared locks are
+ * still taken, but the process never appends, compacts, or
+ * quarantines the store file. */
+bool dseCacheReadonly();
+
 /** Whether the campaign uses the memoized replay engine
  * (CISA_REPLAY, default on; results are bit-identical either way). */
 bool replayEnabled();

@@ -46,6 +46,12 @@ BinWriter::vecF64(const std::vector<double> &v)
 BinReader::BinReader(const std::string &path)
 {
     f_ = std::fopen(path.c_str(), "rb");
+    if (f_ && std::fseek(f_, 0, SEEK_END) == 0) {
+        long sz = std::ftell(f_);
+        if (sz > 0)
+            size_ = size_t(sz);
+        std::fseek(f_, 0, SEEK_SET);
+    }
 }
 
 BinReader::~BinReader()
@@ -61,8 +67,11 @@ BinReader::raw(void *p, size_t n)
         err_ = true;
         return;
     }
-    if (std::fread(p, 1, n, f_) != n)
+    if (std::fread(p, 1, n, f_) != n) {
         err_ = true;
+        return;
+    }
+    pos_ += n;
 }
 
 uint32_t
@@ -93,8 +102,13 @@ std::string
 BinReader::str()
 {
     uint64_t n = u64();
-    if (err_ || n > (1ULL << 32))
+    // Clamp to the bytes actually left in the file before touching
+    // the allocator: a corrupt length header must fail cleanly, not
+    // reserve gigabytes first.
+    if (err_ || n > remaining()) {
+        err_ = true;
         return {};
+    }
     std::string s(n, '\0');
     raw(s.data(), n);
     return s;
@@ -104,8 +118,10 @@ std::vector<double>
 BinReader::vecF64()
 {
     uint64_t n = u64();
-    if (err_ || n > (1ULL << 32))
+    if (err_ || n > remaining() / sizeof(double)) {
+        err_ = true;
         return {};
+    }
     std::vector<double> v(n);
     raw(v.data(), n * sizeof(double));
     return v;

@@ -62,10 +62,19 @@ class BinReader
 
     bool ok() const { return f_ != nullptr && !err_; }
 
+    /** Bytes left between the cursor and end of file. */
+    size_t remaining() const { return size_ - pos_; }
+
     uint32_t u32();
     uint64_t u64();
     double f64();
+
+    /** Length-prefixed string. The length is validated against the
+     * bytes actually remaining in the file before any allocation,
+     * so a corrupt header can never drive a multi-GiB allocation. */
     std::string str();
+
+    /** Length-prefixed vector of doubles; same length clamp. */
     std::vector<double> vecF64();
 
   private:
@@ -73,6 +82,8 @@ class BinReader
 
     std::FILE *f_ = nullptr;
     bool err_ = false;
+    size_t size_ = 0; ///< file size at open
+    size_t pos_ = 0;  ///< bytes consumed so far
 };
 
 /** Binary writer into a growable in-memory buffer. */

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <type_traits>
+
+#include <cstring>
 
 #include "common/env.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
-#include "common/serialize.hh"
 #include "compiler/compiler.hh"
 #include "compiler/exec.hh"
 #include "compiler/interp.hh"
@@ -21,25 +24,56 @@ namespace cisa
 
 namespace
 {
-constexpr uint32_t kMagic = 0xC15AD5E1;
-constexpr uint32_t kVersion = 9;
+// A slab record is the raw f32 image of its PhasePerf block.
+static_assert(sizeof(PhasePerf) == 4 * sizeof(float),
+              "slab store assumes PhasePerf is exactly four floats");
+static_assert(std::is_trivially_copyable_v<PhasePerf>,
+              "slab store memcpys PhasePerf blocks");
+
+std::atomic<Campaign *> g_campaign{nullptr};
 } // namespace
 
 Campaign &
 Campaign::get()
 {
     static Campaign c;
+    g_campaign.store(&c, std::memory_order_release);
     return c;
 }
 
-Campaign::Campaign()
+Campaign *
+Campaign::maybeGet()
 {
-    path_ = dseCachePath();
-    budgetKey_ = simUopBudget() * 1000003 + simWarmupUops();
+    return g_campaign.load(std::memory_order_acquire);
+}
+
+uint64_t
+Campaign::budgetKeyFor(uint64_t simUops, uint64_t warmupUops)
+{
+    uint64_t h = fnv1a("cisa-dse-budget");
+    h = hashCombine(h, simUops);
+    return hashCombine(h, warmupUops);
+}
+
+Campaign::Campaign()
+    : store_(dseCachePath(),
+             budgetKeyFor(simUopBudget(), simWarmupUops()),
+             uint32_t(phaseCount()),
+             uint32_t(DesignPoint::kUarchCount) *
+                 uint32_t(phaseCount()) * 4,
+             kSlabs, dseCacheReadonly())
+{
     size_t n = size_t(DesignPoint::kTotalRows) *
                size_t(phaseCount());
     table_.assign(n, {});
-    load();
+    adoptFromStore(-1);
+    int ready = 0;
+    for (int s = 0; s < kSlabs; s++)
+        ready += slabReady(s);
+    if (ready) {
+        inform("loaded %d/%d DSE slabs from %s", ready, kSlabs,
+               store_.path().c_str());
+    }
 }
 
 int
@@ -51,74 +85,30 @@ Campaign::slabOf(const DesignPoint &dp)
                     DesignPoint::kUarchCount;
 }
 
-void
-Campaign::load()
+bool
+Campaign::adoptFromStore(int owned)
 {
-    BinReader r(path_);
-    if (!r.ok())
-        return;
-    if (r.u32() != kMagic || r.u32() != kVersion ||
-        r.u64() != budgetKey_ ||
-        r.u32() != uint32_t(phaseCount())) {
-        warn("ignoring stale DSE cache at %s", path_.c_str());
-        return;
-    }
-    for (int s = 0; s < kSlabs; s++) {
-        uint32_t present = r.u32();
-        if (!r.ok())
-            return;
-        if (!present)
+    std::vector<SlabRec> recs = store_.poll();
+    if (recs.empty())
+        return false;
+    size_t span = size_t(DesignPoint::kUarchCount) *
+                  size_t(phaseCount());
+    bool got = false;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const SlabRec &r : recs) {
+        size_t s = size_t(r.slab);
+        if (ready_[s].load(std::memory_order_relaxed)) {
+            got |= r.slab == owned;
             continue;
-        // Every slab — composite or vendor — spans kUarchCount rows.
-        size_t rows = size_t(DesignPoint::kUarchCount);
-        size_t base = size_t(s) * rows * size_t(phaseCount());
-        for (size_t k = 0; k < rows * size_t(phaseCount()); k++) {
-            PhasePerf &p = table_[base + k];
-            p.timePerRun = float(r.f64());
-            p.energyPerRun = float(r.f64());
-            p.timePerRunMp = float(r.f64());
-            p.energyPerRunMp = float(r.f64());
         }
-        if (!r.ok())
-            return;
-        ready_[size_t(s)].store(true, std::memory_order_release);
-    }
-    int ready = 0;
-    for (int s = 0; s < kSlabs; s++)
-        ready += slabReady(s);
-    if (ready)
-        inform("loaded %d/%d DSE slabs from %s", ready, kSlabs,
-               path_.c_str());
-}
-
-void
-Campaign::save() const
-{
-    BinWriter w(path_);
-    if (!w.ok()) {
-        warn("cannot write DSE cache to %s", path_.c_str());
-        return;
-    }
-    w.u32(kMagic);
-    w.u32(kVersion);
-    w.u64(budgetKey_);
-    w.u32(uint32_t(phaseCount()));
-    for (int s = 0; s < kSlabs; s++) {
-        bool have =
-            ready_[size_t(s)].load(std::memory_order_acquire);
-        w.u32(have ? 1 : 0);
-        if (!have)
+        if (computing_[s] && r.slab != owned)
             continue;
-        size_t rows = size_t(DesignPoint::kUarchCount);
-        size_t base = size_t(s) * rows * size_t(phaseCount());
-        for (size_t k = 0; k < rows * size_t(phaseCount()); k++) {
-            const PhasePerf &p = table_[base + k];
-            w.f64(p.timePerRun);
-            w.f64(p.energyPerRun);
-            w.f64(p.timePerRunMp);
-            w.f64(p.energyPerRunMp);
-        }
+        std::memcpy(table_.data() + s * span, r.vals.data(),
+                    span * sizeof(PhasePerf));
+        ready_[s].store(true, std::memory_order_release);
+        got |= r.slab == owned;
     }
+    return got;
 }
 
 std::vector<PhasePerf>
@@ -166,6 +156,17 @@ Campaign::ensureSlab(int slab, const CancelToken *cancel)
     computing_[size_t(slab)] = true;
     lk.unlock();
 
+    // Reload-before-compute: a peer process sharing this store may
+    // have published the slab (or others) since our last look —
+    // adopt instead of recomputing (cross-process coalescing).
+    if (adoptFromStore(slab)) {
+        lk.lock();
+        computing_[size_t(slab)] = false;
+        lk.unlock();
+        cv_.notify_all();
+        return;
+    }
+
     std::vector<PhasePerf> cells;
     try {
         cells = computeSlabPerf(slab, SlabEngine::Auto, cancel);
@@ -184,8 +185,17 @@ Campaign::ensureSlab(int slab, const CancelToken *cancel)
               table_.begin() + long(base));
     computing_[size_t(slab)] = false;
     ready_[size_t(slab)].store(true, std::memory_order_release);
-    save();
+    lk.unlock();
     cv_.notify_all();
+
+    // Persist outside the critical section: disk I/O (exclusive
+    // flock + fsync) must not block waiters on other slabs. The
+    // `cells` snapshot is this thread's own; the append is a single
+    // framed record, so a crash mid-write at worst leaves a torn
+    // tail the next load salvages around.
+    store_.append(slab,
+                  reinterpret_cast<const float *>(cells.data()),
+                  cells.size() * 4);
 }
 
 std::vector<PhasePerf>

@@ -25,6 +25,7 @@
 
 #include "common/cancel.hh"
 #include "explore/designpoint.hh"
+#include "explore/slabstore.hh"
 #include "workloads/profiles.hh"
 
 namespace cisa
@@ -88,6 +89,11 @@ class Campaign
     /** The process-wide instance, bound to CISA_DSE_CACHE. */
     static Campaign &get();
 
+    /** The instance if get() has already constructed it, else null —
+     * lets observability report on the store without instantiating
+     * the campaign as a side effect. */
+    static Campaign *maybeGet();
+
     /** Measurements for (dp, phase); computes the slab if needed. */
     const PhasePerf &at(const DesignPoint &dp, int phase);
 
@@ -116,13 +122,32 @@ class Campaign
         return ready_[size_t(slab)].load(std::memory_order_acquire);
     }
 
+    /**
+     * Cache key of a simulation budget. Mixed with
+     * hashCombine/splitmix64 (src/common/hash.hh), so distinct
+     * (timed, warmup) pairs never alias the way the old
+     * `uops * 1000003 + warmup` scheme did.
+     */
+    static uint64_t budgetKeyFor(uint64_t simUops,
+                                 uint64_t warmupUops);
+
+    /** Health counters of the backing slab store. */
+    StoreHealth storeHealth() const { return store_.health(); }
+
   private:
     Campaign();
-    void load();
-    void save() const;
 
-    std::string path_;
-    uint64_t budgetKey_ = 0;
+    /**
+     * Poll the store and adopt every newly published slab that is
+     * neither ready nor being computed by another thread (their
+     * in-flight run will publish identical bytes; writing under
+     * them would race). @p owned is the slab this caller holds the
+     * compute claim for (-1 if none); returns true when that slab
+     * was adopted.
+     */
+    bool adoptFromStore(int owned);
+
+    SlabStore store_;
     std::vector<PhasePerf> table_; ///< kTotalRows x phases
 
     /** Fast-path flags: a release-store after the slab's cells land

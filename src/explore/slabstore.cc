@@ -1,0 +1,595 @@
+#include "explore/slabstore.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** Header magic of the pre-slab-store whole-table cache format,
+ * recognized only to name the quarantine reason precisely. */
+constexpr uint32_t kLegacyMagic = 0xC15AD5E1u;
+
+/** Best-effort fsync of the directory holding @p path, so a freshly
+ * created or renamed store file survives a crash of the machine, not
+ * just of the process. */
+void
+fsyncDirOf(const std::string &path)
+{
+    size_t cut = path.find_last_of('/');
+    std::string dir = cut == std::string::npos ? std::string(".")
+                                               : path.substr(0, cut);
+    if (dir.empty())
+        dir = "/";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+bool
+writeAllFd(int fd, const uint8_t *p, size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += size_t(w);
+        n -= size_t(w);
+    }
+    return true;
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint64_t
+get64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+/** One frame as it sits in the parse buffer. */
+struct SlabStore::RecView
+{
+    size_t off = 0;
+    size_t len = 0;
+    uint32_t version = 0;
+    uint64_t budgetKey = 0;
+    uint32_t phases = 0;
+    uint32_t slab = 0;
+    uint32_t valCount = 0;
+    const uint8_t *vals = nullptr;
+};
+
+/** Everything one pass over the file learns. */
+struct SlabStore::Parse
+{
+    std::vector<RecView> recs;          ///< checksum-clean frames
+    std::vector<size_t> salvageOffsets; ///< corrupt regions skipped
+    bool firstBytesBadMagic = false;
+    bool firstBytesLegacy = false;
+};
+
+SlabStore::SlabStore(std::string path, uint64_t budgetKey,
+                     uint32_t phases, uint32_t valsPerRec,
+                     int slabCount, bool readonly)
+    : path_(std::move(path)),
+      budgetKey_(budgetKey),
+      phases_(phases),
+      valsPerRec_(valsPerRec),
+      slabCount_(slabCount),
+      readonly_(readonly)
+{
+}
+
+std::vector<uint8_t>
+SlabStore::encodeRecord(uint64_t budgetKey, uint32_t phases,
+                        uint32_t slab, const float *vals, size_t n,
+                        uint32_t version)
+{
+    std::vector<uint8_t> b(kHeaderBytes + 4 * n + kChecksumBytes);
+    auto put32 = [&](size_t off, uint32_t v) {
+        std::memcpy(b.data() + off, &v, sizeof(v));
+    };
+    auto put64 = [&](size_t off, uint64_t v) {
+        std::memcpy(b.data() + off, &v, sizeof(v));
+    };
+    put32(0, kRecMagic);
+    put32(4, version);
+    put64(8, budgetKey);
+    put32(16, phases);
+    put32(20, slab);
+    put32(24, uint32_t(n));
+    if (n)
+        std::memcpy(b.data() + kHeaderBytes, vals, 4 * n);
+    put64(kHeaderBytes + 4 * n,
+          fnv1a(b.data(), kHeaderBytes + 4 * n));
+    return b;
+}
+
+SlabStore::Parse
+SlabStore::parseBuffer(const uint8_t *p, size_t n)
+{
+    Parse out;
+    constexpr size_t kMinRec = kHeaderBytes + kChecksumBytes;
+    if (n >= 4) {
+        uint32_t m = get32(p);
+        out.firstBytesBadMagic = m != kRecMagic;
+        out.firstBytesLegacy = m == kLegacyMagic;
+    } else if (n > 0) {
+        out.firstBytesBadMagic = true;
+    }
+
+    // Scan forward for the next plausible frame start. A corrupt
+    // record never desyncs the rest of the file: we resume at the
+    // next magic and let the checksum arbitrate.
+    auto resync = [&](size_t from) {
+        for (size_t o = from; o + 4 <= n; o++) {
+            if (get32(p + o) == kRecMagic)
+                return o;
+        }
+        return n;
+    };
+
+    size_t off = 0;
+    while (off < n) {
+        bool bad = false;
+        size_t end = 0;
+        RecView rv;
+        if (off + kMinRec > n || get32(p + off) != kRecMagic) {
+            bad = true;
+        } else {
+            rv.version = get32(p + off + 4);
+            rv.budgetKey = get64(p + off + 8);
+            rv.phases = get32(p + off + 16);
+            rv.slab = get32(p + off + 20);
+            rv.valCount = get32(p + off + 24);
+            // Clamp to the bytes actually present: a corrupt count
+            // can never drive reads (or allocation) past the file.
+            uint64_t len = uint64_t(kHeaderBytes) +
+                           4ull * rv.valCount + kChecksumBytes;
+            if (len > n - off) {
+                bad = true;
+            } else {
+                end = off + size_t(len);
+                uint64_t want = get64(p + end - kChecksumBytes);
+                uint64_t got =
+                    fnv1a(p + off, size_t(len) - kChecksumBytes);
+                bad = want != got;
+            }
+        }
+        if (bad) {
+            out.salvageOffsets.push_back(off);
+            off = resync(off + 1);
+            continue;
+        }
+        rv.off = off;
+        rv.len = end - off;
+        rv.vals = p + off + kHeaderBytes;
+        out.recs.push_back(rv);
+        off = end;
+    }
+    return out;
+}
+
+int
+SlabStore::openLocked(int flags, int lockop)
+{
+    for (int attempt = 0; attempt < 16; attempt++) {
+        int fd = ::open(path_.c_str(), flags, 0644);
+        if (fd < 0)
+            return -1;
+        if (::flock(fd, lockop | LOCK_NB) != 0) {
+            lockWaits_.fetch_add(1, std::memory_order_relaxed);
+            auto t0 = std::chrono::steady_clock::now();
+            if (::flock(fd, lockop) != 0) {
+                ::close(fd);
+                return -1;
+            }
+            auto dt = std::chrono::steady_clock::now() - t0;
+            lockWaitUs_.fetch_add(
+                uint64_t(std::chrono::duration_cast<
+                             std::chrono::microseconds>(dt)
+                             .count()),
+                std::memory_order_relaxed);
+        }
+        // The name may have been repointed (compaction rename,
+        // quarantine) between open and lock; a lock on the old
+        // inode guards nothing, so re-check and retry.
+        struct stat fs{}, ps{};
+        if (::fstat(fd, &fs) == 0 &&
+            ::stat(path_.c_str(), &ps) == 0 &&
+            fs.st_ino == ps.st_ino && fs.st_dev == ps.st_dev) {
+            return fd;
+        }
+        ::close(fd); // drops the lock
+        if (::stat(path_.c_str(), &ps) != 0 && !(flags & O_CREAT))
+            return -1;
+    }
+    return -1;
+}
+
+bool
+SlabStore::readAll(int fd, std::vector<uint8_t> *out)
+{
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0)
+        return false;
+    out->resize(size_t(st.st_size));
+    size_t got = 0;
+    while (got < out->size()) {
+        ssize_t r = ::pread(fd, out->data() + got,
+                            out->size() - got, off_t(got));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0) { // shrank under us (shouldn't: we hold a lock)
+            out->resize(got);
+            break;
+        }
+        got += size_t(r);
+    }
+    return true;
+}
+
+std::vector<SlabRec>
+SlabStore::poll()
+{
+    std::vector<uint8_t> buf;
+    uint64_t ino = 0;
+    {
+        int fd = openLocked(O_RDONLY, LOCK_SH);
+        if (fd < 0) {
+            fileBytes_.store(0, std::memory_order_relaxed);
+            return {};
+        }
+        struct stat st{};
+        if (::fstat(fd, &st) != 0) {
+            ::close(fd);
+            return {};
+        }
+        ino = uint64_t(st.st_ino);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (uint64_t(st.st_size) == lastSize_ &&
+                ino == lastIno_) {
+                ::close(fd);
+                return {};
+            }
+        }
+        bool ok = readAll(fd, &buf);
+        ::close(fd);
+        if (!ok)
+            return {};
+    }
+    fileBytes_.store(buf.size(), std::memory_order_relaxed);
+
+    Parse pr = parseBuffer(buf.data(), buf.size());
+
+    // Classify clean frames; stale ones (foreign budget/version or a
+    // table shape we don't recognize) are skipped but preserved on
+    // disk — a process with that configuration still wants them.
+    bool any_version_mismatch = false;
+    bool any_budget_mismatch = false;
+    std::map<uint32_t, const RecView *> last; // slab -> last frame
+    uint64_t new_loaded = 0, new_stale = 0, new_salvaged = 0;
+    uint64_t counted_hi;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        counted_hi = countedHi_;
+    }
+    for (const RecView &rv : pr.recs) {
+        bool match = rv.version == kRecVersion &&
+                     rv.budgetKey == budgetKey_ &&
+                     rv.phases == phases_ &&
+                     rv.valCount == valsPerRec_ &&
+                     rv.slab < uint32_t(slabCount_);
+        if (!match) {
+            any_version_mismatch |= rv.version != kRecVersion;
+            any_budget_mismatch |= rv.version == kRecVersion &&
+                                   rv.budgetKey != budgetKey_;
+            new_stale += rv.off + rv.len > counted_hi;
+            continue;
+        }
+        new_loaded += rv.off + rv.len > counted_hi;
+        last[rv.slab] = &rv;
+    }
+    for (size_t off : pr.salvageOffsets)
+        new_salvaged += off >= counted_hi;
+
+    loaded_.fetch_add(new_loaded, std::memory_order_relaxed);
+    stale_.fetch_add(new_stale, std::memory_order_relaxed);
+    salvaged_.fetch_add(new_salvaged, std::memory_order_relaxed);
+    if (new_salvaged) {
+        warn("DSE cache %s: salvaged around %llu torn/corrupt "
+             "record(s); intact records kept",
+             path_.c_str(), (unsigned long long)new_salvaged);
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        lastSize_ = buf.size();
+        lastIno_ = ino;
+        countedHi_ = buf.size();
+    }
+
+    std::vector<SlabRec> out;
+    out.reserve(last.size());
+    for (const auto &[slab, rv] : last) {
+        SlabRec r;
+        r.slab = int(slab);
+        r.vals.resize(rv->valCount);
+        std::memcpy(r.vals.data(), rv->vals, 4 * size_t(rv->valCount));
+        out.push_back(std::move(r));
+    }
+
+    if (!buf.empty() && pr.recs.empty() && out.empty()) {
+        // Nothing in the file parses at all: move it aside rather
+        // than leaving a trap the next writer would clobber.
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            lastReason_ = pr.firstBytesLegacy
+                              ? "magic mismatch (legacy format)"
+                          : pr.firstBytesBadMagic
+                              ? "magic mismatch"
+                              : "checksum mismatch";
+        }
+        quarantine();
+    } else if (!buf.empty() && out.empty() && !pr.recs.empty()) {
+        // Every frame is intact but none is ours: a stale cache
+        // from another configuration.
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            lastReason_ = any_version_mismatch && !any_budget_mismatch
+                              ? "version mismatch"
+                              : "budget mismatch";
+        }
+        quarantine();
+    } else {
+        // Live store: reclaim space once dead bytes (superseded or
+        // corrupt records) dominate.
+        uint64_t live = 0;
+        for (const auto &kv : last)
+            live += kv.second->len;
+        // Clean foreign frames are live too (kept by compaction).
+        std::map<std::pair<uint64_t, uint64_t>, uint64_t> foreign;
+        for (const RecView &rv : pr.recs) {
+            if (!last.count(rv.slab) || last[rv.slab] != &rv) {
+                if (rv.budgetKey != budgetKey_ ||
+                    rv.version != kRecVersion) {
+                    foreign[{rv.budgetKey,
+                             (uint64_t(rv.version) << 32) | rv.slab}] =
+                        rv.len;
+                }
+            }
+        }
+        for (const auto &kv : foreign)
+            live += kv.second;
+        uint64_t waste = buf.size() - std::min<uint64_t>(live,
+                                                         buf.size());
+        if (!readonly_ && waste >= 4096 && waste * 2 >= buf.size())
+            compact();
+    }
+    return out;
+}
+
+void
+SlabStore::quarantine()
+{
+    std::string reason;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        reason = lastReason_;
+    }
+    if (readonly_) {
+        warn("DSE cache %s rejected (%s); read-only store, leaving "
+             "file in place",
+             path_.c_str(), reason.c_str());
+        return;
+    }
+    int fd = openLocked(O_RDONLY, LOCK_EX);
+    if (fd < 0)
+        return;
+    // Re-validate under the exclusive lock: the file may have been
+    // replaced or appended to since the decision was made.
+    std::vector<uint8_t> buf;
+    bool still_worthless = false;
+    if (readAll(fd, &buf) && !buf.empty()) {
+        Parse pr = parseBuffer(buf.data(), buf.size());
+        still_worthless = true;
+        for (const RecView &rv : pr.recs) {
+            if (rv.version == kRecVersion &&
+                rv.budgetKey == budgetKey_ &&
+                rv.phases == phases_ &&
+                rv.valCount == valsPerRec_ &&
+                rv.slab < uint32_t(slabCount_)) {
+                still_worthless = false;
+                break;
+            }
+        }
+    }
+    if (!still_worthless) {
+        ::close(fd);
+        return;
+    }
+    std::string dst = path_ + ".corrupt";
+    if (::rename(path_.c_str(), dst.c_str()) == 0) {
+        fsyncDirOf(path_);
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+        warn("quarantining DSE cache %s -> %s (%s)", path_.c_str(),
+             dst.c_str(), reason.c_str());
+        fileBytes_.store(0, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(mu_);
+        lastSize_ = ~uint64_t(0);
+        lastIno_ = 0;
+        countedHi_ = 0;
+    }
+    ::close(fd);
+}
+
+void
+SlabStore::compact()
+{
+    int fd = openLocked(O_RDWR, LOCK_EX);
+    if (fd < 0)
+        return;
+    std::vector<uint8_t> buf;
+    if (!readAll(fd, &buf) || buf.empty()) {
+        ::close(fd);
+        return;
+    }
+    Parse pr = parseBuffer(buf.data(), buf.size());
+    // Keep the last frame of every (budget key, version, slab) —
+    // ours and foreign alike — in original order; drop superseded
+    // duplicates and corrupt regions.
+    std::map<std::pair<uint64_t, uint64_t>, size_t> last;
+    for (size_t i = 0; i < pr.recs.size(); i++) {
+        const RecView &rv = pr.recs[i];
+        last[{rv.budgetKey,
+              (uint64_t(rv.version) << 32) | rv.slab}] = i;
+    }
+    std::vector<const RecView *> keep;
+    uint64_t keep_bytes = 0;
+    for (size_t i = 0; i < pr.recs.size(); i++) {
+        const RecView &rv = pr.recs[i];
+        auto it = last.find({rv.budgetKey,
+                             (uint64_t(rv.version) << 32) | rv.slab});
+        if (it != last.end() && it->second == i) {
+            keep.push_back(&rv);
+            keep_bytes += rv.len;
+        }
+    }
+    uint64_t waste = buf.size() - std::min<uint64_t>(keep_bytes,
+                                                     buf.size());
+    if (waste < 4096 || waste * 2 < buf.size()) {
+        ::close(fd); // someone else compacted while we waited
+        return;
+    }
+    std::string tmp =
+        path_ + ".tmp." + std::to_string(uint64_t(::getpid()));
+    int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (tfd < 0) {
+        ::close(fd);
+        return;
+    }
+    bool ok = true;
+    for (const RecView *rv : keep)
+        ok = ok && writeAllFd(tfd, buf.data() + rv->off, rv->len);
+    ok = ok && ::fsync(tfd) == 0;
+    ::close(tfd);
+    if (!ok || ::rename(tmp.c_str(), path_.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        ::close(fd);
+        return;
+    }
+    fsyncDirOf(path_);
+    struct stat st{};
+    if (::stat(path_.c_str(), &st) == 0) {
+        std::lock_guard<std::mutex> lk(mu_);
+        lastSize_ = uint64_t(st.st_size);
+        lastIno_ = uint64_t(st.st_ino);
+        countedHi_ = uint64_t(st.st_size);
+        fileBytes_.store(uint64_t(st.st_size),
+                         std::memory_order_relaxed);
+    }
+    inform("compacted DSE cache %s: %zu -> %llu bytes",
+           path_.c_str(), buf.size(),
+           (unsigned long long)keep_bytes);
+    ::close(fd);
+}
+
+bool
+SlabStore::append(int slab, const float *vals, size_t n)
+{
+    panic_if(n != valsPerRec_,
+             "slab record has %zu values, store expects %u", n,
+             valsPerRec_);
+    if (readonly_)
+        return true;
+    std::vector<uint8_t> buf = encodeRecord(
+        budgetKey_, phases_, uint32_t(slab), vals, n);
+    int fd = openLocked(O_WRONLY | O_APPEND | O_CREAT, LOCK_EX);
+    if (fd < 0) {
+        warn("cannot open DSE cache %s for append", path_.c_str());
+        return false;
+    }
+    bool ok = writeAllFd(fd, buf.data(), buf.size());
+    ok = ok && ::fsync(fd) == 0;
+    struct stat st{};
+    if (ok && ::fstat(fd, &st) == 0) {
+        appended_.fetch_add(1, std::memory_order_relaxed);
+        appendedBytes_.fetch_add(buf.size(),
+                                 std::memory_order_relaxed);
+        fileBytes_.store(uint64_t(st.st_size),
+                         std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(mu_);
+        // If our frame landed exactly at the high-water mark, no
+        // peer interleaved: nothing new to re-read, and our own
+        // record shouldn't count as "loaded" on the next poll.
+        if (uint64_t(st.st_size) == countedHi_ + buf.size()) {
+            countedHi_ = uint64_t(st.st_size);
+            lastSize_ = uint64_t(st.st_size);
+            lastIno_ = uint64_t(st.st_ino);
+        }
+    }
+    ::close(fd);
+    fsyncDirOf(path_);
+    if (!ok)
+        warn("short write appending to DSE cache %s", path_.c_str());
+    return ok;
+}
+
+StoreHealth
+SlabStore::health() const
+{
+    StoreHealth h;
+    h.loaded = loaded_.load(std::memory_order_relaxed);
+    h.salvaged = salvaged_.load(std::memory_order_relaxed);
+    h.stale = stale_.load(std::memory_order_relaxed);
+    h.appended = appended_.load(std::memory_order_relaxed);
+    h.appendedBytes = appendedBytes_.load(std::memory_order_relaxed);
+    h.fileBytes = fileBytes_.load(std::memory_order_relaxed);
+    h.lockWaits = lockWaits_.load(std::memory_order_relaxed);
+    h.lockWaitUs = lockWaitUs_.load(std::memory_order_relaxed);
+    h.quarantined = quarantined_.load(std::memory_order_relaxed);
+    return h;
+}
+
+std::string
+SlabStore::lastQuarantineReason() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return lastReason_;
+}
+
+} // namespace cisa

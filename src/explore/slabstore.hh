@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Durable, multi-process-safe slab store backing the DSE campaign
+ * cache. The file is an append-only stream of framed records — one
+ * per finished slab — each carrying magic, version, budget key, and
+ * an FNV-1a checksum over the whole frame, so torn or bit-flipped
+ * data is detected per record and salvaged record-by-record instead
+ * of discarding (or worse, silently accepting) the whole file.
+ *
+ * Write protocol: a record append holds an exclusive flock on the
+ * store, lands as a single O_APPEND write, and is fsync'ed before the
+ * lock drops; compaction and quarantine publish via write-temp +
+ * fsync + atomic rename. Readers snapshot the file under a shared
+ * flock, so they never observe a write in progress — torn tails can
+ * only come from crashes, and those are dropped by checksum.
+ *
+ * A daemon and a CLI pointed at the same path therefore share slabs:
+ * each polls the store before computing a slab and appends after,
+ * and last-record-wins merging makes concurrent writers safe.
+ * On-disk format, locking protocol, and salvage rules: DESIGN.md §8.
+ */
+
+#ifndef CISA_EXPLORE_SLABSTORE_HH
+#define CISA_EXPLORE_SLABSTORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cisa
+{
+
+/** One decoded slab record (values are raw little-endian f32s). */
+struct SlabRec
+{
+    int slab = 0;
+    std::vector<float> vals;
+};
+
+/**
+ * Point-in-time health counters of one store, surfaced through the
+ * service `stats` endpoint (src/service/metrics.hh).
+ */
+struct StoreHealth
+{
+    uint64_t loaded = 0;      ///< clean matching records parsed
+    uint64_t salvaged = 0;    ///< torn/corrupt regions skipped
+    uint64_t stale = 0;       ///< clean records of a foreign key
+    uint64_t appended = 0;    ///< records this process appended
+    uint64_t appendedBytes = 0;
+    uint64_t fileBytes = 0;   ///< last observed store size
+    uint64_t lockWaits = 0;   ///< flock acquisitions that blocked
+    uint64_t lockWaitUs = 0;  ///< total time spent blocked
+    uint64_t quarantined = 0; ///< files renamed aside as *.corrupt
+};
+
+/**
+ * The store itself. All methods are safe to call from any thread of
+ * this process (internally serialized); cross-process safety comes
+ * from flock plus the record framing. In read-only mode
+ * (CISA_DSE_READONLY) the store still loads and takes shared locks,
+ * but never appends, compacts, or quarantines.
+ */
+class SlabStore
+{
+  public:
+    /**
+     * Bind to @p path. @p budgetKey identifies the simulation budget
+     * that produced the cells; records with any other key are
+     * skipped as stale (never deleted — another process with that
+     * budget may still want them). @p valsPerRec is the exact f32
+     * count of a full slab; @p slabCount bounds valid slab ids.
+     */
+    SlabStore(std::string path, uint64_t budgetKey, uint32_t phases,
+              uint32_t valsPerRec, int slabCount, bool readonly);
+
+    /**
+     * Parse every record currently on disk and return the
+     * last-record-wins set matching this store's key. Cheap when the
+     * file is unchanged since the previous poll (one stat + open).
+     * A non-empty file with *nothing* recognizable is quarantined:
+     * renamed to `<path>.corrupt` with a logged reason (magic vs
+     * version vs budget vs checksum mismatch). A store whose dead
+     * bytes (superseded or corrupt records) dominate is compacted
+     * via write-temp + fsync + atomic rename.
+     */
+    std::vector<SlabRec> poll();
+
+    /**
+     * Durably append one finished slab (@p n must equal valsPerRec).
+     * Returns false only on I/O failure; a read-only store returns
+     * true without writing.
+     */
+    bool append(int slab, const float *vals, size_t n);
+
+    /** Snapshot of the health counters. */
+    StoreHealth health() const;
+
+    /** Reason string of the most recent quarantine ("" if none). */
+    std::string lastQuarantineReason() const;
+
+    const std::string &path() const { return path_; }
+    uint64_t budgetKey() const { return budgetKey_; }
+
+    /**
+     * Serialize one record frame (exposed for fault-injection
+     * tests so they can craft records with mismatched fields).
+     */
+    static std::vector<uint8_t> encodeRecord(
+        uint64_t budgetKey, uint32_t phases, uint32_t slab,
+        const float *vals, size_t n, uint32_t version = kRecVersion);
+
+    static constexpr uint32_t kRecMagic = 0xC15AB10Cu;
+    static constexpr uint32_t kRecVersion = 1;
+    /** Frame header bytes before the payload (magic u32, version
+     * u32, budgetKey u64, phases u32, slab u32, valCount u32). */
+    static constexpr size_t kHeaderBytes = 28;
+    /** Trailing FNV-1a checksum over header + payload. */
+    static constexpr size_t kChecksumBytes = 8;
+
+  private:
+    struct RecView;
+    struct Parse;
+
+    static Parse parseBuffer(const uint8_t *p, size_t n);
+
+    int openLocked(int flags, int lockop);
+    bool readAll(int fd, std::vector<uint8_t> *out);
+    void quarantine();
+    void compact();
+
+    const std::string path_;
+    const uint64_t budgetKey_;
+    const uint32_t phases_;
+    const uint32_t valsPerRec_;
+    const int slabCount_;
+    const bool readonly_;
+
+    /** Guards the change-detection state below. */
+    mutable std::mutex mu_;
+    uint64_t lastSize_ = ~uint64_t(0); ///< file size at last parse
+    uint64_t lastIno_ = 0;             ///< inode at last parse
+    uint64_t countedHi_ = 0; ///< offsets below this were counted
+    std::string lastReason_;
+
+    std::atomic<uint64_t> loaded_{0};
+    std::atomic<uint64_t> salvaged_{0};
+    std::atomic<uint64_t> stale_{0};
+    std::atomic<uint64_t> appended_{0};
+    std::atomic<uint64_t> appendedBytes_{0};
+    std::atomic<uint64_t> fileBytes_{0};
+    std::atomic<uint64_t> lockWaits_{0};
+    std::atomic<uint64_t> lockWaitUs_{0};
+    std::atomic<uint64_t> quarantined_{0};
+};
+
+} // namespace cisa
+
+#endif // CISA_EXPLORE_SLABSTORE_HH

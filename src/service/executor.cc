@@ -74,7 +74,12 @@ Executor::snapshot() const
         running = running_;
         draining = draining_;
     }
-    return metrics_.snapshot(depth, running, draining);
+    StatsSnap s = metrics_.snapshot(depth, running, draining);
+    // Surface the durable slab store's health without instantiating
+    // the campaign as a side effect of a stats probe.
+    if (const Campaign *c = Campaign::maybeGet())
+        s.store = c->storeHealth();
+    return s;
 }
 
 Executor::Admit

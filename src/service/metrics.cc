@@ -78,7 +78,24 @@ StatsSnap::render() const
                Table::num(int64_t(e.p50Us)),
                Table::num(int64_t(e.p99Us))});
     }
-    return t.str();
+    std::string body = t.str();
+    if (store.fileBytes || store.loaded || store.appended ||
+        store.salvaged || store.stale || store.quarantined) {
+        body += strfmt(
+            "slab store: %llu loaded, %llu salvaged, %llu stale, "
+            "%llu appended (%llu B), %llu B on disk, "
+            "%llu lock waits (%llu us), %llu quarantined\n",
+            (unsigned long long)store.loaded,
+            (unsigned long long)store.salvaged,
+            (unsigned long long)store.stale,
+            (unsigned long long)store.appended,
+            (unsigned long long)store.appendedBytes,
+            (unsigned long long)store.fileBytes,
+            (unsigned long long)store.lockWaits,
+            (unsigned long long)store.lockWaitUs,
+            (unsigned long long)store.quarantined);
+    }
+    return body;
 }
 
 void
@@ -101,6 +118,15 @@ StatsSnap::encode(ByteWriter &w) const
     w.u64(queuePeak);
     w.u64(inFlight);
     w.u8(draining);
+    w.u64(store.loaded);
+    w.u64(store.salvaged);
+    w.u64(store.stale);
+    w.u64(store.appended);
+    w.u64(store.appendedBytes);
+    w.u64(store.fileBytes);
+    w.u64(store.lockWaits);
+    w.u64(store.lockWaitUs);
+    w.u64(store.quarantined);
 }
 
 bool
@@ -126,6 +152,15 @@ StatsSnap::decode(ByteReader &r, StatsSnap *out)
     s.queuePeak = r.u64();
     s.inFlight = r.u64();
     s.draining = r.u8();
+    s.store.loaded = r.u64();
+    s.store.salvaged = r.u64();
+    s.store.stale = r.u64();
+    s.store.appended = r.u64();
+    s.store.appendedBytes = r.u64();
+    s.store.fileBytes = r.u64();
+    s.store.lockWaits = r.u64();
+    s.store.lockWaitUs = r.u64();
+    s.store.quarantined = r.u64();
     if (!r.ok())
         return false;
     *out = s;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "explore/slabstore.hh"
 #include "service/request.hh"
 
 namespace cisa
@@ -95,6 +96,11 @@ struct StatsSnap
     uint64_t queuePeak = 0;  ///< high-water mark of queueDepth
     uint64_t inFlight = 0;   ///< running right now
     uint8_t draining = 0;
+
+    /** Durable slab-store health (records loaded/salvaged/appended,
+     * bytes, lock waits, quarantines) of the campaign cache this
+     * process is bound to; all-zero until the campaign exists. */
+    StoreHealth store{};
 
     /** Totals across endpoints. */
     uint64_t totalRequests() const;

@@ -152,6 +152,57 @@ TEST(Serialize, MissingFileNotOk)
     EXPECT_FALSE(r.ok());
 }
 
+TEST(Serialize, CorruptStringLengthRejectedWithoutAllocation)
+{
+    // A length header larger than the file must fail cleanly before
+    // the allocator is asked for it — a flipped bit in an 8-byte
+    // length is otherwise a multi-GiB allocation.
+    std::string path = "/tmp/cisa_ser_corrupt_str.bin";
+    {
+        BinWriter w(path);
+        w.u64(1ULL << 40); // claims a 1 TiB string in a tiny file
+        w.u32(0xDEAD);
+    }
+    BinReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_FALSE(r.ok());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, CorruptVectorLengthRejectedWithoutAllocation)
+{
+    std::string path = "/tmp/cisa_ser_corrupt_vec.bin";
+    {
+        BinWriter w(path);
+        w.u64(1ULL << 28); // 2 GiB of doubles in a 16-byte file
+        w.f64(1.0);
+    }
+    BinReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.vecF64().empty());
+    EXPECT_FALSE(r.ok());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedPayloadAfterValidLength)
+{
+    // Length says 5 elements but only 2 are on disk: the read fails
+    // (error flag) instead of returning a silently short vector.
+    std::string path = "/tmp/cisa_ser_trunc_vec.bin";
+    {
+        BinWriter w(path);
+        w.u64(5);
+        w.f64(1.0);
+        w.f64(2.0);
+    }
+    BinReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.vecF64().empty());
+    EXPECT_FALSE(r.ok());
+    std::remove(path.c_str());
+}
+
 TEST(Env, Defaults)
 {
     EXPECT_EQ(envInt("CISA_NOT_SET_XYZ", 42), 42);

@@ -6,6 +6,7 @@
  * stays fast and does not disturb the benchmark campaign cache.
  */
 
+#include <cstdio>
 #include <cstdlib>
 
 // Must run before any Campaign::get() in this process.
@@ -19,11 +20,17 @@ struct EnvSetup
         setenv("CISA_SIM_WARMUP", "400", 1);
         setenv("CISA_DSE_CACHE", "/tmp/cisa_test_cache.bin", 1);
         setenv("CISA_SEARCH_RESTARTS", "1", 1);
+        // Start from a cold store: a stale (or quarantined) file
+        // from a previous run must not feed this one.
+        std::remove("/tmp/cisa_test_cache.bin");
+        std::remove("/tmp/cisa_test_cache.bin.corrupt");
     }
 } env_setup;
 } // namespace
 
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include "explore/campaign.hh"
 #include "explore/schedule.hh"
@@ -113,6 +120,35 @@ TEST(Campaign, CachePersists)
     FILE *f = std::fopen("/tmp/cisa_test_cache.bin", "rb");
     ASSERT_NE(f, nullptr);
     std::fclose(f);
+}
+
+TEST(Campaign, BudgetKeyNeverAliases)
+{
+    // The old key, simUops * 1000003 + warmup, aliased whenever one
+    // budget's warmup spilled into another's uops slot — e.g.
+    // (1, 1000003) and (2, 0) shared a cache. Mixed keys must keep
+    // every distinct (uops, warmup) pair distinct.
+    EXPECT_NE(Campaign::budgetKeyFor(1, 1000003),
+              Campaign::budgetKeyFor(2, 0));
+    // Arguments are not interchangeable either.
+    EXPECT_NE(Campaign::budgetKeyFor(1500, 400),
+              Campaign::budgetKeyFor(400, 1500));
+
+    std::set<uint64_t> keys;
+    size_t n = 0;
+    for (uint64_t u : {0ull, 1ull, 2ull, 1500ull, 6000ull}) {
+        for (uint64_t w : {0ull, 1ull, 400ull, 1500ull, 1000003ull}) {
+            keys.insert(Campaign::budgetKeyFor(u, w));
+            n++;
+        }
+    }
+    EXPECT_EQ(keys.size(), n);
+    // The whole colliding family of the old scheme (constant
+    // u * 1000003 + w) must now fan out to distinct keys.
+    keys.clear();
+    for (uint64_t u = 0; u <= 12; u++)
+        keys.insert(Campaign::budgetKeyFor(u, (12 - u) * 1000003));
+    EXPECT_EQ(keys.size(), 13u);
 }
 
 MulticoreDesign
