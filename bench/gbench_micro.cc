@@ -11,8 +11,10 @@
 
 #include "common/parallel.hh"
 #include "core/cisa.hh"
+#include "uarch/batch.hh"
 #include "uarch/bpred.hh"
 #include "uarch/cache.hh"
+#include "uarch/replay.hh"
 
 using namespace cisa;
 
@@ -178,6 +180,68 @@ BM_ParallelForSerialBaseline(benchmark::State &state)
     state.SetItemsProcessed(int64_t(n) * state.iterations());
 }
 
+struct BatchFix
+{
+    std::vector<CoreConfig> family; ///< one structural slice
+    ReplayTrace packed;
+    StructuralStream stream;
+};
+
+const BatchFix &
+batchFix()
+{
+    static const BatchFix f = [] {
+        BatchFix b;
+        const RunEnv env{};
+        auto all = MicroArchConfig::enumerate();
+        uint64_t key = structuralFingerprint(all[0], env);
+        for (const auto &c : all) {
+            if (structuralFingerprint(c, env) == key)
+                b.family.push_back(
+                    CoreConfig{FeatureSet::x86_64(), c});
+        }
+        b.packed = ReplayTrace::build(trace0(), 22000);
+        b.stream = buildStructuralStream(b.family[0], env, trace0(),
+                                         b.packed, 20000, 2000);
+        return b;
+    }();
+    return f;
+}
+
+void
+BM_BatchStep(benchmark::State &state)
+{
+    // Lockstep walk throughput at growing group sizes: one walk
+    // advances `cells` timing configurations of one structural
+    // slice. Arg(1) is the per-cell replay baseline, so celluops/s
+    // (simulated uops x cells per second) exposes the batch win
+    // directly as rate.
+    const BatchFix &f = batchFix();
+    size_t group = size_t(state.range(0));
+    std::vector<CoreConfig> cells;
+    for (size_t i = 0; i < group; i++)
+        cells.push_back(f.family[i % f.family.size()]);
+    uint64_t uops = 0;
+    for (auto _ : state) {
+        if (group == 1) {
+            PerfResult r = simulateCoreReplay(
+                cells[0], f.packed, f.stream, 20000, 2000);
+            uops += r.stats.uops;
+            benchmark::DoNotOptimize(r.cycles);
+        } else {
+            std::vector<PerfResult> rs = simulateCoreBatch(
+                cells.data(), group, f.packed, f.stream, 20000,
+                2000);
+            for (const PerfResult &r : rs)
+                uops += r.stats.uops;
+            benchmark::DoNotOptimize(rs.data());
+        }
+    }
+    state.counters["celluops/s"] = benchmark::Counter(
+        double(uops), benchmark::Counter::kIsRate);
+    state.counters["cells"] = double(group);
+}
+
 void
 BM_WorkloadSynthesis(benchmark::State &state)
 {
@@ -193,6 +257,7 @@ BM_WorkloadSynthesis(benchmark::State &state)
 const bool g_warm = [] {
     module0();
     trace0();
+    batchFix();
     return true;
 }();
 
@@ -206,6 +271,7 @@ BENCHMARK(BM_BranchPredictor)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_CacheAccess);
 BENCHMARK(BM_ParallelFor)->Arg(64)->Arg(4096)->Arg(262144);
 BENCHMARK(BM_ParallelForSerialBaseline)->Arg(4096);
+BENCHMARK(BM_BatchStep)->Arg(1)->Arg(8)->Arg(30);
 BENCHMARK(BM_WorkloadSynthesis)->Arg(0)->Arg(25);
 
 BENCHMARK_MAIN();

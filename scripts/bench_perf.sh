@@ -1,17 +1,20 @@
 #!/bin/sh
 # Seed the perf trajectory: run bench/perf_campaign (library hot
-# path) and bench/perf_service (the cisa-serve daemon path) in
-# --json mode and write both objects, wrapped in one JSON document,
-# to BENCH_PR<N>.json at the repo root.
+# path) at CISA_THREADS=1 and CISA_THREADS=4 — the single-thread run
+# isolates the batch engine's algorithmic win from pool scaling —
+# plus bench/perf_service (the cisa-serve daemon path), all in
+# --json mode, and write the objects wrapped in one JSON document to
+# BENCH_PR<N>.json at the repo root.
 #
 # Usage: scripts/bench_perf.sh [pr-number] [build-dir]
 #
-# Honors the usual knobs (CISA_THREADS, CISA_SIM_UOPS,
-# CISA_SIM_WARMUP, CISA_BENCH_SLAB); defaults measure the full
-# production budget, which takes a few minutes on one core.
+# Honors the usual knobs (CISA_SIM_UOPS, CISA_SIM_WARMUP,
+# CISA_BENCH_SLAB; CISA_THREADS for the service leg); defaults
+# measure the full production budget, which takes a few minutes on
+# one core.
 set -eu
 
-pr="${1:-4}"
+pr="${1:-6}"
 build="${2:-build}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
@@ -23,14 +26,17 @@ for b in perf_campaign perf_service; do
     fi
 done
 
-campaign_json="$("$root/$build/bench/perf_campaign" --json)"
+campaign1_json="$(CISA_THREADS=1 "$root/$build/bench/perf_campaign" --json)"
+campaign4_json="$(CISA_THREADS=4 "$root/$build/bench/perf_campaign" --json)"
 service_json="$("$root/$build/bench/perf_service" --json)"
 
 out="$root/BENCH_PR${pr}.json"
 {
     echo '{'
-    echo '  "campaign":'
-    echo "$campaign_json" | sed 's/^/  /;$s/$/,/'
+    echo '  "campaign_threads1":'
+    echo "$campaign1_json" | sed 's/^/  /;$s/$/,/'
+    echo '  "campaign_threads4":'
+    echo "$campaign4_json" | sed 's/^/  /;$s/$/,/'
     echo '  "service":'
     echo "$service_json" | sed 's/^/  /'
     echo '}'

@@ -117,6 +117,24 @@ replayEnabled()
     return envInt("CISA_REPLAY", 1) != 0;
 }
 
+bool
+batchEnabled()
+{
+    return envInt("CISA_BATCH", 1) != 0;
+}
+
+int
+batchWidth()
+{
+    return int(envIntRange("CISA_BATCH_WIDTH", 64, 2, 1 << 20));
+}
+
+bool
+batchSimdEnabled()
+{
+    return envInt("CISA_BATCH_SIMD", 1) != 0;
+}
+
 int
 searchRestarts()
 {

@@ -56,6 +56,23 @@ bool dseCacheReadonly();
  * (CISA_REPLAY, default on; results are bit-identical either way). */
 bool replayEnabled();
 
+/** Whether the campaign batches replay cells into lockstep groups
+ * (CISA_BATCH, default on; requires the replay engine and is
+ * bit-identical to the per-cell paths either way). */
+bool batchEnabled();
+
+/** Upper bound on cells advanced by one lockstep trace walk
+ * (CISA_BATCH_WIDTH, default 64): larger groups amortize the walk
+ * further, smaller ones expose more (phase, group) tasks to the
+ * pool. */
+int batchWidth();
+
+/** CISA_BATCH_SIMD: allow the vectorized lockstep kernel (default
+ * on). Only consulted when the CPU supports AVX-512 and the cycle
+ * stamps provably fit 32 bits; results are bit-identical either
+ * way, so 0 exists for debugging and A/B timing. */
+bool batchSimdEnabled();
+
 /** Hill-climbing restarts in the multicore search. */
 int searchRestarts();
 

@@ -15,6 +15,7 @@
 #include "compiler/interp.hh"
 #include "migration/translate.hh"
 #include "power/energy.hh"
+#include "uarch/batch.hh"
 #include "uarch/core.hh"
 #include "uarch/replay.hh"
 #include "workloads/synth.hh"
@@ -168,14 +169,21 @@ Campaign::ensureSlab(int slab, const CancelToken *cancel)
     }
 
     std::vector<PhasePerf> cells;
+    EngineHealth eh;
     try {
-        cells = computeSlabPerf(slab, SlabEngine::Auto, cancel);
+        cells = computeSlabPerf(slab, SlabEngine::Auto, cancel, &eh);
     } catch (...) {
         lk.lock();
         computing_[size_t(slab)] = false;
         cv_.notify_all();
         throw;
     }
+    cellsBatched_.fetch_add(eh.cellsBatched,
+                            std::memory_order_relaxed);
+    cellsPerCell_.fetch_add(eh.cellsPerCell,
+                            std::memory_order_relaxed);
+    walksDone_.fetch_add(eh.walksDone, std::memory_order_relaxed);
+    walksSaved_.fetch_add(eh.walksSaved, std::memory_order_relaxed);
 
     lk.lock();
     size_t base = size_t(slab) *
@@ -200,7 +208,7 @@ Campaign::ensureSlab(int slab, const CancelToken *cancel)
 
 std::vector<PhasePerf>
 computeSlabPerf(int slab, SlabEngine engine,
-                const CancelToken *cancel)
+                const CancelToken *cancel, EngineHealth *health)
 {
     checkCancel(cancel);
     bool is_vendor = slab >= 26;
@@ -225,6 +233,59 @@ computeSlabPerf(int slab, SlabEngine engine,
     const RunEnv mp{0.25, 1.30};
     size_t phases = size_t(phaseCount());
 
+    // Engine selection. Auto honours two env knobs: CISA_REPLAY=0
+    // falls all the way back to the live per-cell engine, otherwise
+    // CISA_BATCH (default on) picks lockstep batches over per-cell
+    // replay. All three produce byte-identical tables.
+    SlabEngine mode = engine;
+    if (mode == SlabEngine::Auto) {
+        mode = !replayEnabled() ? SlabEngine::Live
+               : batchEnabled() ? SlabEngine::Batch
+                                : SlabEngine::Replay;
+    }
+    bool replay = mode != SlabEngine::Live;
+
+    // Structural-slice dedup (replay engines only): one memoized
+    // stream per distinct (cache slice + environment + predictor)
+    // fingerprint instead of one per cell. The 180-config space
+    // collapses onto a handful of structural slices (2 cache
+    // geometries x 3 predictors x 2 environments), so almost all
+    // per-cell cache/predictor work is amortized away. Pure config
+    // arithmetic, so it runs before any trace exists.
+    uint64_t max_steps = warm + timed;
+    struct StreamSlice
+    {
+        MicroArchConfig uarch;
+        RunEnv env;
+        int envIdx; ///< 0 = solo, 1 = contended
+        uint64_t key;
+    };
+    std::vector<StreamSlice> slices;
+    // slice index per (uarch id, env): env 0 = solo, 1 = contended.
+    std::vector<std::array<int, 2>> sliceOf;
+    if (replay) {
+        sliceOf.resize(size_t(DesignPoint::kUarchCount));
+        const RunEnv *envs[2] = {&solo, &mp};
+        for (int u = 0; u < DesignPoint::kUarchCount; u++) {
+            MicroArchConfig ua = MicroArchConfig::byId(u);
+            for (int e = 0; e < 2; e++) {
+                uint64_t key = structuralFingerprint(ua, *envs[e]);
+                int si = -1;
+                for (size_t k = 0; k < slices.size(); k++) {
+                    if (slices[k].key == key) {
+                        si = int(k);
+                        break;
+                    }
+                }
+                if (si < 0) {
+                    si = int(slices.size());
+                    slices.push_back({ua, *envs[e], e, key});
+                }
+                sliceOf[size_t(u)][size_t(e)] = si;
+            }
+        }
+    }
+
     // Stage 1: compile and functionally execute each phase exactly
     // once; the trace is shared read-only by every simulation below.
     //
@@ -237,10 +298,23 @@ computeSlabPerf(int slab, SlabEngine engine,
     // which equals ops.size() for an uncapped, untruncated run).
     // Vendor slabs keep full recording: vendorAdjustTrace rewrites
     // the whole trace and its output length feeds run_ops.
+    //
+    // Replay preprocessing is folded into the same loop: as soon as
+    // a phase's trace lands, this task packs it and fans its stream
+    // builds out onto a TaskGroup, so stream construction for early
+    // phases overlaps compilation of late ones instead of waiting
+    // at a serial barrier. Declaration order matters: traces/packed/
+    // streams precede the group, so an unwinding exception drains
+    // the in-flight builds before their inputs and outputs die.
     uint64_t record_cap =
         is_vendor ? ~uint64_t(0) : warm + timed + 1;
     std::vector<Trace> traces(phases);
     std::vector<double> run_ops(phases, 0.0);
+    std::vector<ReplayTrace> packed(replay ? phases : 0);
+    std::vector<std::vector<StructuralStream>> streams(
+        replay ? phases : 0,
+        std::vector<StructuralStream>(slices.size()));
+    TaskGroup streamTasks;
     parallelFor(phases, [&](uint64_t p) {
         checkCancel(cancel);
         int ph = int(p);
@@ -260,117 +334,196 @@ computeSlabPerf(int slab, SlabEngine engine,
         run_ops[p] = is_vendor ? double(trace.ops.size())
                                : double(trace.dyn.macroOps);
         traces[p] = std::move(trace);
+        if (!replay)
+            return;
+        packed[p] = ReplayTrace::build(traces[p], max_steps);
+        for (size_t si = 0; si < slices.size(); si++) {
+            streamTasks.run([&, p, si] {
+                checkCancel(cancel);
+                CoreConfig scc{fs, slices[si].uarch};
+                streams[p][si] = buildStructuralStream(
+                    scc, slices[si].env, traces[p], packed[p],
+                    timed, warm);
+            });
+        }
     });
+    streamTasks.wait();
 
-    // Stage 1b (replay engine): pack each phase trace once, then
-    // compute the memoized structural streams — one per distinct
-    // (cache slice + environment + predictor) fingerprint instead of
-    // one per cell. The 180-config space collapses onto a handful of
-    // structural slices (2 cache geometries x 3 predictors x 2
-    // environments), so almost all per-cell cache/predictor work is
-    // amortized away.
-    bool replay = engine == SlabEngine::Auto
-                      ? replayEnabled()
-                      : engine == SlabEngine::Replay;
-    uint64_t max_steps = warm + timed;
-    std::vector<ReplayTrace> packed;
-    struct StreamSlice
-    {
-        MicroArchConfig uarch;
-        RunEnv env;
-        uint64_t key;
-    };
-    std::vector<StreamSlice> slices;
-    // slice index per (uarch id, env): env 0 = solo, 1 = contended.
-    std::vector<std::array<int, 2>> sliceOf;
-    std::vector<std::vector<StructuralStream>> streams;
-    if (replay) {
-        sliceOf.resize(size_t(DesignPoint::kUarchCount));
-        const RunEnv *envs[2] = {&solo, &mp};
-        for (int u = 0; u < DesignPoint::kUarchCount; u++) {
-            MicroArchConfig ua = MicroArchConfig::byId(u);
-            for (int e = 0; e < 2; e++) {
-                uint64_t key = structuralFingerprint(ua, *envs[e]);
-                int si = -1;
-                for (size_t k = 0; k < slices.size(); k++) {
-                    if (slices[k].key == key) {
-                        si = int(k);
-                        break;
-                    }
+    // Stage 2: simulate every (uarch, phase, env) cell and fold the
+    // results into PhasePerf. Counters are advisory (relaxed): each
+    // output slot is still written by exactly one task.
+    std::atomic<uint64_t> nBatched{0}, nPerCell{0}, nWalks{0},
+        nSaved{0};
+    std::vector<PhasePerf> cells(size_t(DesignPoint::kUarchCount) *
+                                 phases);
+
+    if (mode == SlabEngine::Batch) {
+        // Group cells by structural slice: every member consumes the
+        // identical stream, so one lockstep walk advances them all
+        // (src/uarch/batch.hh). Tasks are (phase, slice, chunk);
+        // CISA_BATCH_WIDTH caps a chunk so one giant group cannot
+        // serialize the pool.
+        std::vector<std::vector<int>> members(slices.size());
+        for (int u = 0; u < DesignPoint::kUarchCount; u++)
+            for (int e = 0; e < 2; e++)
+                members[size_t(sliceOf[size_t(u)][size_t(e)])]
+                    .push_back(u);
+        struct BatchTask
+        {
+            int ph, si;
+            size_t begin, end; ///< range within members[si]
+        };
+        size_t bw = size_t(batchWidth());
+        std::vector<BatchTask> tasks;
+        for (int ph = 0; ph < int(phases); ph++) {
+            for (size_t si = 0; si < slices.size(); si++) {
+                for (size_t b = 0; b < members[si].size(); b += bw) {
+                    tasks.push_back(
+                        {ph, int(si), b,
+                         std::min(members[si].size(), b + bw)});
                 }
-                if (si < 0) {
-                    si = int(slices.size());
-                    slices.push_back({ua, *envs[e], key});
-                }
-                sliceOf[size_t(u)][size_t(e)] = si;
             }
         }
-        packed.resize(phases);
-        parallelFor(phases, [&](uint64_t p) {
-            packed[p] = ReplayTrace::build(traces[p], max_steps);
-        });
-        streams.assign(phases,
-                       std::vector<StructuralStream>(slices.size()));
-        parallelFor(phases * slices.size(), [&](uint64_t k) {
+
+        // Intermediate per-sim results, indexed (u*phases+ph)*2+env;
+        // a second pass folds them into PhasePerf so the fold math
+        // stays in one place and cells[] keeps its one-writer rule.
+        std::vector<PerfResult> sims(
+            size_t(DesignPoint::kUarchCount) * phases * 2);
+        parallelFor(tasks.size(), [&](uint64_t t) {
             checkCancel(cancel);
-            size_t p = k / slices.size();
-            size_t si = k % slices.size();
-            CoreConfig cc{fs, slices[si].uarch};
-            streams[p][si] = buildStructuralStream(
-                cc, slices[si].env, traces[p], packed[p], timed,
-                warm);
+            const BatchTask &bt = tasks[t];
+            const StreamSlice &sl = slices[size_t(bt.si)];
+            const std::vector<int> &mem = members[size_t(bt.si)];
+            size_t g = bt.end - bt.begin;
+            const ReplayTrace &pk = packed[size_t(bt.ph)];
+            const StructuralStream &ss =
+                streams[size_t(bt.ph)][size_t(bt.si)];
+            std::vector<CoreConfig> ccs;
+            ccs.reserve(g);
+            for (size_t i = bt.begin; i < bt.end; i++) {
+                int u = mem[i];
+                DesignPoint dp =
+                    is_vendor ? DesignPoint::vendorPoint(vm.kind, u)
+                              : DesignPoint::composite(slab, u);
+                ccs.push_back(dp.coreConfig());
+            }
+            auto slot = [&](size_t i) {
+                return (size_t(mem[i]) * phases + size_t(bt.ph)) *
+                           2 +
+                       size_t(sl.envIdx);
+            };
+            if (g == 1) {
+                // Singleton group: the per-cell path is the same
+                // walk without the batch setup.
+                sims[slot(bt.begin)] = simulateCoreReplay(
+                    ccs[0], pk, ss, timed, warm, sl.env);
+                nPerCell.fetch_add(1, std::memory_order_relaxed);
+                nWalks.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            std::vector<PerfResult> rs = simulateCoreBatch(
+                ccs.data(), g, pk, ss, timed, warm, sl.env);
+            for (size_t i = 0; i < g; i++)
+                sims[slot(bt.begin + i)] = rs[i];
+            nBatched.fetch_add(g, std::memory_order_relaxed);
+            nWalks.fetch_add(1, std::memory_order_relaxed);
+            nSaved.fetch_add(g - 1, std::memory_order_relaxed);
+        });
+
+        parallelFor(cells.size(), [&](uint64_t k) {
+            checkCancel(cancel);
+            int u = int(k / phases);
+            int ph = int(k % phases);
+            DesignPoint dp =
+                is_vendor ? DesignPoint::vendorPoint(vm.kind, u)
+                          : DesignPoint::composite(slab, u);
+            CoreConfig cc = dp.coreConfig();
+            const PerfResult &rs = sims[k * 2 + 0];
+            const PerfResult &rm = sims[k * 2 + 1];
+            PhasePerf out;
+
+            double scale =
+                run_ops[size_t(ph)] / double(rs.stats.macroOps);
+            out.timePerRun = float(secondsOf(rs.cycles) * scale);
+            out.energyPerRun = float(
+                coreEnergy(cc, rs.stats, is_vendor ? &vm : nullptr)
+                    .total() *
+                scale);
+
+            double scale_m =
+                run_ops[size_t(ph)] / double(rm.stats.macroOps);
+            out.timePerRunMp =
+                float(secondsOf(rm.cycles) * scale_m);
+            out.energyPerRunMp = float(
+                coreEnergy(cc, rm.stats, is_vendor ? &vm : nullptr)
+                    .total() *
+                scale_m);
+
+            cells[k] = out;
+        });
+    } else {
+        // Per-cell engines: one task per (uarch, phase) cell — solo
+        // and contended environments together, so exactly one task
+        // writes each cell and the result is thread-count
+        // independent.
+        parallelFor(cells.size(), [&](uint64_t k) {
+            checkCancel(cancel);
+            int u = int(k / phases);
+            int ph = int(k % phases);
+            DesignPoint dp =
+                is_vendor ? DesignPoint::vendorPoint(vm.kind, u)
+                          : DesignPoint::composite(slab, u);
+            CoreConfig cc = dp.coreConfig();
+            const Trace &trace = traces[size_t(ph)];
+            PhasePerf out;
+
+            PerfResult rs, rm;
+            if (replay) {
+                const ReplayTrace &pk = packed[size_t(ph)];
+                const auto &ss = streams[size_t(ph)];
+                rs = simulateCoreReplay(
+                    cc, pk, ss[size_t(sliceOf[size_t(u)][0])],
+                    timed, warm, solo);
+                rm = simulateCoreReplay(
+                    cc, pk, ss[size_t(sliceOf[size_t(u)][1])],
+                    timed, warm, mp);
+            } else {
+                rs = simulateCore(cc, trace, timed, warm, solo);
+                rm = simulateCore(cc, trace, timed, warm, mp);
+            }
+            nPerCell.fetch_add(2, std::memory_order_relaxed);
+            nWalks.fetch_add(2, std::memory_order_relaxed);
+
+            double scale =
+                run_ops[size_t(ph)] / double(rs.stats.macroOps);
+            out.timePerRun = float(secondsOf(rs.cycles) * scale);
+            out.energyPerRun = float(
+                coreEnergy(cc, rs.stats, is_vendor ? &vm : nullptr)
+                    .total() *
+                scale);
+
+            double scale_m =
+                run_ops[size_t(ph)] / double(rm.stats.macroOps);
+            out.timePerRunMp =
+                float(secondsOf(rm.cycles) * scale_m);
+            out.energyPerRunMp = float(
+                coreEnergy(cc, rm.stats, is_vendor ? &vm : nullptr)
+                    .total() *
+                scale_m);
+
+            cells[k] = out;
         });
     }
 
-    // Stage 2: one task per (uarch, phase) cell — solo and contended
-    // environments together, so exactly one task writes each cell
-    // and the result is thread-count independent.
-    std::vector<PhasePerf> cells(size_t(DesignPoint::kUarchCount) *
-                                 phases);
-    parallelFor(cells.size(), [&](uint64_t k) {
-        checkCancel(cancel);
-        int u = int(k / phases);
-        int ph = int(k % phases);
-        DesignPoint dp =
-            is_vendor ? DesignPoint::vendorPoint(vm.kind, u)
-                      : DesignPoint::composite(slab, u);
-        CoreConfig cc = dp.coreConfig();
-        const Trace &trace = traces[size_t(ph)];
-        PhasePerf out;
-
-        PerfResult rs, rm;
-        if (replay) {
-            const ReplayTrace &pk = packed[size_t(ph)];
-            const auto &ss = streams[size_t(ph)];
-            rs = simulateCoreReplay(
-                cc, pk, ss[size_t(sliceOf[size_t(u)][0])], timed,
-                warm, solo);
-            rm = simulateCoreReplay(
-                cc, pk, ss[size_t(sliceOf[size_t(u)][1])], timed,
-                warm, mp);
-        } else {
-            rs = simulateCore(cc, trace, timed, warm, solo);
-            rm = simulateCore(cc, trace, timed, warm, mp);
-        }
-
-        double scale =
-            run_ops[size_t(ph)] / double(rs.stats.macroOps);
-        out.timePerRun = float(secondsOf(rs.cycles) * scale);
-        out.energyPerRun = float(
-            coreEnergy(cc, rs.stats, is_vendor ? &vm : nullptr)
-                .total() *
-            scale);
-
-        double scale_m =
-            run_ops[size_t(ph)] / double(rm.stats.macroOps);
-        out.timePerRunMp = float(secondsOf(rm.cycles) * scale_m);
-        out.energyPerRunMp = float(
-            coreEnergy(cc, rm.stats, is_vendor ? &vm : nullptr)
-                .total() *
-            scale_m);
-
-        cells[k] = out;
-    });
+    if (health) {
+        health->cellsBatched +=
+            nBatched.load(std::memory_order_relaxed);
+        health->cellsPerCell +=
+            nPerCell.load(std::memory_order_relaxed);
+        health->walksDone += nWalks.load(std::memory_order_relaxed);
+        health->walksSaved += nSaved.load(std::memory_order_relaxed);
+    }
     return cells;
 }
 

@@ -43,9 +43,27 @@ struct PhasePerf
 /** Which simulation engine computeSlabPerf runs its cells on. */
 enum class SlabEngine
 {
-    Auto,   ///< CISA_REPLAY env knob (default: Replay)
+    Auto,   ///< CISA_REPLAY + CISA_BATCH env knobs (default: Batch)
     Live,   ///< simulateCore per cell (the seed path)
-    Replay, ///< packed traces + memoized structural streams
+    Replay, ///< packed traces + memoized structural streams, per cell
+    Batch,  ///< replay inputs, lockstep cell groups (uarch/batch.hh)
+};
+
+/**
+ * Engine-mode counters of the slab kernel: how many cell simulations
+ * ran inside a lockstep batch vs on a per-cell path (replay, live,
+ * or single-cell batch fallback), and how many trace walks that cost
+ * vs saved (walksSaved = batched sims that shared another sim's
+ * walk). Accumulated per computeSlabPerf call and, campaign-wide,
+ * surfaced through Campaign::engineHealth() and the cisa-serve stats
+ * endpoint.
+ */
+struct EngineHealth
+{
+    uint64_t cellsBatched = 0; ///< sims advanced by a lockstep walk
+    uint64_t cellsPerCell = 0; ///< sims on a per-cell path
+    uint64_t walksDone = 0;    ///< trace walks actually performed
+    uint64_t walksSaved = 0;   ///< walks amortized away by batching
 };
 
 /**
@@ -66,10 +84,13 @@ enum class SlabEngine
  * @p cancel (optional) is polled at phase/cell boundaries; an
  * expired token aborts with Cancelled and leaves no partial state.
  * An uncancelled run is byte-identical with or without a token.
+ * @p health (optional) has this run's engine-mode counters added to
+ * it on success.
  */
 std::vector<PhasePerf> computeSlabPerf(
     int slab, SlabEngine engine = SlabEngine::Auto,
-    const CancelToken *cancel = nullptr);
+    const CancelToken *cancel = nullptr,
+    EngineHealth *health = nullptr);
 
 /**
  * Lazily-computed, disk-backed table of PhasePerf over all design
@@ -134,6 +155,22 @@ class Campaign
     /** Health counters of the backing slab store. */
     StoreHealth storeHealth() const { return store_.health(); }
 
+    /** Engine-mode counters accumulated over every slab this
+     * campaign computed (adopted slabs cost no simulations and add
+     * nothing). */
+    EngineHealth
+    engineHealth() const
+    {
+        EngineHealth h;
+        h.cellsBatched =
+            cellsBatched_.load(std::memory_order_relaxed);
+        h.cellsPerCell =
+            cellsPerCell_.load(std::memory_order_relaxed);
+        h.walksDone = walksDone_.load(std::memory_order_relaxed);
+        h.walksSaved = walksSaved_.load(std::memory_order_relaxed);
+        return h;
+    }
+
   private:
     Campaign();
 
@@ -158,6 +195,12 @@ class Campaign
     std::mutex mu_;
     std::condition_variable cv_;
     std::array<bool, kSlabs> computing_{};
+
+    /** Campaign-wide EngineHealth accumulators (relaxed: advisory). */
+    std::atomic<uint64_t> cellsBatched_{0};
+    std::atomic<uint64_t> cellsPerCell_{0};
+    std::atomic<uint64_t> walksDone_{0};
+    std::atomic<uint64_t> walksSaved_{0};
 };
 
 } // namespace cisa

@@ -75,10 +75,13 @@ Executor::snapshot() const
         draining = draining_;
     }
     StatsSnap s = metrics_.snapshot(depth, running, draining);
-    // Surface the durable slab store's health without instantiating
-    // the campaign as a side effect of a stats probe.
-    if (const Campaign *c = Campaign::maybeGet())
+    // Surface the durable slab store's health and the slab engine's
+    // mode counters without instantiating the campaign as a side
+    // effect of a stats probe.
+    if (const Campaign *c = Campaign::maybeGet()) {
         s.store = c->storeHealth();
+        s.engine = c->engineHealth();
+    }
     return s;
 }
 

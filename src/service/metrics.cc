@@ -95,6 +95,16 @@ StatsSnap::render() const
             (unsigned long long)store.lockWaitUs,
             (unsigned long long)store.quarantined);
     }
+    if (engine.cellsBatched || engine.cellsPerCell ||
+        engine.walksDone || engine.walksSaved) {
+        body += strfmt(
+            "slab engine: %llu cells batched, %llu per-cell, "
+            "%llu walks done, %llu walks saved\n",
+            (unsigned long long)engine.cellsBatched,
+            (unsigned long long)engine.cellsPerCell,
+            (unsigned long long)engine.walksDone,
+            (unsigned long long)engine.walksSaved);
+    }
     return body;
 }
 
@@ -127,6 +137,10 @@ StatsSnap::encode(ByteWriter &w) const
     w.u64(store.lockWaits);
     w.u64(store.lockWaitUs);
     w.u64(store.quarantined);
+    w.u64(engine.cellsBatched);
+    w.u64(engine.cellsPerCell);
+    w.u64(engine.walksDone);
+    w.u64(engine.walksSaved);
 }
 
 bool
@@ -161,6 +175,10 @@ StatsSnap::decode(ByteReader &r, StatsSnap *out)
     s.store.lockWaits = r.u64();
     s.store.lockWaitUs = r.u64();
     s.store.quarantined = r.u64();
+    s.engine.cellsBatched = r.u64();
+    s.engine.cellsPerCell = r.u64();
+    s.engine.walksDone = r.u64();
+    s.engine.walksSaved = r.u64();
     if (!r.ok())
         return false;
     *out = s;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "explore/campaign.hh"
 #include "explore/slabstore.hh"
 #include "service/request.hh"
 
@@ -101,6 +102,11 @@ struct StatsSnap
      * bytes, lock waits, quarantines) of the campaign cache this
      * process is bound to; all-zero until the campaign exists. */
     StoreHealth store{};
+
+    /** Slab-engine mode counters (cells simulated in lockstep
+     * batches vs per cell, trace walks performed vs saved) of the
+     * same campaign; all-zero until it computes a slab. */
+    EngineHealth engine{};
 
     /** Totals across endpoints. */
     uint64_t totalRequests() const;

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Batched lockstep replay: one walk of a phase's packed trace and
+ * memoized structural stream advances many timing configurations at
+ * once.
+ *
+ * The per-cell replay engine (simulateCoreReplay) already reduced a
+ * cell to pure cycle arithmetic over shared read-only inputs, but a
+ * slab column still re-reads the ReplayTrace and StructuralStream —
+ * and re-runs the per-step decode, cursor bookkeeping, and stats
+ * accounting — once per cell. Every cell that shares a structural
+ * slice consumes the *identical* step sequence, so that shared work
+ * can be hoisted out of the per-cell loop entirely: one cursor set,
+ * one decoded step, one stats update per (OoO, uop-cache, fusion)
+ * combination, and a structure-of-arrays inner loop that touches
+ * only per-cell cycle state. The walk is time-tiled, and on AVX-512
+ * hosts the per-cell loop runs 16 cells per vector of 32-bit cycle
+ * stamps whenever the walk's stamps provably fit 32 bits
+ * (CISA_BATCH_SIMD=0 forces the portable scalar kernel). See
+ * DESIGN.md §9 for the layout and the bit-identity argument.
+ */
+
+#ifndef CISA_UARCH_BATCH_HH
+#define CISA_UARCH_BATCH_HH
+
+#include <vector>
+
+#include "uarch/replay.hh"
+
+namespace cisa
+{
+
+/**
+ * Simulate @p ncells timing configurations over one packed trace and
+ * one memoized structural stream in lockstep. Every cell must lie in
+ * the stream's structural slice (same structuralFingerprint for
+ * @p env) — cells may differ arbitrarily in timing-side parameters
+ * (width, windows, FU counts, uop cache/fusion, in-order vs
+ * out-of-order). Returns one PerfResult per cell, in input order,
+ * byte-identical to what simulateCoreReplay (and the live engine)
+ * would produce for each cell alone; panics on a slice or budget
+ * mismatch, exactly like simulateCoreReplay.
+ */
+std::vector<PerfResult> simulateCoreBatch(const CoreConfig *cells,
+                                          size_t ncells,
+                                          const ReplayTrace &packed,
+                                          const StructuralStream &stream,
+                                          uint64_t timed_uops,
+                                          uint64_t warmup_uops,
+                                          const RunEnv &env = {});
+
+} // namespace cisa
+
+#endif // CISA_UARCH_BATCH_HH

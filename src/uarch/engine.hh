@@ -127,6 +127,18 @@ constexpr size_t kBtbSize = 512; ///< power of two (masked index)
 constexpr size_t kRasSize = 16;
 constexpr int kIldBytesPerCycle = 16;
 
+/** Decode bandwidth in uops/cycle on the non-uop-cache path. Shared
+ * by Engine and the batched lockstep kernel (src/uarch/batch.cc) so
+ * the decoder rule exists once. */
+inline int
+decodeBandwidthFor(const CoreConfig &cfg)
+{
+    int bw = cfg.uarch.simpleDecoders;
+    if (cfg.isa.complexity == Complexity::X86)
+        bw += 4; // the 1:4 complex decoder + MSROM
+    return bw;
+}
+
 /** Store-buffer coverage: the buffered store fully covers the load. */
 inline bool
 sbCovers(uint64_t sb_addr, uint8_t sb_size, uint64_t maddr,
@@ -357,14 +369,7 @@ struct Engine
     }
 
     /** Decode bandwidth in uops/cycle on the non-uop-cache path. */
-    int
-    decodeBandwidth() const
-    {
-        int bw = cfg.uarch.simpleDecoders;
-        if (cfg.isa.complexity == Complexity::X86)
-            bw += 4; // the 1:4 complex decoder + MSROM
-        return bw;
-    }
+    int decodeBandwidth() const { return decodeBandwidthFor(cfg); }
 
     template <bool OoO>
     uint64_t

@@ -1,5 +1,6 @@
 #include "uarch/replay.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -223,6 +224,14 @@ ReplayTrace::build(const Trace &trace, uint64_t max_steps)
         rt.uopBegin[i] = uint32_t(rt.xuops.size());
         int k = expandUops(op, buf);
         rt.xuops.insert(rt.xuops.end(), buf, buf + k);
+        uint32_t lat_sum = uint32_t(k);
+        uint32_t loads = 0;
+        for (int j = 0; j < k; j++) {
+            lat_sum += buf[j].lat;
+            loads += (buf[j].flags & kUopLoad) != 0;
+        }
+        rt.maxStepLatSum = std::max(rt.maxStepLatSum, lat_sum);
+        rt.maxStepLoads = std::max(rt.maxStepLoads, loads);
     }
     rt.uopBegin[used] = uint32_t(rt.xuops.size());
     return rt;
@@ -324,6 +333,8 @@ buildStructuralStream(const CoreConfig &cfg, const RunEnv &env,
             if (lat > 1) {
                 ev |= kEvIFetchMiss;
                 out.ifetchExtra.push_back(uint32_t(lat - 1));
+                out.maxIfetchExtra = std::max(
+                    out.maxIfetchExtra, uint32_t(lat - 1));
             }
         }
         if (str.ucAccess(&op))
@@ -335,8 +346,10 @@ buildStructuralStream(const CoreConfig &cfg, const RunEnv &env,
                 out.fwdMask.push_back(match);
             } else {
                 ev |= kEvDLoad;
-                out.dloadExtra.push_back(
-                    uint32_t(str.dataLoad(&op)));
+                uint32_t dl = uint32_t(str.dataLoad(&op));
+                out.dloadExtra.push_back(dl);
+                out.maxDloadExtra =
+                    std::max(out.maxDloadExtra, dl);
             }
         }
         if (bits & kOpWritesMem) {

@@ -240,6 +240,12 @@ struct ReplayTrace
     std::vector<PackedUop> xuops;
     bool complete = false; ///< packed prefix covers the whole trace
     uint64_t maxSteps = 0; ///< step budget the packing was built for
+    /** Max over steps of (sum of uop latencies + uop count), and max
+     * load uops in any one step: with the stream-side latency maxima
+     * these bound how far any cycle stamp can advance per step, which
+     * is what lets the batched kernel prove 32-bit stamps safe. */
+    uint32_t maxStepLatSum = 0;
+    uint32_t maxStepLoads = 0;
 
     size_t size() const { return len.size(); }
 
@@ -289,6 +295,8 @@ struct StructuralStream
     std::vector<uint32_t> ifetchExtra; ///< fetch miss latency - 1
     std::vector<uint32_t> dloadExtra;  ///< data access latency - 1
     std::vector<uint16_t> fwdMask;     ///< matching store-buffer slots
+    uint32_t maxIfetchExtra = 0; ///< max element of ifetchExtra
+    uint32_t maxDloadExtra = 0;  ///< max element of dloadExtra
     MemSnap warm; ///< counters at the warmup crossing (if warmup > 0)
     MemSnap fin;  ///< counters at the end of the run
 };

@@ -273,6 +273,44 @@ TEST(Env, KnobsSurviveGarbageValues)
     }
 }
 
+TEST(Env, BatchKnobs)
+{
+    // Defaults: batching on, 64-cell chunks.
+    unsetenv("CISA_BATCH");
+    unsetenv("CISA_BATCH_WIDTH");
+    EXPECT_TRUE(batchEnabled());
+    EXPECT_EQ(batchWidth(), 64);
+
+    setenv("CISA_BATCH", "0", 1);
+    EXPECT_FALSE(batchEnabled());
+    setenv("CISA_BATCH", "1", 1);
+    EXPECT_TRUE(batchEnabled());
+    setenv("CISA_BATCH", "garbage", 1);
+    EXPECT_TRUE(batchEnabled()); // malformed -> documented default
+
+    setenv("CISA_BATCH_WIDTH", "4", 1);
+    EXPECT_EQ(batchWidth(), 4);
+    // Below the floor of 2 a "batch" is a per-cell walk; default,
+    // not clamp, per the strict-parse contract.
+    setenv("CISA_BATCH_WIDTH", "1", 1);
+    EXPECT_EQ(batchWidth(), 64);
+    setenv("CISA_BATCH_WIDTH", "nope", 1);
+    EXPECT_EQ(batchWidth(), 64);
+
+    // The vector-kernel gate: default on, 0 forces the scalar tile
+    // kernel (results are bit-identical either way).
+    unsetenv("CISA_BATCH_SIMD");
+    EXPECT_TRUE(batchSimdEnabled());
+    setenv("CISA_BATCH_SIMD", "0", 1);
+    EXPECT_FALSE(batchSimdEnabled());
+    setenv("CISA_BATCH_SIMD", "bogus", 1);
+    EXPECT_TRUE(batchSimdEnabled());
+
+    unsetenv("CISA_BATCH");
+    unsetenv("CISA_BATCH_WIDTH");
+    unsetenv("CISA_BATCH_SIMD");
+}
+
 TEST(ByteCodec, RoundTrip)
 {
     ByteWriter w;

@@ -30,8 +30,10 @@ struct EnvSetup
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
 
+#include "common/parallel.hh"
 #include "explore/campaign.hh"
 #include "explore/schedule.hh"
 #include "explore/search.hh"
@@ -149,6 +151,84 @@ TEST(Campaign, BudgetKeyNeverAliases)
     for (uint64_t u = 0; u <= 12; u++)
         keys.insert(Campaign::budgetKeyFor(u, (12 - u) * 1000003));
     EXPECT_EQ(keys.size(), 13u);
+}
+
+bool
+sameCells(const std::vector<PhasePerf> &a,
+          const std::vector<PhasePerf> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(PhasePerf)) == 0;
+}
+
+TEST(Campaign, EngineChoicesAreByteIdenticalAtAnyThreads)
+{
+    // One slab through every engine: the live reference, per-cell
+    // replay, and the batched lockstep engine must produce the same
+    // bytes — serially and on a 4-lane pool (each cell is written by
+    // exactly one task, so thread count must not matter).
+    std::vector<PhasePerf> live, replay, batch;
+    EngineHealth ehb;
+    {
+        ScopedThreadLimit serial(1);
+        live = computeSlabPerf(x64Isa(), SlabEngine::Live);
+        replay = computeSlabPerf(x64Isa(), SlabEngine::Replay);
+        batch = computeSlabPerf(x64Isa(), SlabEngine::Batch,
+                                nullptr, &ehb);
+    }
+    EXPECT_TRUE(sameCells(live, replay));
+    EXPECT_TRUE(sameCells(live, batch));
+
+    // Engine accounting: every (uarch, phase, env) sim is either
+    // batched or per-cell, and each saved walk came out of a batch.
+    uint64_t sims = uint64_t(DesignPoint::kUarchCount) *
+                    uint64_t(phaseCount()) * 2;
+    EXPECT_EQ(ehb.cellsBatched + ehb.cellsPerCell, sims);
+    EXPECT_GT(ehb.cellsBatched, ehb.cellsPerCell);
+    EXPECT_EQ(ehb.walksDone + ehb.walksSaved, sims);
+    EXPECT_GT(ehb.walksSaved, 0u);
+
+    ScopedThreadLimit four(4);
+    EngineHealth eh4;
+    std::vector<PhasePerf> batch4 = computeSlabPerf(
+        x64Isa(), SlabEngine::Batch, nullptr, &eh4);
+    EXPECT_TRUE(sameCells(live, batch4));
+    // The (phase, slice, chunk) decomposition is thread-independent,
+    // so the counters are too.
+    EXPECT_EQ(eh4.cellsBatched, ehb.cellsBatched);
+    EXPECT_EQ(eh4.walksDone, ehb.walksDone);
+}
+
+TEST(Campaign, BatchKnobsSteerAutoEngineAndKeepBytes)
+{
+    // setenv is safe here: the knobs are read once on this thread at
+    // the top of computeSlabPerf, before any pool fan-out.
+    setenv("CISA_BATCH", "0", 1);
+    EngineHealth off_h;
+    std::vector<PhasePerf> off = computeSlabPerf(
+        x64Isa(), SlabEngine::Auto, nullptr, &off_h);
+    EXPECT_EQ(off_h.cellsBatched, 0u);
+    EXPECT_GT(off_h.cellsPerCell, 0u);
+
+    setenv("CISA_BATCH", "1", 1);
+    EngineHealth on_h;
+    std::vector<PhasePerf> on = computeSlabPerf(
+        x64Isa(), SlabEngine::Auto, nullptr, &on_h);
+    EXPECT_GT(on_h.cellsBatched, 0u);
+    EXPECT_TRUE(sameCells(off, on));
+
+    // A tiny chunk width forces more (smaller) walks but must not
+    // change a single byte.
+    setenv("CISA_BATCH_WIDTH", "4", 1);
+    EngineHealth narrow_h;
+    std::vector<PhasePerf> narrow = computeSlabPerf(
+        x64Isa(), SlabEngine::Batch, nullptr, &narrow_h);
+    EXPECT_TRUE(sameCells(off, narrow));
+    EXPECT_GT(narrow_h.walksDone, on_h.walksDone);
+
+    unsetenv("CISA_BATCH");
+    unsetenv("CISA_BATCH_WIDTH");
 }
 
 MulticoreDesign

@@ -368,6 +368,12 @@ TEST(StatsCodec, RoundTrips)
     in.queuePeak = 9;
     in.inFlight = 2;
     in.draining = 1;
+    in.store.loaded = 4;
+    in.store.appendedBytes = 12345;
+    in.engine.cellsBatched = 17640;
+    in.engine.cellsPerCell = 8;
+    in.engine.walksDone = 600;
+    in.engine.walksSaved = 17048;
     ByteWriter w;
     in.encode(w);
     std::vector<uint8_t> wire = w.take();
@@ -382,6 +388,12 @@ TEST(StatsCodec, RoundTrips)
     EXPECT_EQ(out.draining, 1);
     EXPECT_EQ(out.totalRequests(), 17u);
     EXPECT_EQ(out.totalCoalesced(), 5u);
+    EXPECT_EQ(out.store.loaded, 4u);
+    EXPECT_EQ(out.store.appendedBytes, 12345u);
+    EXPECT_EQ(out.engine.cellsBatched, 17640u);
+    EXPECT_EQ(out.engine.cellsPerCell, 8u);
+    EXPECT_EQ(out.engine.walksDone, 600u);
+    EXPECT_EQ(out.engine.walksSaved, 17048u);
 }
 
 // ---------------------------------------------------------------

@@ -13,6 +13,7 @@
 
 #include "common/rng.hh"
 #include "compiler/compiler.hh"
+#include "uarch/batch.hh"
 #include "uarch/bpred.hh"
 #include "uarch/cache.hh"
 #include "uarch/core.hh"
@@ -553,6 +554,166 @@ TEST(Replay, FingerprintCoversEveryStructuralField)
               cacheSliceFingerprint(c, env));
     EXPECT_EQ(uopCacheSliceFingerprint(base),
               uopCacheSliceFingerprint(c));
+}
+
+/** Slice-aligned config family spanning every lockstep-relevant
+ * combination: in-order/out-of-order x uop cache x fusion x widths,
+ * all sharing bigOoo's structural slice. */
+std::vector<MicroArchConfig>
+sliceFamily()
+{
+    MicroArchConfig base = bigOoo();
+    auto aligned = [&](MicroArchConfig c) {
+        c.bpred = base.bpred;
+        c.l1iKB = base.l1iKB;
+        c.l1iAssoc = base.l1iAssoc;
+        c.l1dKB = base.l1dKB;
+        c.l1dAssoc = base.l1dAssoc;
+        c.l2KB = base.l2KB;
+        c.l2Assoc = base.l2Assoc;
+        return c;
+    };
+    MicroArchConfig noUc = base;
+    noUc.uopCache = false;
+    noUc.uopFusion = false;
+    MicroArchConfig narrow = base;
+    narrow.width = 1;
+    narrow.intAlus = 1;
+    narrow.robSize = 64;
+    narrow.iqSize = 16;
+    narrow.lsqSize = 8;
+    MicroArchConfig io = aligned(smallIo());
+    MicroArchConfig ioUc = io;
+    ioUc.width = 2;
+    ioUc.uopCache = true;
+    ioUc.uopFusion = true;
+    MicroArchConfig ioNoUc = io;
+    ioNoUc.uopCache = false;
+    ioNoUc.uopFusion = false;
+    return {base, noUc, narrow, io, ioUc, ioNoUc};
+}
+
+TEST(Batch, LockstepMatchesPerCellBitForBit)
+{
+    // The acceptance property of the batched engine: one lockstep
+    // walk over a mixed group (in-order and out-of-order cells, uop
+    // cache and fusion on/off, different widths and windows) must
+    // reproduce the per-cell replay engine — and thus the live
+    // engine — byte for byte, in both run environments.
+    FeatureSet fs = FeatureSet::x86_64();
+    Trace tr = traceFor("sjeng", fs);
+    const uint64_t timed = 9000, warm = 2000;
+    ReplayTrace rt = ReplayTrace::build(tr, timed + warm);
+
+    std::vector<MicroArchConfig> family = sliceFamily();
+    std::vector<CoreConfig> cells;
+    for (const MicroArchConfig &ua : family)
+        cells.push_back({fs, ua});
+    for (size_t i = 1; i < family.size(); i++) {
+        ASSERT_EQ(structuralFingerprint(family[0], {}),
+                  structuralFingerprint(family[i], {}));
+    }
+
+    for (const RunEnv &env : {RunEnv{}, RunEnv{0.25, 1.30}}) {
+        StructuralStream ss = buildStructuralStream(
+            cells[0], env, tr, rt, timed, warm);
+        std::vector<PerfResult> batch = simulateCoreBatch(
+            cells.data(), cells.size(), rt, ss, timed, warm, env);
+        ASSERT_EQ(batch.size(), cells.size());
+        for (size_t i = 0; i < cells.size(); i++) {
+            PerfResult rep = simulateCoreReplay(cells[i], rt, ss,
+                                                timed, warm, env);
+            EXPECT_TRUE(sameResult(batch[i], rep))
+                << family[i].name();
+            PerfResult live =
+                simulateCore(cells[i], tr, timed, warm, env);
+            EXPECT_TRUE(sameResult(batch[i], live))
+                << family[i].name();
+        }
+    }
+}
+
+TEST(Batch, MatchesPerCellWithoutWarmup)
+{
+    // warmup = 0 exercises the zero-snapshot baseline (no combo-lane
+    // or cycle snapshot is ever taken).
+    FeatureSet fs = FeatureSet::x86_64();
+    Trace tr = traceFor("mcf", fs);
+    ReplayTrace rt = ReplayTrace::build(tr, 8000);
+    std::vector<MicroArchConfig> family = sliceFamily();
+    std::vector<CoreConfig> cells;
+    for (const MicroArchConfig &ua : family)
+        cells.push_back({fs, ua});
+    StructuralStream ss =
+        buildStructuralStream(cells[0], {}, tr, rt, 8000, 0);
+    std::vector<PerfResult> batch = simulateCoreBatch(
+        cells.data(), cells.size(), rt, ss, 8000, 0);
+    for (size_t i = 0; i < cells.size(); i++) {
+        PerfResult rep =
+            simulateCoreReplay(cells[i], rt, ss, 8000, 0);
+        EXPECT_TRUE(sameResult(batch[i], rep)) << family[i].name();
+    }
+}
+
+TEST(Batch, CellOrderIsIrrelevant)
+{
+    // Cells only share read-only inputs, so permuting the group (and
+    // splitting it down to singletons) cannot change any cell's
+    // result.
+    FeatureSet fs = FeatureSet::x86_64();
+    Trace tr = traceFor("astar", fs);
+    const uint64_t timed = 6000, warm = 1500;
+    ReplayTrace rt = ReplayTrace::build(tr, timed + warm);
+    std::vector<MicroArchConfig> family = sliceFamily();
+    std::vector<CoreConfig> cells;
+    for (const MicroArchConfig &ua : family)
+        cells.push_back({fs, ua});
+    StructuralStream ss = buildStructuralStream(cells[0], {}, tr,
+                                                rt, timed, warm);
+    std::vector<PerfResult> fwd = simulateCoreBatch(
+        cells.data(), cells.size(), rt, ss, timed, warm);
+
+    std::vector<CoreConfig> rev(cells.rbegin(), cells.rend());
+    std::vector<PerfResult> bwd = simulateCoreBatch(
+        rev.data(), rev.size(), rt, ss, timed, warm);
+    for (size_t i = 0; i < cells.size(); i++) {
+        EXPECT_TRUE(
+            sameResult(fwd[i], bwd[cells.size() - 1 - i]))
+            << family[i].name();
+        // A singleton batch is the degenerate case the campaign's
+        // fallback path uses.
+        std::vector<PerfResult> one =
+            simulateCoreBatch(&cells[i], 1, rt, ss, timed, warm);
+        EXPECT_TRUE(sameResult(fwd[i], one[0])) << family[i].name();
+    }
+}
+
+TEST(Batch, ScalarKernelMatchesVectorKernel)
+{
+    // The AVX-512 kernel (taken by default on capable CPUs when the
+    // 32-bit stamp bound holds) and the portable scalar tile kernel
+    // must agree bit for bit; CISA_BATCH_SIMD=0 forces the scalar
+    // path. On hosts without AVX-512 both runs take the scalar
+    // kernel and the test degenerates to determinism.
+    FeatureSet fs = FeatureSet::x86_64();
+    Trace tr = traceFor("gobmk", fs);
+    const uint64_t timed = 7000, warm = 1500;
+    ReplayTrace rt = ReplayTrace::build(tr, timed + warm);
+    std::vector<MicroArchConfig> family = sliceFamily();
+    std::vector<CoreConfig> cells;
+    for (const MicroArchConfig &ua : family)
+        cells.push_back({fs, ua});
+    StructuralStream ss = buildStructuralStream(cells[0], {}, tr,
+                                                rt, timed, warm);
+
+    std::vector<PerfResult> vec = simulateCoreBatch(
+        cells.data(), cells.size(), rt, ss, timed, warm);
+    setenv("CISA_BATCH_SIMD", "0", 1);
+    std::vector<PerfResult> sca = simulateCoreBatch(
+        cells.data(), cells.size(), rt, ss, timed, warm);
+    unsetenv("CISA_BATCH_SIMD");
+    for (size_t i = 0; i < cells.size(); i++)
+        EXPECT_TRUE(sameResult(vec[i], sca[i])) << family[i].name();
 }
 
 TEST(UConfig, FingerprintSeparatesL1Associativity)
