@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Wall-clock measurement of the sharded cisa-serve fleet: real
+ * cisa_serve worker processes on TCP loopback behind a real
+ * cisa_router process, driven by closed-loop client threads
+ * hammering the hot cached slab. Measures fleet req/s and exact
+ * p50/p99 latency at 1/2/4/8 workers, a router-less single-daemon
+ * baseline, and a churn leg that SIGKILLs a serving replica
+ * one-third into the run — the acceptance story is zero lost
+ * requests, byte-identical responses throughout, and a p99 that
+ * recovers within the bench window.
+ *
+ * The parent computes the slab once through the library first
+ * (timed as the cold leg); worker processes then adopt it from the
+ * shared durable slab store instead of recomputing, which is the
+ * same mechanism that makes fleet failover cheap.
+ *
+ * With --json, emits a single machine-readable JSON object on
+ * stdout (see scripts/bench_perf.sh, which merges it into
+ * BENCH_PR<N>.json).
+ *
+ * Knobs: CISA_THREADS, CISA_SIM_UOPS / CISA_SIM_WARMUP,
+ * CISA_BENCH_SLAB, CISA_DSE_CACHE (defaulted to a private file),
+ * --duration-ms per leg (default 3000), --serve / --router binary
+ * overrides (default: sibling tools of this binary).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench/benchcommon.hh"
+#include "common/env.hh"
+#include "common/parallel.hh"
+#include "common/serialize.hh"
+#include "explore/campaign.hh"
+#include "service/client.hh"
+#include "service/request.hh"
+#include "service/shard.hh"
+
+using namespace cisa;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::string
+dirnameOf(const std::string &path)
+{
+    auto slash = path.rfind('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+pid_t
+spawn(const std::vector<std::string> &args)
+{
+    std::vector<char *> argv;
+    for (const std::string &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** Block until the --print-address file exists with one full line;
+ * empty string on timeout. */
+std::string
+waitAddress(const std::string &file)
+{
+    for (int i = 0; i < 400; i++) {
+        FILE *f = std::fopen(file.c_str(), "r");
+        if (f) {
+            char buf[256] = {0};
+            char *line = std::fgets(buf, sizeof(buf), f);
+            std::fclose(f);
+            if (line) {
+                std::string s(line);
+                while (!s.empty() &&
+                       (s.back() == '\n' || s.back() == '\r'))
+                    s.pop_back();
+                if (!s.empty())
+                    return s;
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return {};
+}
+
+void
+reap(std::vector<pid_t> &pids, int sig)
+{
+    for (pid_t p : pids)
+        if (p > 0)
+            ::kill(p, sig);
+    for (pid_t p : pids)
+        if (p > 0)
+            ::waitpid(p, nullptr, 0);
+    pids.clear();
+}
+
+struct Sample
+{
+    uint32_t atMs;  ///< request start, ms since leg start
+    uint32_t latUs; ///< completion latency
+};
+
+struct Leg
+{
+    double rps = 0;
+    uint64_t ok = 0;
+    uint64_t lost = 0;
+    uint64_t p50Us = 0;
+    uint64_t p99Us = 0;
+    bool identical = true;
+    std::vector<Sample> samples;
+};
+
+uint64_t
+percentileUs(std::vector<uint32_t> &lat, double p)
+{
+    if (lat.empty())
+        return 0;
+    size_t idx = size_t(p * double(lat.size() - 1));
+    std::nth_element(lat.begin(), lat.begin() + long(idx), lat.end());
+    return lat[idx];
+}
+
+/** Closed-loop load: @p clients connections each issuing the hot
+ * slab request back-to-back for @p durationMs. Byte-identity against
+ * @p refBody is checked in full on every 8th response (and always on
+ * the first); sizes are checked on all. */
+Leg
+runLoad(const std::string &addr, int clients, int durationMs,
+        int slab, const std::vector<uint8_t> &refBody)
+{
+    std::vector<std::vector<Sample>> perThread;
+    perThread.resize(size_t(clients));
+    std::atomic<uint64_t> ok{0}, lost{0};
+    std::atomic<bool> identical{true};
+    auto t0 = std::chrono::steady_clock::now();
+    auto deadline = t0 + std::chrono::milliseconds(durationMs);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; c++) {
+        threads.emplace_back([&, c] {
+            Client cl;
+            cl.setRetryPolicy(RetryPolicy{0, 0});
+            if (!cl.connect(addr)) {
+                lost++;
+                return;
+            }
+            std::vector<Sample> &mine = perThread[size_t(c)];
+            Request req = Request::slabPerf(slab);
+            Response resp; // hoisted: body capacity reused
+            for (uint64_t n = 0;; n++) {
+                auto start = std::chrono::steady_clock::now();
+                if (start >= deadline)
+                    return;
+                if (!cl.call(req, &resp) ||
+                    resp.status != Status::Ok) {
+                    lost++;
+                    continue;
+                }
+                auto end = std::chrono::steady_clock::now();
+                if (resp.body.size() != refBody.size() ||
+                    ((n % 8 == 0) && resp.body != refBody))
+                    identical.store(false);
+                mine.push_back(Sample{
+                    uint32_t(std::chrono::duration_cast<
+                                 std::chrono::milliseconds>(start -
+                                                            t0)
+                                 .count()),
+                    uint32_t(std::chrono::duration_cast<
+                                 std::chrono::microseconds>(end -
+                                                            start)
+                                 .count())});
+                ok++;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    double secs = secondsSince(t0);
+
+    Leg leg;
+    leg.ok = ok.load();
+    leg.lost = lost.load();
+    leg.identical = identical.load();
+    leg.rps = secs > 0 ? double(leg.ok) / secs : 0.0;
+    for (auto &v : perThread)
+        leg.samples.insert(leg.samples.end(), v.begin(), v.end());
+    std::vector<uint32_t> lat;
+    lat.reserve(leg.samples.size());
+    for (const Sample &s : leg.samples)
+        lat.push_back(s.latUs);
+    leg.p50Us = percentileUs(lat, 0.50);
+    leg.p99Us = percentileUs(lat, 0.99);
+    return leg;
+}
+
+/** p99 over the samples whose start falls in [fromMs, toMs). */
+uint64_t
+windowP99(const std::vector<Sample> &samples, uint32_t fromMs,
+          uint32_t toMs)
+{
+    std::vector<uint32_t> lat;
+    for (const Sample &s : samples)
+        if (s.atMs >= fromMs && s.atMs < toMs)
+            lat.push_back(s.latUs);
+    return percentileUs(lat, 0.99);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    int durationMs = 3000;
+    std::string bindir = dirnameOf(argv[0]);
+    std::string serveBin = bindir + "/../tools/cisa_serve";
+    std::string routerBin = bindir + "/../tools/cisa_router";
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else if (!std::strcmp(argv[i], "--duration-ms") &&
+                 i + 1 < argc)
+            durationMs = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--serve") && i + 1 < argc)
+            serveBin = argv[++i];
+        else if (!std::strcmp(argv[i], "--router") && i + 1 < argc)
+            routerBin = argv[++i];
+    }
+    if (::access(serveBin.c_str(), X_OK) != 0 ||
+        ::access(routerBin.c_str(), X_OK) != 0) {
+        std::fprintf(stderr,
+                     "perf_fleet: missing %s or %s (build tools/)\n",
+                     serveBin.c_str(), routerBin.c_str());
+        return 1;
+    }
+
+    const std::string tag = std::to_string(getpid());
+    // A private slab store unless the caller pinned one: the whole
+    // fleet (and the parent's library warm-up) shares it, which is
+    // what lets every worker serve every slab.
+    std::string store = "/tmp/cisa_fleet_" + tag + ".bin";
+    bool ownStore = ::getenv("CISA_DSE_CACHE") == nullptr;
+    if (ownStore)
+        ::setenv("CISA_DSE_CACHE", store.c_str(), 1);
+    else
+        store = ::getenv("CISA_DSE_CACHE");
+
+    int slab =
+        int(envInt("CISA_BENCH_SLAB", FeatureSet::x86_64().id()));
+    int threads = ThreadPool::get().threads();
+    constexpr int kClients = 6;
+    constexpr int kReplicas = 2;
+
+    // Parent computes the slab once (the cold leg); workers adopt
+    // it from the store instead of recomputing.
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<PhasePerf> direct = Campaign::get().slabPerf(slab);
+    double coldS = secondsSince(t0);
+    ByteWriter refW;
+    encodeSlabPerf(refW, direct);
+    const std::vector<uint8_t> refBody = refW.bytes();
+
+    auto spawnWorker = [&](int idx) -> std::pair<pid_t, std::string> {
+        std::string af =
+            "/tmp/cisa_fleet_" + tag + "_w" + std::to_string(idx);
+        ::unlink(af.c_str());
+        pid_t pid = spawn({serveBin, "--address", "127.0.0.1:0",
+                           "--print-address", af});
+        std::string addr = waitAddress(af);
+        ::unlink(af.c_str());
+        return {pid, addr};
+    };
+
+    struct FleetLeg
+    {
+        int workers;
+        Leg leg;
+    };
+    std::vector<FleetLeg> fleet;
+    Leg directLeg, churnLeg;
+    uint64_t churnKillAtMs = uint64_t(durationMs) * 2 / 3;
+    uint64_t churnP99Before = 0, churnP99During = 0,
+             churnP99Recovered = 0;
+    bool spawnFailed = false;
+
+    // Router-less baseline: clients straight at one daemon.
+    {
+        std::vector<pid_t> pids;
+        auto [pid, addr] = spawnWorker(0);
+        pids.push_back(pid);
+        if (addr.empty()) {
+            spawnFailed = true;
+        } else {
+            directLeg =
+                runLoad(addr, kClients, durationMs, slab, refBody);
+        }
+        reap(pids, SIGTERM);
+    }
+
+    // Fleet legs: N workers behind the router.
+    for (int n : {1, 2, 4, 8}) {
+        std::vector<pid_t> pids;
+        std::vector<std::string> addrs;
+        for (int i = 0; i < n; i++) {
+            auto [pid, addr] = spawnWorker(i);
+            pids.push_back(pid);
+            if (addr.empty())
+                spawnFailed = true;
+            addrs.push_back(addr);
+        }
+        std::string rf = "/tmp/cisa_fleet_" + tag + "_r";
+        ::unlink(rf.c_str());
+        std::vector<std::string> rargs = {
+            routerBin,     "--address",  "127.0.0.1:0",
+            "--replicas",  std::to_string(kReplicas),
+            "--print-address", rf};
+        for (const std::string &a : addrs) {
+            rargs.push_back("--worker");
+            rargs.push_back(a);
+        }
+        pids.push_back(spawn(rargs));
+        std::string raddr = waitAddress(rf);
+        ::unlink(rf.c_str());
+        if (raddr.empty()) {
+            spawnFailed = true;
+            reap(pids, SIGTERM);
+            continue;
+        }
+        Leg leg =
+            runLoad(raddr, kClients, durationMs, slab, refBody);
+        fleet.push_back(FleetLeg{n, leg});
+
+        // Churn: rerun the 4-worker fleet twice as long and SIGKILL
+        // the hot slab's primary replica mid-run.
+        if (n == 4) {
+            int churnMs = durationMs * 2;
+            churnKillAtMs = uint64_t(churnMs) / 3;
+            ShardRing ring(addrs);
+            size_t victimRing = ring.ownersOf(
+                Request::slabPerf(slab).routingKey(), kReplicas)[0];
+            const std::string &victimAddr =
+                ring.workers()[victimRing];
+            pid_t victim = -1;
+            for (size_t i = 0; i < addrs.size(); i++)
+                if (addrs[i] == victimAddr)
+                    victim = pids[i];
+            std::thread killer([&] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(long(churnKillAtMs)));
+                if (victim > 0)
+                    ::kill(victim, SIGKILL);
+            });
+            churnLeg =
+                runLoad(raddr, kClients, churnMs, slab, refBody);
+            killer.join();
+            churnP99Before =
+                windowP99(churnLeg.samples, 0,
+                          uint32_t(churnKillAtMs));
+            churnP99During = windowP99(
+                churnLeg.samples, uint32_t(churnKillAtMs),
+                uint32_t(churnKillAtMs) + 1000);
+            churnP99Recovered = windowP99(
+                churnLeg.samples, uint32_t(churnMs) * 2 / 3,
+                uint32_t(churnMs));
+        }
+        reap(pids, SIGTERM);
+    }
+
+    if (ownStore)
+        ::unlink(store.c_str());
+
+    bool identical = directLeg.identical && churnLeg.identical;
+    uint64_t lost = directLeg.lost + churnLeg.lost;
+    for (const FleetLeg &f : fleet) {
+        identical = identical && f.leg.identical;
+        lost += f.leg.lost;
+    }
+    bool pass = !spawnFailed && identical && lost == 0;
+
+    if (json) {
+        std::printf("{\n"
+                    "  \"bench\": \"perf_fleet\",\n"
+                    "  \"slab\": %d,\n"
+                    "  \"threads\": %d,\n"
+                    "  \"sim_uops\": %llu,\n"
+                    "  \"sim_warmup\": %llu,\n"
+                    "  \"transport\": \"tcp\",\n"
+                    "  \"replicas\": %d,\n"
+                    "  \"clients\": %d,\n"
+                    "  \"duration_ms_per_leg\": %d,\n"
+                    "  \"cold_slab_s\": %.3f,\n"
+                    "  \"direct\": {\"rps\": %.1f, \"p50_us\": %llu,"
+                    " \"p99_us\": %llu, \"lost\": %llu},\n",
+                    slab, threads,
+                    (unsigned long long)simUopBudget(),
+                    (unsigned long long)simWarmupUops(), kReplicas,
+                    kClients, durationMs, coldS, directLeg.rps,
+                    (unsigned long long)directLeg.p50Us,
+                    (unsigned long long)directLeg.p99Us,
+                    (unsigned long long)directLeg.lost);
+        std::printf("  \"fleet\": [\n");
+        for (size_t i = 0; i < fleet.size(); i++) {
+            const FleetLeg &f = fleet[i];
+            std::printf("    {\"workers\": %d, \"rps\": %.1f,"
+                        " \"p50_us\": %llu, \"p99_us\": %llu,"
+                        " \"lost\": %llu}%s\n",
+                        f.workers, f.leg.rps,
+                        (unsigned long long)f.leg.p50Us,
+                        (unsigned long long)f.leg.p99Us,
+                        (unsigned long long)f.leg.lost,
+                        i + 1 < fleet.size() ? "," : "");
+        }
+        std::printf(
+            "  ],\n"
+            "  \"churn\": {\"workers\": 4, \"rps\": %.1f,"
+            " \"killed_at_ms\": %llu, \"p99_us_before\": %llu,"
+            " \"p99_us_during\": %llu, \"p99_us_recovered\": %llu,"
+            " \"lost\": %llu},\n"
+            "  \"responses_identical\": %s,\n"
+            "  \"lost_total\": %llu\n"
+            "}\n",
+            churnLeg.rps, (unsigned long long)churnKillAtMs,
+            (unsigned long long)churnP99Before,
+            (unsigned long long)churnP99During,
+            (unsigned long long)churnP99Recovered,
+            (unsigned long long)churnLeg.lost,
+            identical ? "true" : "false",
+            (unsigned long long)lost);
+    } else {
+        std::printf("fleet slab %d, %d clients, %d ms/leg, R=%d, "
+                    "tcp:\n",
+                    slab, kClients, durationMs, kReplicas);
+        std::printf("  cold slab (library): %8.3f s\n", coldS);
+        std::printf("  direct 1 daemon    : %8.1f req/s  "
+                    "p50 %6llu us  p99 %6llu us\n",
+                    directLeg.rps,
+                    (unsigned long long)directLeg.p50Us,
+                    (unsigned long long)directLeg.p99Us);
+        for (const FleetLeg &f : fleet)
+            std::printf("  router x%d workers  : %8.1f req/s  "
+                        "p50 %6llu us  p99 %6llu us\n",
+                        f.workers, f.leg.rps,
+                        (unsigned long long)f.leg.p50Us,
+                        (unsigned long long)f.leg.p99Us);
+        std::printf("  churn x4 (kill@%llums): %6.1f req/s  "
+                    "p99 before/during/after %llu/%llu/%llu us  "
+                    "lost %llu\n",
+                    (unsigned long long)churnKillAtMs, churnLeg.rps,
+                    (unsigned long long)churnP99Before,
+                    (unsigned long long)churnP99During,
+                    (unsigned long long)churnP99Recovered,
+                    (unsigned long long)churnLeg.lost);
+        std::printf("  responses          : %s, %llu lost\n",
+                    identical ? "byte-identical" : "MISMATCH",
+                    (unsigned long long)lost);
+    }
+    return pass ? 0 : 1;
+}

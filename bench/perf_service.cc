@@ -86,7 +86,7 @@ main(int argc, char **argv)
         phaseModule(p);
 
     Server::Options opts;
-    opts.socketPath =
+    opts.address =
         "/tmp/cisa_perf_service_" + std::to_string(getpid()) +
         ".sock";
     opts.exec.queueBound = 64;
@@ -101,7 +101,7 @@ main(int argc, char **argv)
     // Cold: the first slab request computes 49 phases x 180 uarches
     // x 2 envs through the service.
     Client cold;
-    if (!cold.connect(opts.socketPath, &err)) {
+    if (!cold.connect(opts.address, &err)) {
         std::fprintf(stderr, "perf_service: %s\n", err.c_str());
         return 1;
     }
@@ -123,7 +123,7 @@ main(int argc, char **argv)
     constexpr int kClients = 4;
     constexpr int kPerClientSlab = 50;
     double rps_cached = loopbackRate(
-        opts.socketPath, kClients, kPerClientSlab,
+        opts.address, kClients, kPerClientSlab,
         [&](Client &c, int, int) {
             std::vector<PhasePerf> v;
             c.slabPerf(slab, &v);
@@ -132,7 +132,7 @@ main(int argc, char **argv)
     // Transport floor: ping round-trips (queued, not cached).
     constexpr int kPerClientPing = 500;
     double rps_ping = loopbackRate(
-        opts.socketPath, kClients, kPerClientPing,
+        opts.address, kClients, kPerClientPing,
         [](Client &c, int, int) { c.ping(); });
 
     // Coalescing wave: concurrent identical requests for a fresh
@@ -140,7 +140,7 @@ main(int argc, char **argv)
     // dedup into fewer computations.
     uint64_t coalesce_before =
         server.executor().snapshot().totalCoalesced();
-    loopbackRate(opts.socketPath, 8, 1, [&](Client &c, int, int) {
+    loopbackRate(opts.address, 8, 1, [&](Client &c, int, int) {
         std::string table;
         c.tableOf(slab, &table);
     });

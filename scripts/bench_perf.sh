@@ -2,23 +2,25 @@
 # Seed the perf trajectory: run bench/perf_campaign (library hot
 # path) at CISA_THREADS=1 and CISA_THREADS=4 — the single-thread run
 # isolates the batch engine's algorithmic win from pool scaling —
-# plus bench/perf_service (the cisa-serve daemon path), all in
-# --json mode, and write the objects wrapped in one JSON document to
-# BENCH_PR<N>.json at the repo root.
+# bench/perf_service (the cisa-serve daemon path), and
+# bench/perf_fleet (the sharded TCP fleet behind cisa_router:
+# req/s + p50/p99 at 1/2/4/8 workers, plus the worker-kill churn
+# leg), all in --json mode, and write the objects wrapped in one
+# JSON document to BENCH_PR<N>.json at the repo root.
 #
 # Usage: scripts/bench_perf.sh [pr-number] [build-dir]
 #
 # Honors the usual knobs (CISA_SIM_UOPS, CISA_SIM_WARMUP,
-# CISA_BENCH_SLAB; CISA_THREADS for the service leg); defaults
+# CISA_BENCH_SLAB; CISA_THREADS for the service legs); defaults
 # measure the full production budget, which takes a few minutes on
 # one core.
 set -eu
 
-pr="${1:-6}"
+pr="${1:-7}"
 build="${2:-build}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
-for b in perf_campaign perf_service; do
+for b in perf_campaign perf_service perf_fleet; do
     if [ ! -x "$root/$build/bench/$b" ]; then
         echo "error: $root/$build/bench/$b not built" \
              "(cmake --build $build)" >&2
@@ -29,6 +31,7 @@ done
 campaign1_json="$(CISA_THREADS=1 "$root/$build/bench/perf_campaign" --json)"
 campaign4_json="$(CISA_THREADS=4 "$root/$build/bench/perf_campaign" --json)"
 service_json="$("$root/$build/bench/perf_service" --json)"
+fleet_json="$("$root/$build/bench/perf_fleet" --json)"
 
 out="$root/BENCH_PR${pr}.json"
 {
@@ -38,7 +41,9 @@ out="$root/BENCH_PR${pr}.json"
     echo '  "campaign_threads4":'
     echo "$campaign4_json" | sed 's/^/  /;$s/$/,/'
     echo '  "service":'
-    echo "$service_json" | sed 's/^/  /'
+    echo "$service_json" | sed 's/^/  /;$s/$/,/'
+    echo '  "fleet":'
+    echo "$fleet_json" | sed 's/^/  /'
     echo '}'
 } > "$out"
 echo "wrote $out:"

@@ -165,4 +165,46 @@ serveCacheEntries()
     return int(envIntRange("CISA_SERVE_CACHE", 256, 0, 1 << 20));
 }
 
+int
+serveBacklog()
+{
+    return int(envIntRange("CISA_SERVE_BACKLOG", 64, 1, 4096));
+}
+
+int
+serveMaxConns()
+{
+    return int(envIntRange("CISA_SERVE_MAX_CONNS", 256, 1, 1 << 20));
+}
+
+int
+clientRetries()
+{
+    return int(envIntRange("CISA_CLIENT_RETRIES", 0, 0, 100));
+}
+
+int
+clientBackoffMs()
+{
+    return int(envIntRange("CISA_CLIENT_BACKOFF_MS", 5, 0, 60000));
+}
+
+int
+routerReplicas()
+{
+    return int(envIntRange("CISA_ROUTER_REPLICAS", 2, 1, 64));
+}
+
+int
+routerPoolConns()
+{
+    return int(envIntRange("CISA_ROUTER_POOL", 4, 1, 1024));
+}
+
+int
+routerHealthMs()
+{
+    return int(envIntRange("CISA_ROUTER_HEALTH_MS", 250, 10, 60000));
+}
+
 } // namespace cisa

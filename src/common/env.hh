@@ -91,6 +91,36 @@ int serveWorkers();
  * cache off; coalescing of in-flight duplicates is always on). */
 int serveCacheEntries();
 
+/** listen(2) backlog of the daemon / router accept socket
+ * (CISA_SERVE_BACKLOG). */
+int serveBacklog();
+
+/** Bound on simultaneously-served connections; an accept beyond it
+ * is answered with one BUSY frame and closed instead of spawning an
+ * unbounded connection thread (CISA_SERVE_MAX_CONNS). */
+int serveMaxConns();
+
+/** Bounded client retries on BUSY responses and connect/transport
+ * failure (CISA_CLIENT_RETRIES, default 0 = fail fast). */
+int clientRetries();
+
+/** Base backoff between client retries in milliseconds; attempt k
+ * sleeps ~ backoff * 2^k with jitter (CISA_CLIENT_BACKOFF_MS). */
+int clientBackoffMs();
+
+/** Replication factor of the router's consistent-hash ring: how
+ * many workers own (and may serve) each slab key
+ * (CISA_ROUTER_REPLICAS). */
+int routerReplicas();
+
+/** Idle pooled connections the router keeps per worker
+ * (CISA_ROUTER_POOL). */
+int routerPoolConns();
+
+/** Router health-check period in milliseconds
+ * (CISA_ROUTER_HEALTH_MS). */
+int routerHealthMs();
+
 } // namespace cisa
 
 #endif // CISA_COMMON_ENV_HH

@@ -63,6 +63,40 @@ fnv1a(std::string_view s, uint64_t h = kFnv1aBasis)
     return fnv1a(s.data(), s.size(), h);
 }
 
+/**
+ * Bulk-payload checksum: four independent FNV-1a lanes, each eating
+ * one 64-bit word per step, folded through splitmix64 at the end.
+ *
+ * Byte-wise fnv1a is a serial multiply per *byte* (~1 B/cycle),
+ * which made the frame checksum the dominant CPU cost of serving a
+ * cached 140 KiB slab. Four interleaved lanes keep four multiplies
+ * in flight and move 32 bytes per iteration, an order of magnitude
+ * faster, while any single corrupted bit still lands in exactly one
+ * lane word (or the byte-wise tail) and avalanches through the
+ * final mix. Used for frame payloads only — stable fingerprints
+ * (request keys, slab store records) stay on fnv1a.
+ */
+inline uint64_t
+frameChecksum(const void *data, size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    uint64_t lane[4] = {
+        splitmix64(kFnv1aBasis + 0), splitmix64(kFnv1aBasis + 1),
+        splitmix64(kFnv1aBasis + 2), splitmix64(kFnv1aBasis + 3)};
+    size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        for (int l = 0; l < 4; l++) {
+            uint64_t w;
+            __builtin_memcpy(&w, p + i + size_t(l) * 8, 8);
+            lane[l] = (lane[l] ^ w) * kFnv1aPrime;
+        }
+    }
+    uint64_t h = hashCombine(hashCombine(lane[0], lane[1]),
+                             hashCombine(lane[2], lane[3]));
+    h = fnv1a(p + i, n - i, h); // tail, < 32 bytes
+    return hashCombine(h, uint64_t(n));
+}
+
 } // namespace cisa
 
 #endif // CISA_COMMON_HASH_HH

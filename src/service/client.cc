@@ -1,18 +1,29 @@
 #include "service/client.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
+#include "service/address.hh"
 #include "service/frame.hh"
 
 namespace cisa
 {
+
+RetryPolicy
+RetryPolicy::fromEnv()
+{
+    RetryPolicy p;
+    p.retries = clientRetries();
+    p.backoffMs = clientBackoffMs();
+    return p;
+}
 
 Client::~Client()
 {
@@ -20,35 +31,53 @@ Client::~Client()
 }
 
 bool
-Client::connect(const std::string &path, std::string *err)
+Client::connectOnce(std::string *err)
 {
     close();
-    std::string p = path.empty() ? serveSocketPath() : path;
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (p.size() >= sizeof(addr.sun_path)) {
-        if (err)
-            *err = strfmt("socket path too long: %s", p.c_str());
-        return false;
+    fd_ = connectTo(addr_, err);
+    return fd_ >= 0;
+}
+
+void
+Client::backoffSleep(int attempt)
+{
+    if (policy_.backoffMs <= 0)
+        return;
+    if (attempt > 10)
+        attempt = 10; // cap the doubling at ~1000x base
+    uint64_t base = uint64_t(policy_.backoffMs) << attempt;
+    // Deterministic per-client jitter stream (splitmix64 walk) so a
+    // thundering herd of retriers decorrelates without sharing RNG
+    // state.
+    jitterState_ = splitmix64(jitterState_);
+    uint64_t jitter = jitterState_ % (base / 2 + 1); // up to +50%
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(base + jitter));
+}
+
+bool
+Client::connect(const std::string &address, std::string *err)
+{
+    addr_ = address.empty() ? serveSocketPath() : address;
+    if (!jitterState_) {
+        jitterState_ = hashCombine(
+            fnv1a(addr_),
+            uint64_t(std::chrono::steady_clock::now()
+                         .time_since_epoch()
+                         .count()));
     }
-    std::strncpy(addr.sun_path, p.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) {
-        if (err)
-            *err = strfmt("socket: %s", std::strerror(errno));
-        return false;
+    std::string why;
+    for (int attempt = 0;; attempt++) {
+        if (connectOnce(&why))
+            return true;
+        if (attempt >= policy_.retries)
+            break;
+        backoffSleep(attempt);
     }
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        if (err)
-            *err = strfmt("connect(%s): %s", p.c_str(),
-                          std::strerror(errno));
-        ::close(fd_);
-        fd_ = -1;
-        return false;
-    }
-    return true;
+    lastError_ = why;
+    if (err)
+        *err = why;
+    return false;
 }
 
 void
@@ -61,11 +90,10 @@ Client::close()
 }
 
 bool
-Client::call(const Request &req, Response *resp,
-             uint32_t deadline_ms, std::string *err)
+Client::callOnce(const Request &req, Response *resp,
+                 uint32_t deadline_ms, std::string *err)
 {
     auto fail = [&](const std::string &why) {
-        lastError_ = why;
         if (err)
             *err = why;
         return false;
@@ -76,7 +104,10 @@ Client::call(const Request &req, Response *resp,
                     encodeRequestEnvelope(req, deadline_ms))) {
         return fail(strfmt("send: %s", std::strerror(errno)));
     }
-    Frame frame;
+    // frame_ is a member so its payload capacity survives across
+    // calls: a loop of hot slab requests reads every ~140 KiB
+    // response into the same buffer instead of mmap'ing a fresh one.
+    Frame &frame = frame_;
     std::string why;
     FrameRead fr = readFrame(fd_, &frame, &why);
     if (fr == FrameRead::Eof)
@@ -89,6 +120,37 @@ Client::call(const Request &req, Response *resp,
     if (!Response::decode(r, resp))
         return fail("undecodable response payload");
     return true;
+}
+
+bool
+Client::call(const Request &req, Response *resp,
+             uint32_t deadline_ms, std::string *err)
+{
+    if (fd_ < 0 && addr_.empty()) {
+        lastError_ = "not connected";
+        if (err)
+            *err = lastError_;
+        return false;
+    }
+    std::string why;
+    for (int attempt = 0;; attempt++) {
+        bool ok = fd_ >= 0 || connectOnce(&why);
+        if (ok)
+            ok = callOnce(req, resp, deadline_ms, &why);
+        if (ok && resp->status != Status::Busy)
+            return true;
+        if (attempt >= policy_.retries) {
+            if (ok) // BUSY, out of retries: surface it to the caller
+                return true;
+            lastError_ = why;
+            if (err)
+                *err = why;
+            return false;
+        }
+        if (!ok)
+            close(); // transport broke; reconnect on the next try
+        backoffSleep(attempt);
+    }
 }
 
 namespace

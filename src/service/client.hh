@@ -1,13 +1,23 @@
 /**
  * @file
- * Client library for cisa-serve: a blocking connection that sends
- * one Request frame and decodes the matching Response frame, plus
- * typed wrappers for every endpoint. Used by tools/cisa_client, the
- * service tests, and the service throughput bench.
+ * Client library for cisa-serve: a blocking connection (UNIX socket
+ * or TCP — src/service/address.hh) that sends one Request frame and
+ * decodes the matching Response frame, plus typed wrappers for every
+ * endpoint. Used by tools/cisa_client, the router, the load
+ * generator, the service tests, and the service throughput bench.
  *
  * A Client is one connection and is not thread-safe; concurrent
  * callers each open their own (the daemon handles the fan-in, and
  * identical concurrent requests coalesce server-side).
+ *
+ * Retries: with a non-zero RetryPolicy (default from
+ * CISA_CLIENT_RETRIES / CISA_CLIENT_BACKOFF_MS), connect() retries
+ * refused connections and call() retries BUSY responses and
+ * transport failures (reconnecting first), sleeping an exponentially
+ * growing, jittered backoff between attempts. Re-sending after a
+ * mid-call failure is safe because every request is deterministic
+ * and idempotent — at worst the fleet computes a slab twice. The
+ * default is zero retries: fail fast, let the caller decide.
  */
 
 #ifndef CISA_SERVICE_CLIENT_HH
@@ -16,11 +26,22 @@
 #include <string>
 #include <vector>
 
+#include "service/frame.hh"
 #include "service/metrics.hh"
 #include "service/request.hh"
 
 namespace cisa
 {
+
+/** Bounded-retry knobs; see the file comment. */
+struct RetryPolicy
+{
+    int retries = 0;   ///< extra attempts after the first
+    int backoffMs = 5; ///< first sleep; doubles per attempt
+
+    /** CISA_CLIENT_RETRIES / CISA_CLIENT_BACKOFF_MS. */
+    static RetryPolicy fromEnv();
+};
 
 class Client
 {
@@ -31,8 +52,10 @@ class Client
     Client(const Client &) = delete;
     Client &operator=(const Client &) = delete;
 
-    /** Connect to the daemon at @p path (empty = CISA_SERVE_SOCKET). */
-    bool connect(const std::string &path = {},
+    /** Connect to the daemon at @p address (UNIX path or TCP
+     * host:port; empty = CISA_SERVE_SOCKET). Retries refused
+     * connects per the policy. */
+    bool connect(const std::string &address = {},
                  std::string *err = nullptr);
 
     void close();
@@ -69,9 +92,24 @@ class Client
     /** Last transport/decode diagnostic (after a false call()). */
     const std::string &lastError() const { return lastError_; }
 
+    /** Override the env-derived retry policy (before or after
+     * connect). */
+    void setRetryPolicy(const RetryPolicy &p) { policy_ = p; }
+
+    const std::string &address() const { return addr_; }
+
   private:
+    bool callOnce(const Request &req, Response *resp,
+                  uint32_t deadline_ms, std::string *err);
+    bool connectOnce(std::string *err);
+    void backoffSleep(int attempt);
+
     int fd_ = -1;
+    std::string addr_;
+    Frame frame_; ///< response read buffer, reused across calls
     std::string lastError_;
+    RetryPolicy policy_ = RetryPolicy::fromEnv();
+    uint64_t jitterState_ = 0;
 };
 
 } // namespace cisa

@@ -52,8 +52,7 @@ Executor::~Executor()
 bool
 Executor::draining() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    return draining_;
+    return draining_.load(std::memory_order_acquire);
 }
 
 size_t

@@ -162,7 +162,10 @@ class Executor
     std::vector<std::thread> workers_;
     uint64_t seq_ = 0;
     size_t running_ = 0;
-    bool draining_ = false;
+    /** Atomic so the server's wire-cache fast path can check it
+     * without taking the queue mutex (writes still happen under
+     * mu_, which orders them with the queue state). */
+    std::atomic<bool> draining_{false};
 };
 
 } // namespace cisa

@@ -23,7 +23,7 @@ encodeFrame(FrameKind kind, const std::vector<uint8_t> &payload)
     w.u16(uint16_t(kind));
     w.u16(0); // flags, reserved
     w.u32(uint32_t(payload.size()));
-    w.u64(fnv1a(payload.data(), payload.size()));
+    w.u64(frameChecksum(payload.data(), payload.size()));
     w.raw(payload.data(), payload.size());
     return w.take();
 }
@@ -58,7 +58,7 @@ decodeFrame(const uint8_t *data, size_t n, size_t *pos, Frame *out,
     if (r.remaining() < len)
         return FrameDecode::NeedMore;
     const uint8_t *body = data + *pos + kFrameHeaderBytes;
-    if (fnv1a(body, len) != sum)
+    if (frameChecksum(body, len) != sum)
         return bad("frame checksum mismatch");
     out->kind = FrameKind(kind);
     out->payload.assign(body, body + len);
@@ -149,17 +149,75 @@ readFrame(int fd, Frame *out, std::string *err)
     uint32_t len = r.u32();
     uint64_t sum = r.u64();
 
-    std::vector<uint8_t> payload(len);
+    // Read straight into the caller's payload vector: a reused
+    // Frame keeps its capacity, so a stream of equal-sized frames
+    // costs no per-frame allocation.
+    std::vector<uint8_t> &payload = out->payload;
+    payload.resize(len);
     got = readAll(fd, payload.data(), len);
     if (got < 0)
         return bad(strfmt("read: %s", std::strerror(errno)));
     if (size_t(got) < len)
         return bad("disconnect inside frame payload");
-    if (fnv1a(payload.data(), payload.size()) != sum)
+    if (frameChecksum(payload.data(), payload.size()) != sum)
         return bad("frame checksum mismatch");
     out->kind = FrameKind(kind);
-    out->payload = std::move(payload);
     return FrameRead::Ok;
+}
+
+FrameRead
+readFrameWire(int fd, std::vector<uint8_t> *wire, FrameKind *kind,
+              std::string *err, bool verify)
+{
+    auto bad = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return FrameRead::Bad;
+    };
+    uint8_t hdr[kFrameHeaderBytes];
+    ssize_t got = readAll(fd, hdr, sizeof(hdr));
+    if (got == 0)
+        return FrameRead::Eof;
+    if (got < 0)
+        return bad(strfmt("read: %s", std::strerror(errno)));
+    if (size_t(got) < sizeof(hdr))
+        return bad("disconnect inside frame header");
+
+    // Validate the header fields (bounding the allocation) before
+    // trusting the length.
+    size_t pos = 0;
+    Frame f;
+    std::string why;
+    if (decodeFrame(hdr, sizeof(hdr), &pos, &f, &why) ==
+        FrameDecode::Bad)
+        return bad(why);
+
+    ByteReader r(hdr, sizeof(hdr));
+    r.u32(); // magic
+    uint16_t k = r.u16();
+    r.u16(); // flags
+    uint32_t len = r.u32();
+    uint64_t sum = r.u64();
+
+    wire->resize(kFrameHeaderBytes + len);
+    std::memcpy(wire->data(), hdr, sizeof(hdr));
+    got = readAll(fd, wire->data() + kFrameHeaderBytes, len);
+    if (got < 0)
+        return bad(strfmt("read: %s", std::strerror(errno)));
+    if (size_t(got) < len)
+        return bad("disconnect inside frame payload");
+    if (verify &&
+        frameChecksum(wire->data() + kFrameHeaderBytes, len) != sum)
+        return bad("frame checksum mismatch");
+    if (kind)
+        *kind = FrameKind(k);
+    return FrameRead::Ok;
+}
+
+bool
+writeWire(int fd, const std::vector<uint8_t> &wire)
+{
+    return writeAll(fd, wire.data(), wire.size());
 }
 
 } // namespace cisa

@@ -1,7 +1,8 @@
 /**
  * @file
- * Length-prefixed binary framing for the cisa-serve UNIX-domain
- * socket transport.
+ * Length-prefixed binary framing for the cisa-serve stream
+ * transport (UNIX-domain or TCP — the codec never cares which; see
+ * src/service/address.hh for the address abstraction).
  *
  * Wire layout of one frame (little-endian, fixed 20-byte header):
  *
@@ -9,7 +10,7 @@
  *     u16 kind       FrameKind (request / response)
  *     u16 flags      reserved, must be 0
  *     u32 length     payload byte count, <= kMaxFramePayload
- *     u64 checksum   FNV-1a of the payload bytes
+ *     u64 checksum   frameChecksum() of the payload bytes
  *     u8  payload[length]
  *
  * Decoding mirrors the corruption handling of the slab disk cache:
@@ -17,7 +18,14 @@
  * checksum mismatch — is rejected with a diagnostic, never trusted.
  * A truncated buffer reports NeedMore (not an error) so a stream
  * reader can wait for the rest; the fd helpers below turn that into
- * a blocking read with clean Eof/Bad outcomes.
+ * a blocking read with clean Eof/Bad outcomes. All fd reads and
+ * writes loop over short transfers, so TCP segmentation (a frame
+ * arriving in arbitrary byte slices) never surfaces above this
+ * layer.
+ *
+ * The raw-wire helpers exist for the router: a relay can receive a
+ * frame as opaque bytes and forward them verbatim — no re-encode, no
+ * second checksum pass — while the endpoints still verify.
  */
 
 #ifndef CISA_SERVICE_FRAME_HH
@@ -83,6 +91,20 @@ enum class FrameRead
 
 /** Blocking, EINTR-safe read of exactly one frame from @p fd. */
 FrameRead readFrame(int fd, Frame *out, std::string *err);
+
+/**
+ * Like readFrame, but keeps the complete wire image (header +
+ * payload) in @p wire so a relay can forward it without re-encoding.
+ * With @p verify false the payload checksum pass is skipped — the
+ * header is still validated and the payload length exactly consumed,
+ * so a relay stays framed; the receiving endpoint verifies.
+ */
+FrameRead readFrameWire(int fd, std::vector<uint8_t> *wire,
+                        FrameKind *kind, std::string *err,
+                        bool verify = true);
+
+/** Blocking, EINTR-safe full write of pre-encoded wire bytes. */
+bool writeWire(int fd, const std::vector<uint8_t> &wire);
 
 } // namespace cisa
 

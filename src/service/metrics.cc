@@ -1,5 +1,7 @@
 #include "service/metrics.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/table.hh"
 
@@ -53,6 +55,68 @@ StatsSnap::totalCacheHits() const
     return n;
 }
 
+uint64_t
+StatsSnap::totalBytesIn() const
+{
+    uint64_t n = 0;
+    for (const EndpointSnap &e : ep)
+        n += e.bytesIn;
+    return n;
+}
+
+uint64_t
+StatsSnap::totalBytesOut() const
+{
+    uint64_t n = 0;
+    for (const EndpointSnap &e : ep)
+        n += e.bytesOut;
+    return n;
+}
+
+void
+StatsSnap::merge(const StatsSnap &w)
+{
+    for (size_t i = 0; i < ep.size(); i++) {
+        EndpointSnap &a = ep[i];
+        const EndpointSnap &b = w.ep[i];
+        a.requests += b.requests;
+        a.ok += b.ok;
+        a.coalesced += b.coalesced;
+        a.cacheHits += b.cacheHits;
+        a.busy += b.busy;
+        a.deadline += b.deadline;
+        a.errors += b.errors;
+        a.bytesIn += b.bytesIn;
+        a.bytesOut += b.bytesOut;
+        a.latCount += b.latCount;
+        a.p50Us = std::max(a.p50Us, b.p50Us);
+        a.p99Us = std::max(a.p99Us, b.p99Us);
+    }
+    queueDepth += w.queueDepth;
+    queuePeak += w.queuePeak;
+    inFlight += w.inFlight;
+    draining |= w.draining;
+    liveConns += w.liveConns;
+    connsAccepted += w.connsAccepted;
+    connsRejected += w.connsRejected;
+    reroutes += w.reroutes;
+    workersUp += w.workersUp;
+    workersKnown += w.workersKnown;
+    store.loaded += w.store.loaded;
+    store.salvaged += w.store.salvaged;
+    store.stale += w.store.stale;
+    store.appended += w.store.appended;
+    store.appendedBytes += w.store.appendedBytes;
+    store.fileBytes = std::max(store.fileBytes, w.store.fileBytes);
+    store.lockWaits += w.store.lockWaits;
+    store.lockWaitUs += w.store.lockWaitUs;
+    store.quarantined += w.store.quarantined;
+    engine.cellsBatched += w.engine.cellsBatched;
+    engine.cellsPerCell += w.engine.cellsPerCell;
+    engine.walksDone += w.engine.walksDone;
+    engine.walksSaved += w.engine.walksSaved;
+}
+
 std::string
 StatsSnap::render() const
 {
@@ -63,7 +127,7 @@ StatsSnap::render() const
                    (unsigned long long)inFlight,
                    draining ? ", draining" : ""));
     t.header({"endpoint", "req", "ok", "coal", "cache", "busy",
-              "ddl", "err", "p50us", "p99us"});
+              "ddl", "err", "kbin", "kbout", "p50us", "p99us"});
     for (size_t i = 0; i < ep.size(); i++) {
         const EndpointSnap &e = ep[i];
         if (!e.requests)
@@ -75,10 +139,28 @@ StatsSnap::render() const
                Table::num(int64_t(e.busy)),
                Table::num(int64_t(e.deadline)),
                Table::num(int64_t(e.errors)),
+               Table::num(int64_t(e.bytesIn >> 10)),
+               Table::num(int64_t(e.bytesOut >> 10)),
                Table::num(int64_t(e.p50Us)),
                Table::num(int64_t(e.p99Us))});
     }
     std::string body = t.str();
+    if (connsAccepted || connsRejected) {
+        body += strfmt(
+            "transport: %llu live conns, %llu accepted, "
+            "%llu rejected, %llu B in, %llu B out\n",
+            (unsigned long long)liveConns,
+            (unsigned long long)connsAccepted,
+            (unsigned long long)connsRejected,
+            (unsigned long long)totalBytesIn(),
+            (unsigned long long)totalBytesOut());
+    }
+    if (workersKnown) {
+        body += strfmt("fleet: %llu/%llu workers up, %llu reroutes\n",
+                       (unsigned long long)workersUp,
+                       (unsigned long long)workersKnown,
+                       (unsigned long long)reroutes);
+    }
     if (store.fileBytes || store.loaded || store.appended ||
         store.salvaged || store.stale || store.quarantined) {
         body += strfmt(
@@ -120,6 +202,8 @@ StatsSnap::encode(ByteWriter &w) const
         w.u64(e.busy);
         w.u64(e.deadline);
         w.u64(e.errors);
+        w.u64(e.bytesIn);
+        w.u64(e.bytesOut);
         w.u64(e.latCount);
         w.u64(e.p50Us);
         w.u64(e.p99Us);
@@ -128,6 +212,12 @@ StatsSnap::encode(ByteWriter &w) const
     w.u64(queuePeak);
     w.u64(inFlight);
     w.u8(draining);
+    w.u64(liveConns);
+    w.u64(connsAccepted);
+    w.u64(connsRejected);
+    w.u64(reroutes);
+    w.u64(workersUp);
+    w.u64(workersKnown);
     w.u64(store.loaded);
     w.u64(store.salvaged);
     w.u64(store.stale);
@@ -158,6 +248,8 @@ StatsSnap::decode(ByteReader &r, StatsSnap *out)
         e.busy = r.u64();
         e.deadline = r.u64();
         e.errors = r.u64();
+        e.bytesIn = r.u64();
+        e.bytesOut = r.u64();
         e.latCount = r.u64();
         e.p50Us = r.u64();
         e.p99Us = r.u64();
@@ -166,6 +258,12 @@ StatsSnap::decode(ByteReader &r, StatsSnap *out)
     s.queuePeak = r.u64();
     s.inFlight = r.u64();
     s.draining = r.u8();
+    s.liveConns = r.u64();
+    s.connsAccepted = r.u64();
+    s.connsRejected = r.u64();
+    s.reroutes = r.u64();
+    s.workersUp = r.u64();
+    s.workersKnown = r.u64();
     s.store.loaded = r.u64();
     s.store.salvaged = r.u64();
     s.store.stale = r.u64();
@@ -200,6 +298,8 @@ ServiceMetrics::snapshot(uint64_t queue_depth, uint64_t in_flight,
         e.busy = m.busy.load(std::memory_order_relaxed);
         e.deadline = m.deadline.load(std::memory_order_relaxed);
         e.errors = m.errors.load(std::memory_order_relaxed);
+        e.bytesIn = m.bytesIn.load(std::memory_order_relaxed);
+        e.bytesOut = m.bytesOut.load(std::memory_order_relaxed);
         e.latCount = m.latency.total();
         e.p50Us = m.latency.percentileUs(0.50);
         e.p99Us = m.latency.percentileUs(0.99);
@@ -208,6 +308,9 @@ ServiceMetrics::snapshot(uint64_t queue_depth, uint64_t in_flight,
     s.queuePeak = queuePeak_.load(std::memory_order_relaxed);
     s.inFlight = in_flight;
     s.draining = draining ? 1 : 0;
+    s.liveConns = liveConns_.load(std::memory_order_relaxed);
+    s.connsAccepted = connsAccepted_.load(std::memory_order_relaxed);
+    s.connsRejected = connsRejected_.load(std::memory_order_relaxed);
     return s;
 }
 

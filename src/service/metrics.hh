@@ -71,6 +71,8 @@ struct EndpointMetrics
     std::atomic<uint64_t> busy{0};      ///< rejected: queue full/drain
     std::atomic<uint64_t> deadline{0};  ///< expired before completion
     std::atomic<uint64_t> errors{0};    ///< handler failure/bad req
+    std::atomic<uint64_t> bytesIn{0};   ///< request wire bytes
+    std::atomic<uint64_t> bytesOut{0};  ///< response wire bytes
     LatencyHisto latency;               ///< submit-to-response, Ok only
 };
 
@@ -84,6 +86,8 @@ struct EndpointSnap
     uint64_t busy = 0;
     uint64_t deadline = 0;
     uint64_t errors = 0;
+    uint64_t bytesIn = 0;
+    uint64_t bytesOut = 0;
     uint64_t latCount = 0;
     uint64_t p50Us = 0;
     uint64_t p99Us = 0;
@@ -97,6 +101,17 @@ struct StatsSnap
     uint64_t queuePeak = 0;  ///< high-water mark of queueDepth
     uint64_t inFlight = 0;   ///< running right now
     uint8_t draining = 0;
+
+    /** Transport-level connection accounting (the server's accept
+     * loop, or the router's client-facing side). */
+    uint64_t liveConns = 0;     ///< connections open right now
+    uint64_t connsAccepted = 0; ///< accepted since start
+    uint64_t connsRejected = 0; ///< refused with BUSY at max-conns
+
+    /** Fleet fields, non-zero only in a router's merged snapshot. */
+    uint64_t reroutes = 0;     ///< requests moved off a down worker
+    uint64_t workersUp = 0;    ///< workers passing health checks
+    uint64_t workersKnown = 0; ///< workers configured
 
     /** Durable slab-store health (records loaded/salvaged/appended,
      * bytes, lock waits, quarantines) of the campaign cache this
@@ -112,6 +127,18 @@ struct StatsSnap
     uint64_t totalRequests() const;
     uint64_t totalCoalesced() const;
     uint64_t totalCacheHits() const;
+    uint64_t totalBytesIn() const;
+    uint64_t totalBytesOut() const;
+
+    /**
+     * Fold one worker's snapshot into this fleet roll-up: counters
+     * and byte totals add; latency percentiles take the worst
+     * worker (histograms aren't mergeable from percentiles alone);
+     * draining ORs. Store fileBytes takes the max — the fleet
+     * shares one slab-store file, so adding per-worker views would
+     * multiply-count the same bytes.
+     */
+    void merge(const StatsSnap &w);
 
     /** Rendered ASCII table (one row per endpoint). */
     std::string render() const;
@@ -141,12 +168,34 @@ class ServiceMetrics
         }
     }
 
+    void
+    connAccepted()
+    {
+        liveConns_.fetch_add(1, std::memory_order_relaxed);
+        connsAccepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    connClosed()
+    {
+        liveConns_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    void
+    connRejected()
+    {
+        connsRejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     StatsSnap snapshot(uint64_t queue_depth, uint64_t in_flight,
                        bool draining) const;
 
   private:
     std::array<EndpointMetrics, size_t(ReqType::kCount)> ep_{};
     std::atomic<uint64_t> queuePeak_{0};
+    std::atomic<uint64_t> liveConns_{0};
+    std::atomic<uint64_t> connsAccepted_{0};
+    std::atomic<uint64_t> connsRejected_{0};
 };
 
 } // namespace cisa

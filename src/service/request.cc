@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/env.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "explore/campaign.hh"
@@ -164,6 +165,23 @@ Request::fingerprint() const
     return fnv1a(w.bytes().data(), w.bytes().size());
 }
 
+uint64_t
+Request::routingKey() const
+{
+    uint64_t budget =
+        Campaign::budgetKeyFor(simUopBudget(), simWarmupUops());
+    switch (type) {
+      case ReqType::Slab:
+      case ReqType::Table:
+        return hashCombine(budget, uint64_t(slab.slab));
+      case ReqType::Eval:
+        return hashCombine(budget,
+                           uint64_t(Campaign::slabOf(designPoint())));
+      default:
+        return hashCombine(budget, fingerprint());
+    }
+}
+
 int
 Request::priorityClass() const
 {
@@ -267,17 +285,20 @@ Response::encode(ByteWriter &w) const
 bool
 Response::decode(ByteReader &r, Response *out)
 {
-    Response resp;
+    // Decodes in place, reusing @p out's body capacity — a client
+    // looping hot slab requests pays no per-response allocation
+    // (a ~140 KiB body crosses glibc's mmap threshold, so a fresh
+    // vector per response would mean an mmap/munmap pair and fresh
+    // page faults every call). On failure *out is unspecified.
     uint8_t st = r.u8();
     if (!r.ok() || st > uint8_t(Status::Error))
         return false;
-    resp.status = Status(st);
-    resp.message = r.str();
+    out->status = Status(st);
+    out->message = r.str();
     if (!r.ok())
         return false;
-    resp.body.resize(r.remaining());
-    r.raw(resp.body.data(), resp.body.size());
-    *out = resp;
+    out->body.resize(r.remaining());
+    r.raw(out->body.data(), out->body.size());
     return r.ok();
 }
 
@@ -304,7 +325,15 @@ decodeRequestEnvelope(const std::vector<uint8_t> &payload,
                       Request *req, uint32_t *deadline_ms,
                       std::string *err)
 {
-    ByteReader r(payload);
+    return decodeRequestEnvelope(payload.data(), payload.size(), req,
+                                 deadline_ms, err);
+}
+
+bool
+decodeRequestEnvelope(const uint8_t *data, size_t n, Request *req,
+                      uint32_t *deadline_ms, std::string *err)
+{
+    ByteReader r(data, n);
     *deadline_ms = r.u32();
     if (!r.ok())
         return reject(err, "truncated request envelope");

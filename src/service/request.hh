@@ -96,6 +96,17 @@ struct Request
     /** Canonical 64-bit request key (FNV-1a of the encoding). */
     uint64_t fingerprint() const;
 
+    /**
+     * Fleet placement key (consistent-hash input, src/service/
+     * shard.hh). Requests touching the same slab share a key —
+     * Slab/Table of slab s, and Eval of any design point in s — so
+     * one worker's warm campaign serves all of them; the slab key is
+     * derived from the sim-budget key, so fleets with different
+     * budgets shard independently. Keyless requests (Ping, Search,
+     * Stats) spread by fingerprint.
+     */
+    uint64_t routingKey() const;
+
     /** Scheduling class: 0 = cheap (Ping/Eval/Table), 1 = slab
      * compute, 2 = full search. Lower runs first. */
     int priorityClass() const;
@@ -152,6 +163,11 @@ struct Response
 std::vector<uint8_t> encodeRequestEnvelope(const Request &req,
                                            uint32_t deadline_ms);
 bool decodeRequestEnvelope(const std::vector<uint8_t> &payload,
+                           Request *req, uint32_t *deadline_ms,
+                           std::string *err);
+/** Pointer overload for decoding in place from a wire image (the
+ * router peeks at relayed frames without copying the payload). */
+bool decodeRequestEnvelope(const uint8_t *data, size_t n,
                            Request *req, uint32_t *deadline_ms,
                            std::string *err);
 

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The cisa-serve fleet router: a front-end that accepts the same
+ * frame protocol as the daemon and relays each request to one of N
+ * workers chosen by consistent-hashing its routing key
+ * (src/service/shard.hh), so every slab's compute-and-cache work
+ * lands on a stable owner while the fleet scales out.
+ *
+ * Relay economics: the router never re-encodes. A request arrives as
+ * wire bytes, is peeked (envelope decode — a few dozen bytes) for
+ * its routing key, and the *same bytes* are forwarded; the worker's
+ * response wire image is forwarded back verbatim. Response payload
+ * checksums are not re-verified by default (the client verifies;
+ * corruption between worker and client is caught there) — a ~140 KiB
+ * slab response crosses the router without a single checksum pass or
+ * allocation beyond the read buffer.
+ *
+ * Placement: cacheable requests (Eval/Slab/Table) rotate round-robin
+ * across the key's replica set — ownersOf(key, R) — so a hot slab is
+ * warm on R workers instead of melting one; keyless requests (Ping,
+ * Search) go to their fingerprint's primary. Stats is answered by
+ * the router itself with the fleet roll-up (every worker's snapshot
+ * merged, plus router-level connection/reroute/health counters).
+ *
+ * Churn: a send or read failing on a pooled worker connection is
+ * retried once on a fresh connection (the pooled fd may simply be
+ * stale); if the fresh connect also fails the worker is marked down
+ * and the request moves to the next replica — the response the
+ * client sees is byte-identical to the single-daemon answer because
+ * any worker can adopt any slab through the shared slab store
+ * (PR 5) instead of diverging. Requests are deterministic and
+ * idempotent, so re-sending after a mid-response death is safe. A
+ * health thread re-probes down workers with a ping and marks them
+ * up when they answer, so a restarted worker rejoins without a
+ * router restart.
+ */
+
+#ifndef CISA_SERVICE_ROUTER_HH
+#define CISA_SERVICE_ROUTER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.hh"
+#include "service/shard.hh"
+
+namespace cisa
+{
+
+class Router
+{
+  public:
+    struct Options
+    {
+        /** Client-facing address (UNIX path or TCP host:port);
+         * empty = CISA_SERVE_SOCKET. */
+        std::string address;
+        /** Worker daemon addresses (at least one). */
+        std::vector<std::string> workers;
+        int replicas = 0;  ///< 0 = CISA_ROUTER_REPLICAS
+        int poolConns = 0; ///< 0 = CISA_ROUTER_POOL per worker
+        int healthMs = 0;  ///< 0 = CISA_ROUTER_HEALTH_MS
+        int backlog = 0;   ///< 0 = CISA_SERVE_BACKLOG
+        int maxConns = 0;  ///< 0 = CISA_SERVE_MAX_CONNS
+        /** Re-verify relayed response payload checksums in the
+         * router (off: endpoints verify; see file comment). */
+        bool verifyRelay = false;
+    };
+
+    explicit Router(const Options &opts);
+    ~Router(); ///< stop()s
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    bool start(std::string *err = nullptr);
+    void stop();
+    void requestStop(); ///< async-signal-safe
+    void waitUntilStopped();
+
+    const std::string &boundAddress() const { return bound_; }
+
+    const ShardRing &ring() const { return ring_; }
+
+    /** Merged fleet snapshot (what a Stats request returns). */
+    StatsSnap fleetStats();
+
+  private:
+    struct Worker
+    {
+        std::string addr;
+        std::mutex mu;
+        std::vector<int> pool; ///< idle connections
+        std::atomic<bool> up{true};
+    };
+
+    void acceptLoop();
+    void serveConnection(int fd);
+    void serveFrames(int fd);
+
+    /** Borrow a pooled connection (second = true if pooled). */
+    std::pair<int, bool> borrowConn(Worker &w, std::string *err);
+    void returnConn(Worker &w, int fd);
+
+    /**
+     * One request/response exchange with worker @p wi: send
+     * @p reqWire, read the response wire image into @p respWire.
+     * Retries once on a fresh connection if a pooled one fails;
+     * marks the worker down (and returns false) when even a fresh
+     * connection can't complete the exchange.
+     */
+    bool exchange(size_t wi, const std::vector<uint8_t> &reqWire,
+                  std::vector<uint8_t> *respWire);
+
+    /** Route + relay one request; always fills @p respWire (a
+     * synthesized error response when the whole fleet fails). */
+    void forward(const Request &req,
+                 const std::vector<uint8_t> &reqWire,
+                 std::vector<uint8_t> *respWire);
+
+    void healthLoop();
+
+    Options opts_;
+    std::string bound_;
+    size_t maxConns_;
+    ShardRing ring_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> stopped_{false};
+    bool started_ = false;
+
+    std::thread acceptor_;
+    std::thread health_;
+    std::mutex healthMu_;
+    std::condition_variable healthCv_;
+
+    std::mutex connMu_;
+    std::condition_variable connCv_;
+    std::set<int> connFds_;
+    size_t connCount_ = 0;
+
+    std::atomic<uint64_t> rr_{0}; ///< replica rotation counter
+    std::atomic<uint64_t> reroutes_{0};
+    std::atomic<uint64_t> connsAccepted_{0};
+    std::atomic<uint64_t> connsRejected_{0};
+};
+
+} // namespace cisa
+
+#endif // CISA_SERVICE_ROUTER_HH

@@ -5,62 +5,23 @@
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "service/address.hh"
 #include "service/frame.hh"
 
 namespace cisa
 {
 
-namespace
-{
-
-bool
-bindUnixSocket(int fd, const std::string &path, std::string *err)
-{
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-        if (err)
-            *err = strfmt("socket path too long: %s", path.c_str());
-        return false;
-    }
-    std::strncpy(addr.sun_path, path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    // A stale socket file from a dead daemon would make bind fail;
-    // probe it with a connect and only unlink if nobody answers.
-    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (probe >= 0) {
-        if (::connect(probe, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) == 0) {
-            ::close(probe);
-            if (err)
-                *err = strfmt("daemon already listening on %s",
-                              path.c_str());
-            return false;
-        }
-        ::close(probe);
-        ::unlink(path.c_str());
-    }
-    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
-        if (err)
-            *err = strfmt("bind(%s): %s", path.c_str(),
-                          std::strerror(errno));
-        return false;
-    }
-    return true;
-}
-
-} // namespace
-
 Server::Server(const Options &opts)
-    : path_(opts.socketPath.empty() ? serveSocketPath()
-                                    : opts.socketPath),
-      exec_(std::make_unique<Executor>(opts.exec))
+    : addr_(opts.address.empty() ? serveSocketPath() : opts.address),
+      backlog_(opts.backlog > 0 ? opts.backlog : serveBacklog()),
+      maxConns_(size_t(opts.maxConns > 0 ? opts.maxConns
+                                         : serveMaxConns())),
+      exec_(std::make_unique<Executor>(opts.exec)),
+      wireCap_(size_t(serveCacheEntries()))
 {}
 
 Server::~Server()
@@ -72,34 +33,20 @@ bool
 Server::start(std::string *err)
 {
     panic_if(started_, "server started twice");
-    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd_ < 0) {
-        if (err)
-            *err = strfmt("socket: %s", std::strerror(errno));
+    listenFd_ = listenOn(addr_, backlog_, &bound_, err);
+    if (listenFd_ < 0)
         return false;
-    }
-    if (!bindUnixSocket(listenFd_, path_, err)) {
-        ::close(listenFd_);
-        listenFd_ = -1;
-        return false;
-    }
-    if (::listen(listenFd_, 64) != 0) {
-        if (err)
-            *err = strfmt("listen: %s", std::strerror(errno));
-        ::close(listenFd_);
-        listenFd_ = -1;
-        return false;
-    }
     if (::pipe(wakePipe_) != 0) {
         if (err)
             *err = strfmt("pipe: %s", std::strerror(errno));
         ::close(listenFd_);
         listenFd_ = -1;
+        unlinkIfUnix(bound_);
         return false;
     }
     started_ = true;
     acceptor_ = std::thread([this] { acceptLoop(); });
-    inform("cisa-serve listening on %s", path_.c_str());
+    inform("cisa-serve listening on %s", bound_.c_str());
     return true;
 }
 
@@ -154,11 +101,11 @@ Server::stop()
 
     ::close(listenFd_);
     listenFd_ = -1;
-    ::unlink(path_.c_str());
+    unlinkIfUnix(bound_);
     ::close(wakePipe_[0]);
     ::close(wakePipe_[1]);
     wakePipe_[0] = wakePipe_[1] = -1;
-    inform("cisa-serve stopped (%s)", path_.c_str());
+    inform("cisa-serve stopped (%s)", bound_.c_str());
 }
 
 void
@@ -187,11 +134,28 @@ Server::acceptLoop()
             warn("cisa-serve accept: %s", std::strerror(errno));
             continue;
         }
+        setNoDelay(fd);
+        bool over;
         {
             std::lock_guard<std::mutex> lk(connMu_);
-            connFds_.insert(fd);
-            connCount_++;
+            over = connCount_ >= maxConns_;
+            if (!over) {
+                connFds_.insert(fd);
+                connCount_++;
+            }
         }
+        if (over) {
+            // Shed load without spawning a thread: one BUSY frame
+            // tells the client this is backpressure, not a crash.
+            exec_->metrics().connRejected();
+            ByteWriter w;
+            Response::fail(Status::Busy, "connection limit")
+                .encode(w);
+            writeFrame(fd, FrameKind::Response, w.take());
+            ::close(fd);
+            continue;
+        }
+        exec_->metrics().connAccepted();
         std::thread([this, fd] { serveConnection(fd); }).detach();
     }
 }
@@ -203,11 +167,42 @@ Server::serveConnection(int fd)
     // Closing here (not at stop()) both signals EOF to the client
     // promptly and keeps a long-lived daemon's connection state
     // bounded by the number of *live* clients.
+    exec_->metrics().connClosed();
     std::lock_guard<std::mutex> lk(connMu_);
     connFds_.erase(fd);
     ::close(fd);
     connCount_--;
     connCv_.notify_all();
+}
+
+std::shared_ptr<const std::vector<uint8_t>>
+Server::cachedWire(uint64_t key)
+{
+    std::lock_guard<std::mutex> lk(wireMu_);
+    auto it = wireIdx_.find(key);
+    if (it == wireIdx_.end())
+        return nullptr;
+    wire_.splice(wire_.begin(), wire_, it->second);
+    return it->second->second;
+}
+
+void
+Server::cacheWire(uint64_t key, WirePtr wire)
+{
+    std::lock_guard<std::mutex> lk(wireMu_);
+    auto it = wireIdx_.find(key);
+    if (it != wireIdx_.end()) {
+        // A concurrent miss already filled it (same bytes — the
+        // fingerprint is exact and responses are deterministic).
+        wire_.splice(wire_.begin(), wire_, it->second);
+        return;
+    }
+    wire_.emplace_front(key, std::move(wire));
+    wireIdx_[key] = wire_.begin();
+    while (wire_.size() > wireCap_) {
+        wireIdx_.erase(wire_.back().first);
+        wire_.pop_back();
+    }
 }
 
 void
@@ -226,23 +221,62 @@ Server::serveFrames(int fd)
             writeFrame(fd, FrameKind::Response, w.take());
             return;
         }
+
+        Request req;
+        uint32_t deadline_ms = 0;
+        bool haveReq = false;
         Response resp;
         if (frame.kind != FrameKind::Request) {
             resp = Response::fail(Status::BadRequest,
                                   "expected a request frame");
+        } else if (!decodeRequestEnvelope(frame.payload, &req,
+                                          &deadline_ms, &err)) {
+            resp = Response::fail(Status::BadRequest, err);
         } else {
-            Request req;
-            uint32_t deadline_ms = 0;
-            if (!decodeRequestEnvelope(frame.payload, &req,
-                                       &deadline_ms, &err)) {
-                resp = Response::fail(Status::BadRequest, err);
-            } else {
-                resp = exec_->call(req, deadline_ms);
+            haveReq = true;
+        }
+        if (!haveReq) {
+            ByteWriter w;
+            resp.encode(w);
+            if (!writeFrame(fd, FrameKind::Response, w.take()))
+                return;
+            continue;
+        }
+
+        EndpointMetrics &m = exec_->metrics().at(req.type);
+        m.bytesIn.fetch_add(kFrameHeaderBytes + frame.payload.size(),
+                            std::memory_order_relaxed);
+
+        // Wire-cache fast path: answer a repeat cacheable request
+        // with the previously encoded response frame, skipping the
+        // executor round-trip and the checksum pass. Bypassed while
+        // draining so shutdown-time submissions still see BUSY.
+        uint64_t key = 0;
+        bool mayCache = req.cacheable() && wireCap_ > 0 &&
+                        !exec_->draining();
+        if (mayCache) {
+            key = req.fingerprint();
+            if (WirePtr hit = cachedWire(key)) {
+                m.requests.fetch_add(1, std::memory_order_relaxed);
+                m.ok.fetch_add(1, std::memory_order_relaxed);
+                m.cacheHits.fetch_add(1, std::memory_order_relaxed);
+                m.bytesOut.fetch_add(hit->size(),
+                                     std::memory_order_relaxed);
+                if (!writeWire(fd, *hit))
+                    return;
+                continue;
             }
         }
+
+        resp = exec_->call(req, deadline_ms);
         ByteWriter w;
         resp.encode(w);
-        if (!writeFrame(fd, FrameKind::Response, w.take()))
+        auto out = std::make_shared<const std::vector<uint8_t>>(
+            encodeFrame(FrameKind::Response, w.take()));
+        if (mayCache && resp.status == Status::Ok)
+            cacheWire(key, out);
+        m.bytesOut.fetch_add(out->size(), std::memory_order_relaxed);
+        if (!writeWire(fd, *out))
             return;
     }
 }

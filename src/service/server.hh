@@ -1,8 +1,9 @@
 /**
  * @file
- * The cisa-serve transport: a UNIX-domain stream socket speaking the
- * frame protocol of src/service/frame.hh, one thread per client
- * connection, all computation delegated to the shared Executor.
+ * The cisa-serve transport: a stream socket (UNIX-domain or TCP —
+ * src/service/address.hh) speaking the frame protocol of
+ * src/service/frame.hh, one thread per client connection, all
+ * computation delegated to the shared Executor.
  *
  * Protocol per connection: the client sends Request frames (request
  * envelope payloads) and receives exactly one Response frame per
@@ -14,7 +15,19 @@
  * Backpressure is end-to-end: when the executor's queue is at its
  * bound the response is an immediate BUSY frame — the server never
  * buffers requests beyond the bound, so a flood cannot grow memory
- * without limit.
+ * without limit. The same applies one layer down: past
+ * CISA_SERVE_MAX_CONNS live connections, a new connection gets one
+ * BUSY frame and an immediate close instead of a thread.
+ *
+ * Wire cache: cacheable Ok responses are kept as fully encoded
+ * frames (header + checksum + payload) in a bounded LRU keyed by
+ * request fingerprint. A repeat request is answered by writing those
+ * bytes verbatim — no executor round-trip, no re-encode, and above
+ * all no second checksum pass over a ~140 KiB slab payload, which is
+ * where a cached-slab request spends most of its CPU. Fingerprints
+ * are exact (canonical request bytes), responses are deterministic,
+ * and the cache is bypassed while draining so shutdown still answers
+ * BUSY.
  *
  * Shutdown: stop() (or requestStop() from a signal handler) stops
  * accepting, lets the executor drain queued and running work (new
@@ -28,11 +41,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "service/executor.hh"
 
@@ -44,7 +60,12 @@ class Server
   public:
     struct Options
     {
-        std::string socketPath; ///< empty = CISA_SERVE_SOCKET
+        /** UNIX path or TCP host:port (src/service/address.hh);
+         * empty = CISA_SERVE_SOCKET. TCP "host:0" binds a
+         * kernel-assigned port, reported by boundAddress(). */
+        std::string address;
+        int backlog = 0;  ///< 0 = CISA_SERVE_BACKLOG
+        int maxConns = 0; ///< 0 = CISA_SERVE_MAX_CONNS
         Executor::Options exec;
     };
 
@@ -74,7 +95,13 @@ class Server
      * sequence. The daemon main loop. */
     void waitUntilStopped();
 
-    const std::string &socketPath() const { return path_; }
+    /** The configured address (as passed in / from env). */
+    const std::string &address() const { return addr_; }
+
+    /** The actually-bound address — equals address() except for TCP
+     * "host:0", where it carries the kernel-assigned port. Valid
+     * after start(). */
+    const std::string &boundAddress() const { return bound_; }
 
     Executor &executor() { return *exec_; }
 
@@ -83,8 +110,24 @@ class Server
     void serveConnection(int fd);
     void serveFrames(int fd);
 
-    std::string path_;
+    using WirePtr = std::shared_ptr<const std::vector<uint8_t>>;
+
+    /** Wire-cache lookup/insert (see file comment). Null on miss. */
+    WirePtr cachedWire(uint64_t key);
+    void cacheWire(uint64_t key, WirePtr wire);
+
+    std::string addr_;
+    std::string bound_;
+    int backlog_;
+    size_t maxConns_;
     std::unique_ptr<Executor> exec_;
+
+    std::mutex wireMu_;
+    size_t wireCap_;
+    std::list<std::pair<uint64_t, WirePtr>> wire_; ///< LRU order
+    std::unordered_map<
+        uint64_t, std::list<std::pair<uint64_t, WirePtr>>::iterator>
+        wireIdx_;
 
     int listenFd_ = -1;
     int wakePipe_[2] = {-1, -1};

@@ -1,0 +1,75 @@
+#include "service/shard.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace cisa
+{
+
+ShardRing::ShardRing(const std::vector<std::string> &workers)
+    : workers_(workers)
+{
+    // Canonicalize the worker *set*: placement must not depend on
+    // the order a command line happened to list addresses in.
+    std::sort(workers_.begin(), workers_.end());
+    workers_.erase(std::unique(workers_.begin(), workers_.end()),
+                   workers_.end());
+
+    ring_.reserve(workers_.size() * kVnodes);
+    for (size_t wi = 0; wi < workers_.size(); wi++) {
+        uint64_t base = fnv1a(workers_[wi]);
+        for (int v = 0; v < kVnodes; v++) {
+            ring_.push_back(
+                {splitmix64(hashCombine(base, uint64_t(v))),
+                 uint32_t(wi)});
+        }
+    }
+    std::sort(ring_.begin(), ring_.end(),
+              [](const Point &a, const Point &b) {
+                  // Tie-break on worker index (itself canonical via
+                  // the address sort) so equal hash points — however
+                  // unlikely — don't make placement depend on the
+                  // sort's whims.
+                  return a.at != b.at ? a.at < b.at
+                                      : a.worker < b.worker;
+              });
+}
+
+size_t
+ShardRing::ownerOf(uint64_t key) const
+{
+    panic_if(ring_.empty(), "ownerOf on an empty ring");
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), key,
+        [](const Point &p, uint64_t k) { return p.at < k; });
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap past the top of the ring
+    return it->worker;
+}
+
+std::vector<size_t>
+ShardRing::ownersOf(uint64_t key, int replicas) const
+{
+    panic_if(ring_.empty(), "ownersOf on an empty ring");
+    size_t want = std::min(size_t(std::max(replicas, 1)),
+                           workers_.size());
+    std::vector<size_t> owners;
+    owners.reserve(want);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), key,
+        [](const Point &p, uint64_t k) { return p.at < k; });
+    for (size_t step = 0; step < ring_.size() && owners.size() < want;
+         step++, ++it) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        size_t w = it->worker;
+        if (std::find(owners.begin(), owners.end(), w) ==
+            owners.end())
+            owners.push_back(w);
+    }
+    return owners;
+}
+
+} // namespace cisa

@@ -3,7 +3,10 @@
  * Command-line client for cisa-serve.
  *
  * Usage:
- *   cisa_client [--socket PATH] [--deadline-ms N] CMD [args]
+ *   cisa_client [--address ADDR] [--deadline-ms N] CMD [args]
+ *
+ * ADDR is a host:port (TCP) or a UNIX socket path; --socket is kept
+ * as an alias.
  *
  * Commands:
  *   ping
@@ -36,7 +39,7 @@ usage(const char *argv0, int rc)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--socket PATH] [--deadline-ms N] CMD [args]\n"
+        "usage: %s [--address ADDR] [--deadline-ms N] CMD [args]\n"
         "  ping | stats | slab SLAB | table SLAB\n"
         "  eval ISA UARCH PHASE\n"
         "  search FAMILY OBJECTIVE [--power W] [--area MM2]"
@@ -117,7 +120,9 @@ main(int argc, char **argv)
     uint32_t deadline_ms = 0;
     int i = 1;
     for (; i < argc && argv[i][0] == '-'; i++) {
-        if (!std::strcmp(argv[i], "--socket") && i + 1 < argc)
+        if ((!std::strcmp(argv[i], "--address") ||
+             !std::strcmp(argv[i], "--socket")) &&
+            i + 1 < argc)
             socket = argv[++i];
         else if (!std::strcmp(argv[i], "--deadline-ms") &&
                  i + 1 < argc)

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Open-loop load generator for cisa-serve (single daemon or router
+ * fleet): fires a mixed request stream at a fixed arrival rate over
+ * N connections, measures per-request latency against the *intended*
+ * arrival time (so a stalled server can't hide queueing delay —
+ * no coordinated omission), and reports overall plus per-second
+ * p50/p99 timelines. Optionally SIGKILLs a worker pid mid-run to
+ * measure the fleet's churn story: lost requests and the p99
+ * recovery arc both show up in the timeline.
+ *
+ * Usage:
+ *   cisa_loadgen --address ADDR [--rate R] [--conns N]
+ *                [--duration-ms D | --count N] [--mix SPEC]
+ *                [--slab S] [--retries N]
+ *                [--kill-pid P --kill-at-ms T] [--json]
+ *
+ * SPEC weights endpoints, e.g. "slab=8,ping=1,eval=1,table=1"
+ * (default "slab=1"). --rate 0 runs closed-loop (each connection
+ * fires as fast as responses return). Exit status is nonzero if any
+ * request was lost (transport failure or ERROR status), which is
+ * how the fleet smoke test asserts zero loss under worker churn.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "explore/campaign.hh"
+#include "service/client.hh"
+#include "workloads/profiles.hh"
+
+using namespace cisa;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct MixEntry
+{
+    ReqType type;
+    int weight;
+};
+
+std::vector<MixEntry>
+parseMix(const std::string &spec)
+{
+    std::vector<MixEntry> mix;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        size_t eq = item.find('=');
+        std::string name = item.substr(0, eq);
+        int weight = eq == std::string::npos
+                         ? 1
+                         : std::atoi(item.c_str() + eq + 1);
+        if (weight <= 0)
+            continue;
+        ReqType t;
+        if (name == "ping")
+            t = ReqType::Ping;
+        else if (name == "eval")
+            t = ReqType::Eval;
+        else if (name == "slab")
+            t = ReqType::Slab;
+        else if (name == "table")
+            t = ReqType::Table;
+        else {
+            std::fprintf(stderr, "unknown mix endpoint: %s\n",
+                         name.c_str());
+            std::exit(1);
+        }
+        mix.push_back({t, weight});
+    }
+    if (mix.empty())
+        mix.push_back({ReqType::Slab, 1});
+    return mix;
+}
+
+/** Per-thread tallies, merged after the run. */
+struct Tally
+{
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t busy = 0;
+    uint64_t lost = 0; ///< transport failure or ERROR status
+    std::vector<std::vector<uint32_t>> latBySec; ///< us, Ok only
+};
+
+uint64_t
+pctOf(std::vector<uint32_t> &v, double p)
+{
+    if (v.empty())
+        return 0;
+    size_t idx = size_t(double(v.size() - 1) * p);
+    std::nth_element(v.begin(), v.begin() + long(idx), v.end());
+    return v[idx];
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --address ADDR [--rate R] [--conns N]\n"
+        "          [--duration-ms D | --count N] [--mix SPEC]\n"
+        "          [--slab S] [--retries N]\n"
+        "          [--kill-pid P --kill-at-ms T] [--json]\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string address;
+    double rate = 0;
+    int conns = 4;
+    int64_t durationMs = 0;
+    uint64_t count = 0;
+    std::string mixSpec = "slab=1";
+    int fixedSlab = -1;
+    int retries = -1;
+    long killPid = 0;
+    int64_t killAtMs = 0;
+    bool json = false;
+
+    for (int i = 1; i < argc; i++) {
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--address"))
+            address = val();
+        else if (!std::strcmp(argv[i], "--rate"))
+            rate = std::atof(val());
+        else if (!std::strcmp(argv[i], "--conns"))
+            conns = std::atoi(val());
+        else if (!std::strcmp(argv[i], "--duration-ms"))
+            durationMs = std::atoll(val());
+        else if (!std::strcmp(argv[i], "--count"))
+            count = std::strtoull(val(), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--mix"))
+            mixSpec = val();
+        else if (!std::strcmp(argv[i], "--slab"))
+            fixedSlab = std::atoi(val());
+        else if (!std::strcmp(argv[i], "--retries"))
+            retries = std::atoi(val());
+        else if (!std::strcmp(argv[i], "--kill-pid"))
+            killPid = std::atol(val());
+        else if (!std::strcmp(argv[i], "--kill-at-ms"))
+            killAtMs = std::atoll(val());
+        else if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else {
+            usage(argv[0]);
+            return std::strcmp(argv[i], "--help") ? 1 : 0;
+        }
+    }
+    if (address.empty() || (durationMs <= 0 && count == 0) ||
+        conns <= 0) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    const std::vector<MixEntry> mix = parseMix(mixSpec);
+    int totalWeight = 0;
+    for (const MixEntry &m : mix)
+        totalWeight += m.weight;
+
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point end =
+        durationMs > 0 ? start + std::chrono::milliseconds(durationMs)
+                       : Clock::time_point::max();
+
+    std::thread killer;
+    if (killPid > 0) {
+        killer = std::thread([&] {
+            std::this_thread::sleep_until(
+                start + std::chrono::milliseconds(killAtMs));
+            ::kill(pid_t(killPid), SIGKILL);
+            std::fprintf(stderr,
+                         "loadgen: killed worker pid %ld at +%lld "
+                         "ms\n",
+                         killPid, (long long)killAtMs);
+        });
+    }
+
+    std::atomic<uint64_t> seq{0};
+    std::mutex mergeMu;
+    Tally total;
+    size_t secSlots = durationMs > 0 ? size_t(durationMs / 1000 + 2)
+                                     : size_t(1) << 10;
+    total.latBySec.resize(secSlots);
+
+    auto worker = [&] {
+        Client c;
+        if (retries >= 0)
+            c.setRetryPolicy({retries, RetryPolicy::fromEnv()
+                                           .backoffMs});
+        std::string err;
+        Tally t;
+        t.latBySec.resize(secSlots);
+        if (!c.connect(address, &err)) {
+            std::fprintf(stderr, "loadgen connect: %s\n",
+                         err.c_str());
+            t.sent = t.lost = 1;
+            std::lock_guard<std::mutex> lk(mergeMu);
+            total.sent += 1;
+            total.lost += 1;
+            return;
+        }
+        for (;;) {
+            uint64_t n =
+                seq.fetch_add(1, std::memory_order_relaxed);
+            if (count && n >= count)
+                break;
+            Clock::time_point sched = start;
+            if (rate > 0) {
+                sched += std::chrono::nanoseconds(
+                    uint64_t(double(n) * 1e9 / rate));
+                std::this_thread::sleep_until(sched);
+            } else {
+                sched = Clock::now();
+            }
+            if (sched >= end)
+                break;
+
+            uint64_t pick = splitmix64(n) % uint64_t(totalWeight);
+            ReqType ty = mix.back().type;
+            for (const MixEntry &m : mix) {
+                if (pick < uint64_t(m.weight)) {
+                    ty = m.type;
+                    break;
+                }
+                pick -= uint64_t(m.weight);
+            }
+            int slab = fixedSlab >= 0
+                           ? fixedSlab
+                           : int(n % uint64_t(Campaign::kSlabs));
+
+            t.sent++;
+            Status st = Status::Error;
+            switch (ty) {
+              case ReqType::Ping:
+                st = c.ping();
+                break;
+              case ReqType::Eval: {
+                PhasePerf pp;
+                DesignPoint dp = DesignPoint::composite(
+                    int(n % uint64_t(FeatureSet::count())),
+                    int(n % uint64_t(DesignPoint::kUarchCount)));
+                st = c.evalPoint(dp, int(n % uint64_t(phaseCount())),
+                                 &pp);
+                break;
+              }
+              case ReqType::Slab: {
+                std::vector<PhasePerf> perf;
+                st = c.slabPerf(slab, &perf);
+                break;
+              }
+              case ReqType::Table: {
+                std::string table;
+                st = c.tableOf(slab, &table);
+                break;
+              }
+              default:
+                break;
+            }
+            Clock::time_point done = Clock::now();
+            if (st == Status::Ok) {
+                t.ok++;
+                // Open-loop latency: measured from the scheduled
+                // arrival, so time spent waiting for a saturated
+                // server counts.
+                auto us =
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(done - sched)
+                        .count();
+                size_t sec =
+                    size_t(std::chrono::duration_cast<
+                               std::chrono::seconds>(sched - start)
+                               .count());
+                if (sec < secSlots)
+                    t.latBySec[sec].push_back(uint32_t(
+                        std::min<int64_t>(us, INT32_MAX)));
+            } else if (st == Status::Busy) {
+                t.busy++;
+            } else {
+                t.lost++;
+            }
+        }
+        std::lock_guard<std::mutex> lk(mergeMu);
+        total.sent += t.sent;
+        total.ok += t.ok;
+        total.busy += t.busy;
+        total.lost += t.lost;
+        for (size_t s = 0; s < secSlots; s++)
+            total.latBySec[s].insert(total.latBySec[s].end(),
+                                     t.latBySec[s].begin(),
+                                     t.latBySec[s].end());
+    };
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < conns; i++)
+        threads.emplace_back(worker);
+    for (std::thread &th : threads)
+        th.join();
+    if (killer.joinable())
+        killer.join();
+
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    std::vector<uint32_t> all;
+    for (const auto &v : total.latBySec)
+        all.insert(all.end(), v.begin(), v.end());
+    uint64_t p50 = pctOf(all, 0.50);
+    uint64_t p99 = pctOf(all, 0.99);
+    double rps = elapsed > 0 ? double(total.ok) / elapsed : 0;
+
+    if (json) {
+        std::printf("{\n");
+        std::printf("  \"sent\": %llu,\n",
+                    (unsigned long long)total.sent);
+        std::printf("  \"ok\": %llu,\n", (unsigned long long)total.ok);
+        std::printf("  \"busy\": %llu,\n",
+                    (unsigned long long)total.busy);
+        std::printf("  \"lost\": %llu,\n",
+                    (unsigned long long)total.lost);
+        std::printf("  \"rps\": %.1f,\n", rps);
+        std::printf("  \"p50_us\": %llu,\n", (unsigned long long)p50);
+        std::printf("  \"p99_us\": %llu,\n", (unsigned long long)p99);
+        std::printf("  \"timeline\": [");
+        bool first = true;
+        for (size_t s = 0; s < secSlots; s++) {
+            if (total.latBySec[s].empty())
+                continue;
+            std::printf("%s\n    {\"sec\": %zu, \"n\": %zu, "
+                        "\"p50_us\": %llu, \"p99_us\": %llu}",
+                        first ? "" : ",", s,
+                        total.latBySec[s].size(),
+                        (unsigned long long)pctOf(total.latBySec[s],
+                                                  0.50),
+                        (unsigned long long)pctOf(total.latBySec[s],
+                                                  0.99));
+            first = false;
+        }
+        std::printf("\n  ]\n}\n");
+    } else {
+        std::printf("loadgen: %llu sent, %llu ok, %llu busy, "
+                    "%llu lost in %.2fs (%.0f ok/s), "
+                    "p50 %llu us, p99 %llu us\n",
+                    (unsigned long long)total.sent,
+                    (unsigned long long)total.ok,
+                    (unsigned long long)total.busy,
+                    (unsigned long long)total.lost, elapsed, rps,
+                    (unsigned long long)p50,
+                    (unsigned long long)p99);
+        for (size_t s = 0; s < secSlots; s++) {
+            if (total.latBySec[s].empty())
+                continue;
+            std::printf("  sec %2zu: %6zu ok, p50 %6llu us, "
+                        "p99 %6llu us\n",
+                        s, total.latBySec[s].size(),
+                        (unsigned long long)pctOf(total.latBySec[s],
+                                                  0.50),
+                        (unsigned long long)pctOf(total.latBySec[s],
+                                                  0.99));
+        }
+    }
+    return total.lost == 0 ? 0 : 2;
+}

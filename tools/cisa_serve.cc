@@ -1,14 +1,20 @@
 /**
  * @file
- * The cisa-serve daemon: binds the service socket, serves requests
- * until SIGTERM/SIGINT, then drains gracefully and prints the final
- * per-endpoint stats.
+ * The cisa-serve daemon: binds the service address (UNIX socket or
+ * TCP host:port), serves requests until SIGTERM/SIGINT, then drains
+ * gracefully and prints the final per-endpoint stats.
  *
  * Usage:
- *   cisa_serve [--socket PATH] [--queue N] [--workers N] [--cache N]
+ *   cisa_serve [--address ADDR] [--queue N] [--workers N]
+ *              [--cache N] [--print-address FILE]
  *
  * Every flag defaults to its CISA_SERVE_* environment knob (see
  * src/common/env.hh); flags win over the environment.
+ *
+ * --print-address writes the actually-bound address (one line) to
+ * FILE once the daemon is listening. With a TCP "host:0" address
+ * that is the only way a fleet launcher learns the kernel-assigned
+ * port — scripts/fleet_smoke.sh and the fleet bench rely on it.
  */
 
 #include <csignal>
@@ -37,13 +43,19 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--socket PATH] [--queue N] [--workers N] "
-        "[--cache N]\n"
-        "  --socket PATH  UNIX socket path (CISA_SERVE_SOCKET)\n"
-        "  --queue N      queue bound, BUSY beyond it "
+        "usage: %s [--address ADDR] [--queue N] [--workers N] "
+        "[--cache N] [--print-address FILE]\n"
+        "  --address ADDR        UNIX path or TCP host:port "
+        "(CISA_SERVE_SOCKET)\n"
+        "  --socket PATH         alias for --address\n"
+        "  --queue N             queue bound, BUSY beyond it "
         "(CISA_SERVE_QUEUE)\n"
-        "  --workers N    dispatcher threads (CISA_SERVE_WORKERS)\n"
-        "  --cache N      cached responses (CISA_SERVE_CACHE)\n",
+        "  --workers N           dispatcher threads "
+        "(CISA_SERVE_WORKERS)\n"
+        "  --cache N             cached responses "
+        "(CISA_SERVE_CACHE)\n"
+        "  --print-address FILE  write the bound address to FILE "
+        "(host:0 resolves the port)\n",
         argv0);
 }
 
@@ -53,6 +65,7 @@ int
 main(int argc, char **argv)
 {
     Server::Options opts;
+    const char *printAddress = nullptr;
     for (int i = 1; i < argc; i++) {
         auto val = [&]() -> const char * {
             if (i + 1 >= argc) {
@@ -61,14 +74,17 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (!std::strcmp(argv[i], "--socket")) {
-            opts.socketPath = val();
+        if (!std::strcmp(argv[i], "--address") ||
+            !std::strcmp(argv[i], "--socket")) {
+            opts.address = val();
         } else if (!std::strcmp(argv[i], "--queue")) {
             opts.exec.queueBound = std::atoi(val());
         } else if (!std::strcmp(argv[i], "--workers")) {
             opts.exec.workers = std::atoi(val());
         } else if (!std::strcmp(argv[i], "--cache")) {
             opts.exec.cacheEntries = std::atoi(val());
+        } else if (!std::strcmp(argv[i], "--print-address")) {
+            printAddress = val();
         } else {
             usage(argv[0]);
             return std::strcmp(argv[i], "--help") ? 1 : 0;
@@ -80,6 +96,16 @@ main(int argc, char **argv)
     if (!server.start(&err)) {
         std::fprintf(stderr, "cisa_serve: %s\n", err.c_str());
         return 1;
+    }
+    if (printAddress) {
+        FILE *f = std::fopen(printAddress, "w");
+        if (!f) {
+            std::fprintf(stderr, "cisa_serve: cannot write %s\n",
+                         printAddress);
+            return 1;
+        }
+        std::fprintf(f, "%s\n", server.boundAddress().c_str());
+        std::fclose(f);
     }
 
     g_server = &server;
