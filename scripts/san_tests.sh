@@ -1,0 +1,48 @@
+#!/bin/sh
+# Build and run the fault-injection-heavy tests under each sanitizer
+# configuration. The fault plane's whole point is to exercise rarely
+# taken error paths; this makes sure those paths are also clean under
+# ASan+UBSan (memory / UB), UBSan alone, and TSan (the injected
+# failures race against the executor pool, the router's health prober
+# and the slab store's cross-process locking).
+#
+# Not registered with ctest (it configures and builds three extra
+# trees); run it by hand or from CI:
+#
+#   scripts/san_tests.sh [jobs]
+set -eu
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+tests="test_faultinject test_slabstore test_service"
+
+run_config() {
+    name="$1"
+    opt="$2"
+    dir="$root/build-$name"
+    echo "=== $name: cmake -D$opt=ON ==="
+    mkdir -p "$dir"
+    cmake -S "$root" -B "$dir" -D"$opt"=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >"$dir/configure.log" \
+        2>&1 || {
+        cat "$dir/configure.log" >&2
+        exit 1
+    }
+    # shellcheck disable=SC2086  # $tests is a deliberate word list
+    cmake --build "$dir" -j "$jobs" --target $tests \
+        >"$dir/build.log" 2>&1 || {
+        tail -40 "$dir/build.log" >&2
+        exit 1
+    }
+    for t in $tests; do
+        echo "--- $name/$t ---"
+        CISA_THREADS=4 "$dir/tests/$t"
+    done
+}
+
+run_config asan CISA_ENABLE_ASAN
+run_config ubsan CISA_ENABLE_UBSAN
+run_config tsan CISA_ENABLE_TSAN
+
+echo "san tests: ok (asan+ubsan, ubsan, tsan)"

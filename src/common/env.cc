@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include <sys/stat.h>
+
 #include "common/logging.hh"
 
 namespace cisa
@@ -102,7 +104,23 @@ simWarmupUops()
 std::string
 dseCachePath()
 {
-    return envStr("CISA_DSE_CACHE", "dse_cache.bin");
+    std::string v = envStr("CISA_DSE_CACHE", "");
+    if (!v.empty())
+        return v;
+    // Documented home (README knob table):
+    // ${XDG_CACHE_HOME:-$HOME/.cache}/cisa/dse_cache.bin. Created
+    // best-effort; the slab store copes with an unopenable path.
+    std::string base = envStr("XDG_CACHE_HOME", "");
+    if (base.empty()) {
+        std::string home = envStr("HOME", "");
+        if (home.empty())
+            return "dse_cache.bin"; // last resort: CWD, as before
+        base = home + "/.cache";
+    }
+    ::mkdir(base.c_str(), 0755);
+    std::string dir = base + "/cisa";
+    ::mkdir(dir.c_str(), 0755);
+    return dir + "/dse_cache.bin";
 }
 
 bool
@@ -205,6 +223,52 @@ int
 routerHealthMs()
 {
     return int(envIntRange("CISA_ROUTER_HEALTH_MS", 250, 10, 60000));
+}
+
+int
+breakerFails()
+{
+    return int(envIntRange("CISA_BREAKER_FAILS", 3, 1, 1000));
+}
+
+int
+breakerCooldownMs()
+{
+    return int(
+        envIntRange("CISA_BREAKER_COOLDOWN_MS", 200, 10, 600000));
+}
+
+bool
+staleServeEnabled()
+{
+    return envInt("CISA_STALE_SERVE", 1) != 0;
+}
+
+int
+superviseBackoffMs()
+{
+    return int(
+        envIntRange("CISA_SUPERVISE_BACKOFF_MS", 100, 1, 60000));
+}
+
+int
+superviseBackoffMaxMs()
+{
+    return int(envIntRange("CISA_SUPERVISE_BACKOFF_MAX_MS", 5000, 1,
+                           600000));
+}
+
+int
+superviseStableMs()
+{
+    return int(
+        envIntRange("CISA_SUPERVISE_STABLE_MS", 1000, 0, 600000));
+}
+
+int
+superviseCrashLoop()
+{
+    return int(envIntRange("CISA_SUPERVISE_CRASHLOOP", 5, 1, 1000));
 }
 
 } // namespace cisa

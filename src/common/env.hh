@@ -43,7 +43,14 @@ uint64_t simUopBudget();
 /** Warm-up micro-ops before timing starts. */
 uint64_t simWarmupUops();
 
-/** Path of the design-space-exploration result cache. */
+/**
+ * Path of the design-space-exploration result cache
+ * (CISA_DSE_CACHE). Unset, the store lives in the per-user cache
+ * home — ${XDG_CACHE_HOME:-$HOME/.cache}/cisa/dse_cache.bin — so
+ * tools share one warm cache regardless of the directory they were
+ * launched from (the directory is created best-effort; with no HOME
+ * either, the old CWD-relative dse_cache.bin is the last resort).
+ */
 std::string dseCachePath();
 
 /** Whether the DSE slab store is opened read-only
@@ -120,6 +127,38 @@ int routerPoolConns();
 /** Router health-check period in milliseconds
  * (CISA_ROUTER_HEALTH_MS). */
 int routerHealthMs();
+
+/** Consecutive exchange failures that trip a worker's circuit
+ * breaker open (CISA_BREAKER_FAILS). */
+int breakerFails();
+
+/** How long a tripped breaker stays open before one half-open probe
+ * is allowed through, in milliseconds (CISA_BREAKER_COOLDOWN_MS). */
+int breakerCooldownMs();
+
+/** Degraded-mode serving: answer cacheable requests from the LRU
+ * with an explicit stale flag (instead of BUSY) while the executor
+ * is draining or its queue is full (CISA_STALE_SERVE, default on). */
+bool staleServeEnabled();
+
+/** Supervisor: base restart backoff in milliseconds after a worker
+ * death (CISA_SUPERVISE_BACKOFF_MS); doubles per consecutive
+ * short-lived run. */
+int superviseBackoffMs();
+
+/** Supervisor: cap on the exponential restart backoff
+ * (CISA_SUPERVISE_BACKOFF_MAX_MS). */
+int superviseBackoffMaxMs();
+
+/** Supervisor: a worker that lives at least this long resets the
+ * backoff and the crash-loop streak (CISA_SUPERVISE_STABLE_MS). */
+int superviseStableMs();
+
+/** Supervisor: consecutive short-lived runs after which a worker is
+ * declared crash-looping — it stays in the rotation but is pinned at
+ * the maximum backoff and counted in stats
+ * (CISA_SUPERVISE_CRASHLOOP). */
+int superviseCrashLoop();
 
 } // namespace cisa
 

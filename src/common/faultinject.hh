@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic fault injection for syscall boundaries.
+ *
+ * Every IO edge of the serving stack (socket read/write/connect/
+ * accept, slab-store open/write/fsync/rename, executor compute)
+ * funnels through a named *fault site*. A site is normally a no-op:
+ * when `CISA_FAULTS` is unset the only cost on the hot path is one
+ * relaxed atomic load (faultArmed()). When armed, each check walks a
+ * per-site configuration — trigger probability, every-nth counters,
+ * injected errno, added latency — and the decision stream is drawn
+ * from a per-site Pcg32 seeded as
+ * hashCombine(CISA_FAULTS_SEED, site), so a single-threaded caller
+ * replays the exact same fault schedule for the same seed, and a
+ * multi-threaded fleet replays the same statistics.
+ *
+ * Spec grammar (env `CISA_FAULTS`, or faultConfigure() from tests):
+ *
+ *   site:key=val[,key=val...][;site:...]
+ *
+ *   sites  net.read net.write net.connect net.accept
+ *          disk.open disk.write disk.fsync disk.rename exec.delay
+ *   keys   p=F       fire each check with probability F (0..1)
+ *          nth=N     fire every Nth check (1-based; nth=3 fires on
+ *                    checks 3, 6, 9, ...)
+ *          errno=E   errno to inject (named, e.g. EPIPE, or numeric);
+ *                    defaults per site (see faultSiteErrno)
+ *          ms=N      sleep N milliseconds when the site fires
+ *          count=N   stop firing after N hits (0 = unlimited)
+ *          short=N   disk.write only: bytes actually written before
+ *                    the injected failure (default: half the buffer)
+ *
+ * Counters (checks + fires per site) are exported through the fleet
+ * stats roll-up so a chaos run can prove its faults actually landed.
+ */
+
+#ifndef CISA_COMMON_FAULTINJECT_HH
+#define CISA_COMMON_FAULTINJECT_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cisa
+{
+
+enum class FaultSite : int {
+    NetRead = 0,
+    NetWrite,
+    NetConnect,
+    NetAccept,
+    DiskOpen,
+    DiskWrite,
+    DiskFsync,
+    DiskRename,
+    ExecDelay,
+    kCount,
+};
+
+constexpr int kFaultSiteCount = int(FaultSite::kCount);
+
+/** Stable wire/spec name of a site ("net.read", "disk.fsync", ...). */
+const char *faultSiteName(FaultSite s);
+
+/** Default errno a site injects when the spec names none. */
+int faultSiteErrno(FaultSite s);
+
+namespace detail
+{
+extern std::atomic<bool> faultArmedFlag;
+} // namespace detail
+
+/**
+ * Fast gate: true iff any fault site is configured. A relaxed load —
+ * this is the entire cost of an unarmed fault check, so callers can
+ * leave checks on every production path.
+ */
+inline bool
+faultArmed()
+{
+    return detail::faultArmedFlag.load(std::memory_order_relaxed);
+}
+
+/**
+ * Slow-path check for one site. Counts the check, decides whether the
+ * fault fires (per-site seeded RNG / nth counters), applies any
+ * configured sleep, and on fire sets `errno` to the injected value.
+ *
+ * @return true when the fault fires and the caller should fail the
+ *         operation (except exec.delay, where firing only delays).
+ */
+bool faultPoint(FaultSite s);
+
+/** armed-gate + faultPoint in one call. */
+inline bool
+faultHit(FaultSite s)
+{
+    return faultArmed() && faultPoint(s);
+}
+
+/**
+ * How many bytes a fired disk.write should actually write before
+ * failing (the torn-record length). Honors `short=`; defaults to
+ * n / 2 so a fired write always tears rather than cleanly failing.
+ */
+size_t faultShortBytes(size_t n);
+
+/**
+ * (Re)configure the plane from a spec string. An empty spec disarms
+ * every site. Resets all counters and reseeds every per-site stream
+ * from `seed`. Returns false (and fills *err) on a malformed spec,
+ * leaving the previous configuration in place.
+ */
+bool faultConfigure(const std::string &spec, uint64_t seed = 1,
+                    std::string *err = nullptr);
+
+/** Per-site counter snapshot, for the stats roll-up. */
+struct FaultCounterSnap {
+    std::string site;
+    uint64_t checks = 0;
+    uint64_t fired = 0;
+};
+
+/**
+ * Counters for every site that is configured or has been checked
+ * while armed. Empty when the plane has never been armed.
+ */
+std::vector<FaultCounterSnap> faultSnapshot();
+
+} // namespace cisa
+
+#endif // CISA_COMMON_FAULTINJECT_HH

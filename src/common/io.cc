@@ -1,0 +1,137 @@
+#include "common/io.hh"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <stdio.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/faultinject.hh"
+
+namespace cisa
+{
+
+bool
+ioSendAll(int fd, const uint8_t *p, size_t n)
+{
+    if (faultHit(FaultSite::NetWrite))
+        return false;
+    while (n > 0) {
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += size_t(w);
+        n -= size_t(w);
+    }
+    return true;
+}
+
+ssize_t
+ioRecvAll(int fd, uint8_t *p, size_t n)
+{
+    if (faultHit(FaultSite::NetRead))
+        return -1;
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            break;
+        got += size_t(r);
+    }
+    return ssize_t(got);
+}
+
+bool
+ioWriteFileAll(int fd, const void *buf, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(buf);
+    size_t tear = n;
+    bool fail = false;
+    if (faultHit(FaultSite::DiskWrite)) {
+        // Write a torn prefix for real before failing, so the file
+        // ends up with the partial record a crashed writer leaves.
+        int err = errno;
+        tear = faultShortBytes(n);
+        errno = err;
+        fail = true;
+    }
+    int failErrno = errno;
+    size_t left = tear;
+    while (left > 0) {
+        ssize_t w = ::write(fd, p, left);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += size_t(w);
+        left -= size_t(w);
+    }
+    if (fail) {
+        errno = failErrno;
+        return false;
+    }
+    return true;
+}
+
+ssize_t
+ioPreadAll(int fd, void *buf, size_t n, off_t off)
+{
+    uint8_t *p = static_cast<uint8_t *>(buf);
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::pread(fd, p + got, n - got, off + off_t(got));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            break;
+        got += size_t(r);
+    }
+    return ssize_t(got);
+}
+
+int
+ioFsync(int fd)
+{
+    if (faultHit(FaultSite::DiskFsync))
+        return -1;
+    int r;
+    do {
+        r = ::fsync(fd);
+    } while (r < 0 && errno == EINTR);
+    return r;
+}
+
+int
+ioRename(const char *oldPath, const char *newPath)
+{
+    if (faultHit(FaultSite::DiskRename))
+        return -1;
+    return ::rename(oldPath, newPath);
+}
+
+int
+ioOpen(const char *path, int flags, unsigned mode)
+{
+    if (faultHit(FaultSite::DiskOpen))
+        return -1;
+    int fd;
+    do {
+        fd = ::open(path, flags, mode);
+    } while (fd < 0 && errno == EINTR);
+    return fd;
+}
+
+} // namespace cisa

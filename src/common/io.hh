@@ -1,0 +1,66 @@
+/**
+ * @file
+ * EINTR-safe IO helpers shared by the frame codec, the slab store,
+ * and the fleet tools. Before this header the serving stack carried
+ * four private copies of the retry loops (frame.cc send/read,
+ * slabstore.cc write/pread); deduplicating them here gives the
+ * fault-injection plane (common/faultinject.hh) a single
+ * instrumentation point per syscall class — every caller inherits
+ * net.read / net.write / disk.write / disk.fsync / disk.rename /
+ * disk.open coverage for free.
+ *
+ * Socket helpers use send(MSG_NOSIGNAL) so a peer that disconnects
+ * mid-write surfaces as EPIPE instead of killing the process with
+ * SIGPIPE.
+ */
+
+#ifndef CISA_COMMON_IO_HH
+#define CISA_COMMON_IO_HH
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cisa
+{
+
+/**
+ * Write all @p n bytes to a socket, retrying EINTR. Fault site
+ * net.write. @return true on success; false with errno set.
+ */
+bool ioSendAll(int fd, const uint8_t *p, size_t n);
+
+/**
+ * Read exactly @p n bytes from a socket/pipe, retrying EINTR. Fault
+ * site net.read. @return bytes read (short only on EOF), or -1 with
+ * errno set.
+ */
+ssize_t ioRecvAll(int fd, uint8_t *p, size_t n);
+
+/**
+ * Write all @p n bytes to a file descriptor with write(2), retrying
+ * EINTR. Fault site disk.write: an injected failure first writes a
+ * torn prefix (faultShortBytes) so crash-consistency code sees a
+ * realistic partial record, then fails. @return true on success.
+ */
+bool ioWriteFileAll(int fd, const void *p, size_t n);
+
+/**
+ * pread(2) exactly @p n bytes at @p off, retrying EINTR. @return
+ * bytes read (short only on EOF), or -1 with errno set.
+ */
+ssize_t ioPreadAll(int fd, void *p, size_t n, off_t off);
+
+/** fsync(2) through fault site disk.fsync. @return 0 or -1. */
+int ioFsync(int fd);
+
+/** rename(2) through fault site disk.rename. @return 0 or -1. */
+int ioRename(const char *oldPath, const char *newPath);
+
+/** open(2) through fault site disk.open. @return fd or -1. */
+int ioOpen(const char *path, int flags, unsigned mode = 0);
+
+} // namespace cisa
+
+#endif // CISA_COMMON_IO_HH

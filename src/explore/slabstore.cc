@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/hash.hh"
+#include "common/io.hh"
 #include "common/logging.hh"
 
 namespace cisa
@@ -40,22 +41,6 @@ fsyncDirOf(const std::string &path)
         ::fsync(fd);
         ::close(fd);
     }
-}
-
-bool
-writeAllFd(int fd, const uint8_t *p, size_t n)
-{
-    while (n > 0) {
-        ssize_t w = ::write(fd, p, n);
-        if (w < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += size_t(w);
-        n -= size_t(w);
-    }
-    return true;
 }
 
 uint32_t
@@ -204,7 +189,7 @@ int
 SlabStore::openLocked(int flags, int lockop)
 {
     for (int attempt = 0; attempt < 16; attempt++) {
-        int fd = ::open(path_.c_str(), flags, 0644);
+        int fd = ioOpen(path_.c_str(), flags, 0644);
         if (fd < 0)
             return -1;
         if (::flock(fd, lockop | LOCK_NB) != 0) {
@@ -244,21 +229,11 @@ SlabStore::readAll(int fd, std::vector<uint8_t> *out)
     if (::fstat(fd, &st) != 0 || st.st_size < 0)
         return false;
     out->resize(size_t(st.st_size));
-    size_t got = 0;
-    while (got < out->size()) {
-        ssize_t r = ::pread(fd, out->data() + got,
-                            out->size() - got, off_t(got));
-        if (r < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        if (r == 0) { // shrank under us (shouldn't: we hold a lock)
-            out->resize(got);
-            break;
-        }
-        got += size_t(r);
-    }
+    ssize_t got = ioPreadAll(fd, out->data(), out->size(), 0);
+    if (got < 0)
+        return false;
+    // Short read: shrank under us (shouldn't: we hold a lock).
+    out->resize(size_t(got));
     return true;
 }
 
@@ -443,7 +418,7 @@ SlabStore::quarantine()
         return;
     }
     std::string dst = path_ + ".corrupt";
-    if (::rename(path_.c_str(), dst.c_str()) == 0) {
+    if (ioRename(path_.c_str(), dst.c_str()) == 0) {
         fsyncDirOf(path_);
         quarantined_.fetch_add(1, std::memory_order_relaxed);
         warn("quarantining DSE cache %s -> %s (%s)", path_.c_str(),
@@ -497,17 +472,17 @@ SlabStore::compact()
     }
     std::string tmp =
         path_ + ".tmp." + std::to_string(uint64_t(::getpid()));
-    int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    int tfd = ioOpen(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (tfd < 0) {
         ::close(fd);
         return;
     }
     bool ok = true;
     for (const RecView *rv : keep)
-        ok = ok && writeAllFd(tfd, buf.data() + rv->off, rv->len);
-    ok = ok && ::fsync(tfd) == 0;
+        ok = ok && ioWriteFileAll(tfd, buf.data() + rv->off, rv->len);
+    ok = ok && ioFsync(tfd) == 0;
     ::close(tfd);
-    if (!ok || ::rename(tmp.c_str(), path_.c_str()) != 0) {
+    if (!ok || ioRename(tmp.c_str(), path_.c_str()) != 0) {
         ::unlink(tmp.c_str());
         ::close(fd);
         return;
@@ -543,8 +518,8 @@ SlabStore::append(int slab, const float *vals, size_t n)
         warn("cannot open DSE cache %s for append", path_.c_str());
         return false;
     }
-    bool ok = writeAllFd(fd, buf.data(), buf.size());
-    ok = ok && ::fsync(fd) == 0;
+    bool ok = ioWriteFileAll(fd, buf.data(), buf.size());
+    ok = ok && ioFsync(fd) == 0;
     struct stat st{};
     if (ok && ::fstat(fd, &st) == 0) {
         appended_.fetch_add(1, std::memory_order_relaxed);

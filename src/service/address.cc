@@ -11,6 +11,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 
 namespace cisa
@@ -201,6 +202,11 @@ listenOn(const std::string &addr, int backlog, std::string *bound,
 int
 connectTo(const std::string &addr, std::string *err)
 {
+    if (faultHit(FaultSite::NetConnect)) {
+        fail(err, strfmt("connect(%s): %s", addr.c_str(),
+                         std::strerror(errno)));
+        return -1;
+    }
     std::string path;
     if (unixPathOf(addr, &path)) {
         sockaddr_un sun{};

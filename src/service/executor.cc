@@ -1,8 +1,10 @@
 #include "service/executor.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/env.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -14,7 +16,9 @@ namespace cisa
 /**
  * One admitted computation, possibly shared by several coalesced
  * waiters. All fields are guarded by the executor's mutex except the
- * token (internally atomic) and the immutable request/key.
+ * immutable request/key and the token and waiter count, which are
+ * atomic: a worker reads both outside the lock while computing (to
+ * notice cancellation and to label the failure it produces).
  */
 class Executor::Job
 {
@@ -26,7 +30,7 @@ class Executor::Job
     CancelToken token;
 
     Clock::time_point submitTime{};
-    int waiters = 0;      ///< attached, not yet timed out
+    std::atomic<int> waiters{0}; ///< attached, not yet timed out
     bool done = false;
     Response resp;
 };
@@ -36,7 +40,9 @@ Executor::Executor(const Options &opts)
       bound_(opts.queueBound > 0 ? size_t(opts.queueBound)
                                  : size_t(serveQueueBound())),
       cacheCap_(opts.cacheEntries >= 0 ? size_t(opts.cacheEntries)
-                                       : size_t(serveCacheEntries()))
+                                       : size_t(serveCacheEntries())),
+      staleServe_(opts.staleServe >= 0 ? opts.staleServe != 0
+                                       : staleServeEnabled())
 {
     int n = opts.workers > 0 ? opts.workers : serveWorkers();
     workers_.reserve(size_t(n));
@@ -96,19 +102,30 @@ Executor::submit(const Request &req, uint32_t deadline_ms,
 
     std::unique_lock<std::mutex> lk(mu_);
 
+    // Degraded-mode serving: when the executor cannot take fresh
+    // work (draining, or the queue is at bound), a cacheable request
+    // whose answer sits in the LRU is served from it with the stale
+    // flag set instead of BUSY. The body is still exact — responses
+    // are deterministic — the flag marks the serving mode, not the
+    // content. CISA_STALE_SERVE=0 restores the strict behaviour
+    // (drain answers BUSY even on a hit).
+    if (req.cacheable()) {
+        auto it = cacheIdx_.find(key);
+        if (it != cacheIdx_.end() && !(draining_ && !staleServe_)) {
+            bool degraded = draining_ || queue_.size() >= bound_;
+            cache_.splice(cache_.begin(), cache_, it->second);
+            *cached = it->second->second;
+            cached->stale = degraded && staleServe_;
+            m.cacheHits.fetch_add(1, std::memory_order_relaxed);
+            if (cached->stale)
+                m.stale.fetch_add(1, std::memory_order_relaxed);
+            return Admit::CacheHit;
+        }
+    }
+
     if (draining_) {
         m.busy.fetch_add(1, std::memory_order_relaxed);
         return Admit::Busy;
-    }
-
-    if (req.cacheable()) {
-        auto it = cacheIdx_.find(key);
-        if (it != cacheIdx_.end()) {
-            cache_.splice(cache_.begin(), cache_, it->second);
-            *cached = it->second->second;
-            m.cacheHits.fetch_add(1, std::memory_order_relaxed);
-            return Admit::CacheHit;
-        }
     }
 
     // Coalesce with a queued or running twin: same key, same
@@ -167,8 +184,7 @@ Executor::wait(const JobPtr &job, uint32_t deadline_ms)
     if (timed_out) {
         // Detach; if nobody else cares, cancel the computation so a
         // dispatcher (or the queue) doesn't keep burning time on it.
-        job->waiters--;
-        if (job->waiters == 0)
+        if (--job->waiters == 0)
             job->token.cancel();
         m.deadline.fetch_add(1, std::memory_order_relaxed);
         return Response::fail(
@@ -302,6 +318,11 @@ Executor::workerLoop()
                                       : Status::Deadline,
                                   "expired before execution");
         } else {
+            // exec.delay fault site: inject compute latency so
+            // deadline/shed behaviour can be driven deterministically
+            // (the fired "fault" is the sleep; the result is fine).
+            if (faultArmed())
+                faultPoint(FaultSite::ExecDelay);
             try {
                 resp = handler_ ? handler_(job->req, job->token)
                                 : runHandler(job->req, job->token);

@@ -75,6 +75,9 @@ class Executor
         int queueBound = 0;   ///< 0 = CISA_SERVE_QUEUE
         int workers = 0;      ///< 0 = CISA_SERVE_WORKERS
         int cacheEntries = -1; ///< -1 = CISA_SERVE_CACHE
+        /** Degraded-mode stale serving (see submit());
+         * -1 = CISA_STALE_SERVE. */
+        int staleServe = -1;
         Handler handler;      ///< null = built-in dispatch
     };
 
@@ -141,6 +144,7 @@ class Executor
     Handler handler_;
     size_t bound_;
     size_t cacheCap_;
+    bool staleServe_;
     ServiceMetrics metrics_;
 
     mutable std::mutex mu_;

@@ -3,10 +3,8 @@
 #include <cerrno>
 #include <cstring>
 
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include "common/hash.hh"
+#include "common/io.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
 
@@ -66,54 +64,12 @@ decodeFrame(const uint8_t *data, size_t n, size_t *pos, Frame *out,
     return FrameDecode::Ok;
 }
 
-namespace
-{
-
-bool
-writeAll(int fd, const uint8_t *p, size_t n)
-{
-    while (n > 0) {
-        // MSG_NOSIGNAL: a client that disconnected mid-response
-        // must surface as EPIPE, not kill the daemon with SIGPIPE.
-        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
-        if (w < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += size_t(w);
-        n -= size_t(w);
-    }
-    return true;
-}
-
-/** @return bytes read (short on EOF), or -1 on error. */
-ssize_t
-readAll(int fd, uint8_t *p, size_t n)
-{
-    size_t got = 0;
-    while (got < n) {
-        ssize_t r = ::read(fd, p + got, n - got);
-        if (r < 0) {
-            if (errno == EINTR)
-                continue;
-            return -1;
-        }
-        if (r == 0)
-            break;
-        got += size_t(r);
-    }
-    return ssize_t(got);
-}
-
-} // namespace
-
 bool
 writeFrame(int fd, FrameKind kind,
            const std::vector<uint8_t> &payload)
 {
     std::vector<uint8_t> bytes = encodeFrame(kind, payload);
-    return writeAll(fd, bytes.data(), bytes.size());
+    return ioSendAll(fd, bytes.data(), bytes.size());
 }
 
 FrameRead
@@ -125,11 +81,15 @@ readFrame(int fd, Frame *out, std::string *err)
         return FrameRead::Bad;
     };
     uint8_t hdr[kFrameHeaderBytes];
-    ssize_t got = readAll(fd, hdr, sizeof(hdr));
+    ssize_t got = ioRecvAll(fd, hdr, sizeof(hdr));
     if (got == 0)
         return FrameRead::Eof;
+    // A read(2) error is a transport failure, not a protocol
+    // violation: report Eof so servers close without answering
+    // (a BadRequest reply would make clients treat a retryable
+    // transport fault as a permanent loss).
     if (got < 0)
-        return bad(strfmt("read: %s", std::strerror(errno)));
+        return FrameRead::Eof;
     if (size_t(got) < sizeof(hdr))
         return bad("disconnect inside frame header");
 
@@ -154,9 +114,9 @@ readFrame(int fd, Frame *out, std::string *err)
     // costs no per-frame allocation.
     std::vector<uint8_t> &payload = out->payload;
     payload.resize(len);
-    got = readAll(fd, payload.data(), len);
+    got = ioRecvAll(fd, payload.data(), len);
     if (got < 0)
-        return bad(strfmt("read: %s", std::strerror(errno)));
+        return FrameRead::Eof; // socket error: stream is dead
     if (size_t(got) < len)
         return bad("disconnect inside frame payload");
     if (frameChecksum(payload.data(), payload.size()) != sum)
@@ -175,11 +135,11 @@ readFrameWire(int fd, std::vector<uint8_t> *wire, FrameKind *kind,
         return FrameRead::Bad;
     };
     uint8_t hdr[kFrameHeaderBytes];
-    ssize_t got = readAll(fd, hdr, sizeof(hdr));
+    ssize_t got = ioRecvAll(fd, hdr, sizeof(hdr));
     if (got == 0)
         return FrameRead::Eof;
     if (got < 0)
-        return bad(strfmt("read: %s", std::strerror(errno)));
+        return FrameRead::Eof; // socket error: see readFrame
     if (size_t(got) < sizeof(hdr))
         return bad("disconnect inside frame header");
 
@@ -201,9 +161,9 @@ readFrameWire(int fd, std::vector<uint8_t> *wire, FrameKind *kind,
 
     wire->resize(kFrameHeaderBytes + len);
     std::memcpy(wire->data(), hdr, sizeof(hdr));
-    got = readAll(fd, wire->data() + kFrameHeaderBytes, len);
+    got = ioRecvAll(fd, wire->data() + kFrameHeaderBytes, len);
     if (got < 0)
-        return bad(strfmt("read: %s", std::strerror(errno)));
+        return FrameRead::Eof; // socket error: see readFrame
     if (size_t(got) < len)
         return bad("disconnect inside frame payload");
     if (verify &&
@@ -217,7 +177,7 @@ readFrameWire(int fd, std::vector<uint8_t> *wire, FrameKind *kind,
 bool
 writeWire(int fd, const std::vector<uint8_t> &wire)
 {
-    return writeAll(fd, wire.data(), wire.size());
+    return ioSendAll(fd, wire.data(), wire.size());
 }
 
 } // namespace cisa

@@ -85,7 +85,8 @@ bool writeFrame(int fd, FrameKind kind,
 enum class FrameRead
 {
     Ok,
-    Eof, ///< clean close before any header byte
+    Eof, ///< clean close before any header byte, or a socket error
+         ///< (the stream is dead either way: close, don't answer)
     Bad  ///< corrupt frame or mid-frame disconnect; see err
 };
 

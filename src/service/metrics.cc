@@ -83,6 +83,7 @@ StatsSnap::merge(const StatsSnap &w)
         a.ok += b.ok;
         a.coalesced += b.coalesced;
         a.cacheHits += b.cacheHits;
+        a.stale += b.stale;
         a.busy += b.busy;
         a.deadline += b.deadline;
         a.errors += b.errors;
@@ -102,6 +103,27 @@ StatsSnap::merge(const StatsSnap &w)
     reroutes += w.reroutes;
     workersUp += w.workersUp;
     workersKnown += w.workersKnown;
+    breakerTrips += w.breakerTrips;
+    breakerProbes += w.breakerProbes;
+    breakerRecoveries += w.breakerRecoveries;
+    breakerOpenNow += w.breakerOpenNow;
+    deadlineShed += w.deadlineShed;
+    workersSupervised += w.workersSupervised;
+    supervisorRestarts += w.supervisorRestarts;
+    supervisorCrashLoops += w.supervisorCrashLoops;
+    for (const FaultCounterSnap &f : w.faults) {
+        bool found = false;
+        for (FaultCounterSnap &mine : faults) {
+            if (mine.site == f.site) {
+                mine.checks += f.checks;
+                mine.fired += f.fired;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            faults.push_back(f);
+    }
     store.loaded += w.store.loaded;
     store.salvaged += w.store.salvaged;
     store.stale += w.store.stale;
@@ -126,8 +148,9 @@ StatsSnap::render() const
                    (unsigned long long)queuePeak,
                    (unsigned long long)inFlight,
                    draining ? ", draining" : ""));
-    t.header({"endpoint", "req", "ok", "coal", "cache", "busy",
-              "ddl", "err", "kbin", "kbout", "p50us", "p99us"});
+    t.header({"endpoint", "req", "ok", "coal", "cache", "stale",
+              "busy", "ddl", "err", "kbin", "kbout", "p50us",
+              "p99us"});
     for (size_t i = 0; i < ep.size(); i++) {
         const EndpointSnap &e = ep[i];
         if (!e.requests)
@@ -136,6 +159,7 @@ StatsSnap::render() const
                Table::num(int64_t(e.ok)),
                Table::num(int64_t(e.coalesced)),
                Table::num(int64_t(e.cacheHits)),
+               Table::num(int64_t(e.stale)),
                Table::num(int64_t(e.busy)),
                Table::num(int64_t(e.deadline)),
                Table::num(int64_t(e.errors)),
@@ -160,6 +184,31 @@ StatsSnap::render() const
                        (unsigned long long)workersUp,
                        (unsigned long long)workersKnown,
                        (unsigned long long)reroutes);
+    }
+    if (breakerTrips || breakerProbes || breakerRecoveries ||
+        breakerOpenNow || deadlineShed) {
+        body += strfmt(
+            "breakers: %llu open now, %llu trips, %llu probes, "
+            "%llu recoveries, %llu deadline-shed\n",
+            (unsigned long long)breakerOpenNow,
+            (unsigned long long)breakerTrips,
+            (unsigned long long)breakerProbes,
+            (unsigned long long)breakerRecoveries,
+            (unsigned long long)deadlineShed);
+    }
+    if (workersSupervised || supervisorRestarts ||
+        supervisorCrashLoops) {
+        body += strfmt(
+            "supervisor: %llu workers, %llu restarts, "
+            "%llu crash-looping\n",
+            (unsigned long long)workersSupervised,
+            (unsigned long long)supervisorRestarts,
+            (unsigned long long)supervisorCrashLoops);
+    }
+    for (const FaultCounterSnap &f : faults) {
+        body += strfmt("fault %s: %llu checks, %llu fired\n",
+                       f.site.c_str(), (unsigned long long)f.checks,
+                       (unsigned long long)f.fired);
     }
     if (store.fileBytes || store.loaded || store.appended ||
         store.salvaged || store.stale || store.quarantined) {
@@ -199,6 +248,7 @@ StatsSnap::encode(ByteWriter &w) const
         w.u64(e.ok);
         w.u64(e.coalesced);
         w.u64(e.cacheHits);
+        w.u64(e.stale);
         w.u64(e.busy);
         w.u64(e.deadline);
         w.u64(e.errors);
@@ -231,6 +281,20 @@ StatsSnap::encode(ByteWriter &w) const
     w.u64(engine.cellsPerCell);
     w.u64(engine.walksDone);
     w.u64(engine.walksSaved);
+    w.u64(breakerTrips);
+    w.u64(breakerProbes);
+    w.u64(breakerRecoveries);
+    w.u64(breakerOpenNow);
+    w.u64(deadlineShed);
+    w.u64(workersSupervised);
+    w.u64(supervisorRestarts);
+    w.u64(supervisorCrashLoops);
+    w.u32(uint32_t(faults.size()));
+    for (const FaultCounterSnap &f : faults) {
+        w.str(f.site);
+        w.u64(f.checks);
+        w.u64(f.fired);
+    }
 }
 
 bool
@@ -245,6 +309,7 @@ StatsSnap::decode(ByteReader &r, StatsSnap *out)
         e.ok = r.u64();
         e.coalesced = r.u64();
         e.cacheHits = r.u64();
+        e.stale = r.u64();
         e.busy = r.u64();
         e.deadline = r.u64();
         e.errors = r.u64();
@@ -277,6 +342,23 @@ StatsSnap::decode(ByteReader &r, StatsSnap *out)
     s.engine.cellsPerCell = r.u64();
     s.engine.walksDone = r.u64();
     s.engine.walksSaved = r.u64();
+    s.breakerTrips = r.u64();
+    s.breakerProbes = r.u64();
+    s.breakerRecoveries = r.u64();
+    s.breakerOpenNow = r.u64();
+    s.deadlineShed = r.u64();
+    s.workersSupervised = r.u64();
+    s.supervisorRestarts = r.u64();
+    s.supervisorCrashLoops = r.u64();
+    uint32_t nf = r.u32();
+    if (!r.ok() || nf > uint32_t(kFaultSiteCount))
+        return false;
+    s.faults.resize(nf);
+    for (FaultCounterSnap &f : s.faults) {
+        f.site = r.str();
+        f.checks = r.u64();
+        f.fired = r.u64();
+    }
     if (!r.ok())
         return false;
     *out = s;
@@ -295,6 +377,7 @@ ServiceMetrics::snapshot(uint64_t queue_depth, uint64_t in_flight,
         e.ok = m.ok.load(std::memory_order_relaxed);
         e.coalesced = m.coalesced.load(std::memory_order_relaxed);
         e.cacheHits = m.cacheHits.load(std::memory_order_relaxed);
+        e.stale = m.stale.load(std::memory_order_relaxed);
         e.busy = m.busy.load(std::memory_order_relaxed);
         e.deadline = m.deadline.load(std::memory_order_relaxed);
         e.errors = m.errors.load(std::memory_order_relaxed);
@@ -311,6 +394,10 @@ ServiceMetrics::snapshot(uint64_t queue_depth, uint64_t in_flight,
     s.liveConns = liveConns_.load(std::memory_order_relaxed);
     s.connsAccepted = connsAccepted_.load(std::memory_order_relaxed);
     s.connsRejected = connsRejected_.load(std::memory_order_relaxed);
+    // Fault-injection counters ride in every snapshot so the fleet
+    // roll-up can prove a chaos run's faults actually landed; empty
+    // (and free) when the plane was never armed.
+    s.faults = faultSnapshot();
     return s;
 }
 

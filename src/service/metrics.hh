@@ -17,7 +17,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/faultinject.hh"
 #include "explore/campaign.hh"
 #include "explore/slabstore.hh"
 #include "service/request.hh"
@@ -68,6 +70,7 @@ struct EndpointMetrics
     std::atomic<uint64_t> ok{0};        ///< completed Ok
     std::atomic<uint64_t> coalesced{0}; ///< joined an in-flight twin
     std::atomic<uint64_t> cacheHits{0}; ///< served from result cache
+    std::atomic<uint64_t> stale{0};     ///< degraded cache serves
     std::atomic<uint64_t> busy{0};      ///< rejected: queue full/drain
     std::atomic<uint64_t> deadline{0};  ///< expired before completion
     std::atomic<uint64_t> errors{0};    ///< handler failure/bad req
@@ -83,6 +86,7 @@ struct EndpointSnap
     uint64_t ok = 0;
     uint64_t coalesced = 0;
     uint64_t cacheHits = 0;
+    uint64_t stale = 0;
     uint64_t busy = 0;
     uint64_t deadline = 0;
     uint64_t errors = 0;
@@ -112,6 +116,26 @@ struct StatsSnap
     uint64_t reroutes = 0;     ///< requests moved off a down worker
     uint64_t workersUp = 0;    ///< workers passing health checks
     uint64_t workersKnown = 0; ///< workers configured
+
+    /** Per-worker circuit breakers (router): lifetime trip /
+     * half-open probe / close transitions, breakers open right now,
+     * and requests shed in the router because their propagated
+     * deadline budget was already spent. */
+    uint64_t breakerTrips = 0;
+    uint64_t breakerProbes = 0;
+    uint64_t breakerRecoveries = 0;
+    uint64_t breakerOpenNow = 0;
+    uint64_t deadlineShed = 0;
+
+    /** Supervisor roll-up (cisa_fleetd): workers under supervision,
+     * restarts performed, workers currently declared crash-looping. */
+    uint64_t workersSupervised = 0;
+    uint64_t supervisorRestarts = 0;
+    uint64_t supervisorCrashLoops = 0;
+
+    /** Fault-injection counters; non-empty only when CISA_FAULTS is
+     * armed somewhere in the fleet (merged across processes). */
+    std::vector<FaultCounterSnap> faults;
 
     /** Durable slab-store health (records loaded/salvaged/appended,
      * bytes, lock waits, quarantines) of the campaign cache this

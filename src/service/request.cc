@@ -277,7 +277,7 @@ Request::stats()
 void
 Response::encode(ByteWriter &w) const
 {
-    w.u8(uint8_t(status));
+    w.u8(uint8_t(status) | (stale ? 0x80 : 0));
     w.str(message);
     w.raw(body.data(), body.size());
 }
@@ -291,9 +291,10 @@ Response::decode(ByteReader &r, Response *out)
     // vector per response would mean an mmap/munmap pair and fresh
     // page faults every call). On failure *out is unspecified.
     uint8_t st = r.u8();
-    if (!r.ok() || st > uint8_t(Status::Error))
+    if (!r.ok() || (st & 0x7f) > uint8_t(Status::Error))
         return false;
-    out->status = Status(st);
+    out->status = Status(st & 0x7f);
+    out->stale = (st & 0x80) != 0;
     out->message = r.str();
     if (!r.ok())
         return false;

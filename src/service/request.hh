@@ -145,6 +145,15 @@ const char *statusName(Status s);
 struct Response
 {
     Status status = Status::Ok;
+    /**
+     * Degraded-mode marker: the answer was served from the response
+     * LRU while the executor could not compute it fresh (draining or
+     * queue at bound). The body is still exact — responses are
+     * deterministic — so "stale" flags the serving mode, not the
+     * content. Rides in bit 7 of the wire status byte, leaving the
+     * body bytes identical to a fresh answer.
+     */
+    bool stale = false;
     std::string message;       ///< diagnostic for non-Ok statuses
     std::vector<uint8_t> body; ///< type-specific payload (Ok only)
 

@@ -19,6 +19,19 @@
 namespace cisa
 {
 
+namespace
+{
+
+int64_t
+steadyNowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
 Router::Router(const Options &opts) : opts_(opts)
 {
     if (opts_.address.empty())
@@ -31,6 +44,10 @@ Router::Router(const Options &opts) : opts_(opts)
         opts_.healthMs = routerHealthMs();
     if (opts_.backlog <= 0)
         opts_.backlog = serveBacklog();
+    if (opts_.breakerFails <= 0)
+        opts_.breakerFails = breakerFails();
+    if (opts_.breakerCooldownMs <= 0)
+        opts_.breakerCooldownMs = breakerCooldownMs();
     maxConns_ = size_t(opts_.maxConns > 0 ? opts_.maxConns
                                           : serveMaxConns());
     ring_ = ShardRing(opts_.workers);
@@ -257,7 +274,7 @@ Router::serveFrames(int fd)
             continue;
         }
 
-        forward(req, reqWire, &respWire);
+        forward(req, deadline_ms, reqWire, &respWire);
         if (!writeWire(fd, respWire))
             return;
     }
@@ -307,6 +324,7 @@ Router::exchange(size_t wi, const std::vector<uint8_t> &reqWire,
         if (attempt(fd)) {
             returnConn(w, fd);
             w.up.store(true, std::memory_order_relaxed);
+            breakerSuccess(w);
             return true;
         }
         ::close(fd);
@@ -319,6 +337,7 @@ Router::exchange(size_t wi, const std::vector<uint8_t> &reqWire,
                 if (attempt(fd)) {
                     returnConn(w, fd);
                     w.up.store(true, std::memory_order_relaxed);
+                    breakerSuccess(w);
                     return true;
                 }
                 ::close(fd);
@@ -328,20 +347,82 @@ Router::exchange(size_t wi, const std::vector<uint8_t> &reqWire,
     if (w.up.exchange(false, std::memory_order_relaxed))
         warn("cisa-router: worker %s down (%s)", w.addr.c_str(),
              err.c_str());
+    breakerFailure(w);
+    return false;
+}
+
+bool
+Router::breakerAllow(Worker &w)
+{
+    int st = w.breaker.load(std::memory_order_relaxed);
+    if (st == 0)
+        return true;
+    if (st == 1 &&
+        steadyNowMs() >=
+            w.openUntilMs.load(std::memory_order_relaxed)) {
+        // Cooldown over: elect exactly one caller as the half-open
+        // probe; the losers keep treating the breaker as open.
+        int expect = 1;
+        if (w.breaker.compare_exchange_strong(
+                expect, 2, std::memory_order_relaxed)) {
+            breakerProbes_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
     return false;
 }
 
 void
-Router::forward(const Request &req,
+Router::breakerSuccess(Worker &w)
+{
+    w.consecFails.store(0, std::memory_order_relaxed);
+    int prev = w.breaker.exchange(0, std::memory_order_relaxed);
+    if (prev != 0) {
+        breakerRecoveries_.fetch_add(1, std::memory_order_relaxed);
+        inform("cisa-router: breaker for %s closed",
+               w.addr.c_str());
+    }
+}
+
+void
+Router::breakerFailure(Worker &w)
+{
+    int fails =
+        w.consecFails.fetch_add(1, std::memory_order_relaxed) + 1;
+    int st = w.breaker.load(std::memory_order_relaxed);
+    if (st == 2) {
+        // The half-open probe failed: straight back to open for
+        // another cooldown.
+        w.openUntilMs.store(steadyNowMs() + opts_.breakerCooldownMs,
+                            std::memory_order_relaxed);
+        w.breaker.store(1, std::memory_order_relaxed);
+        return;
+    }
+    if (st == 0 && fails >= opts_.breakerFails) {
+        w.openUntilMs.store(steadyNowMs() + opts_.breakerCooldownMs,
+                            std::memory_order_relaxed);
+        w.breaker.store(1, std::memory_order_relaxed);
+        breakerTrips_.fetch_add(1, std::memory_order_relaxed);
+        warn("cisa-router: breaker for %s open (%d consecutive "
+             "failures)",
+             w.addr.c_str(), fails);
+    }
+}
+
+void
+Router::forward(const Request &req, uint32_t deadline_ms,
                 const std::vector<uint8_t> &reqWire,
                 std::vector<uint8_t> *respWire)
 {
+    const int64_t arrivalMs = steadyNowMs();
     std::vector<size_t> owners =
         ring_.ownersOf(req.routingKey(), opts_.replicas);
 
     // Cacheable (slab-affine) requests rotate across the replica
-    // set so a hot slab is served warm by R workers; everything
-    // else sticks to its primary.
+    // set so a hot slab is served warm by R workers. Non-cacheable
+    // requests have no warmth to preserve, so they round-robin over
+    // the whole fleet instead of piling onto one hash-chosen
+    // primary.
     std::vector<size_t> cand;
     cand.reserve(workers_.size());
     if (req.cacheable() && owners.size() > 1) {
@@ -349,6 +430,11 @@ Router::forward(const Request &req,
                        owners.size();
         for (size_t i = 0; i < owners.size(); i++)
             cand.push_back(owners[(start + i) % owners.size()]);
+    } else if (!req.cacheable() && workers_.size() > 1) {
+        size_t start = rr_.fetch_add(1, std::memory_order_relaxed) %
+                       workers_.size();
+        for (size_t i = 0; i < workers_.size(); i++)
+            cand.push_back((start + i) % workers_.size());
     } else {
         cand = owners;
     }
@@ -362,15 +448,42 @@ Router::forward(const Request &req,
 
     size_t firstChoice = cand[0];
     bool sawBusy = false;
-    std::vector<uint8_t> busyWire;
-    // Pass 0 trusts the up flags; pass 1 retries flagged-down
-    // workers in case the flag is stale and nobody else answered.
+    std::vector<uint8_t> busyWire, budgetWire;
+    // Pass 0 trusts the up flags and the breakers; pass 1 retries
+    // flagged-down/tripped workers in case the flag is stale and
+    // nobody else answered (a breaker must never lose a request —
+    // it only reorders who gets asked first).
     for (int pass = 0; pass < 2; pass++) {
         for (size_t wi : cand) {
             bool up = workers_[wi]->up.load(std::memory_order_relaxed);
             if (pass == 0 ? !up : up)
                 continue;
-            if (!exchange(wi, reqWire, respWire))
+            if (pass == 0 && !breakerAllow(*workers_[wi]))
+                continue;
+            // Deadline propagation: each attempt forwards only the
+            // budget that remains after time already burned here; a
+            // spent budget is shed before touching another worker.
+            const std::vector<uint8_t> *wire = &reqWire;
+            if (deadline_ms > 0) {
+                int64_t elapsed = steadyNowMs() - arrivalMs;
+                if (elapsed >= int64_t(deadline_ms)) {
+                    deadlineShed_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    ByteWriter w;
+                    Response::fail(Status::Deadline,
+                                   "budget spent in router")
+                        .encode(w);
+                    *respWire =
+                        encodeFrame(FrameKind::Response, w.take());
+                    return;
+                }
+                budgetWire = encodeFrame(
+                    FrameKind::Request,
+                    encodeRequestEnvelope(
+                        req, deadline_ms - uint32_t(elapsed)));
+                wire = &budgetWire;
+            }
+            if (!exchange(wi, *wire, respWire))
                 continue;
             if (respWire->size() > kFrameHeaderBytes &&
                 (*respWire)[kFrameHeaderBytes] ==
@@ -423,6 +536,7 @@ Router::healthLoop()
                         FrameRead::Ok &&
                     kind == FrameKind::Response) {
                     w.up.store(true, std::memory_order_relaxed);
+                    breakerSuccess(w);
                     returnConn(w, fd);
                     inform("cisa-router: worker %s is back",
                            w.addr.c_str());
@@ -474,10 +588,28 @@ Router::fleetStats()
         connsAccepted_.load(std::memory_order_relaxed);
     out.connsRejected +=
         connsRejected_.load(std::memory_order_relaxed);
+    out.breakerTrips +=
+        breakerTrips_.load(std::memory_order_relaxed);
+    out.breakerProbes +=
+        breakerProbes_.load(std::memory_order_relaxed);
+    out.breakerRecoveries +=
+        breakerRecoveries_.load(std::memory_order_relaxed);
+    out.deadlineShed +=
+        deadlineShed_.load(std::memory_order_relaxed);
+    for (auto &w : workers_)
+        if (w->breaker.load(std::memory_order_relaxed) != 0)
+            out.breakerOpenNow++;
     {
         std::lock_guard<std::mutex> lk(connMu_);
         out.liveConns += connCount_;
     }
+    // The router's own fault counters (net.connect etc. fire here
+    // too) join the roll-up the same way a worker's do.
+    StatsSnap self{};
+    self.faults = faultSnapshot();
+    out.merge(self);
+    if (opts_.statsAugment)
+        opts_.statsAugment(out);
     return out;
 }
 

@@ -33,6 +33,23 @@
  * health thread re-probes down workers with a ping and marks them
  * up when they answer, so a restarted worker rejoins without a
  * router restart.
+ *
+ * Circuit breakers: on top of the boolean up flag each worker
+ * carries a breaker (closed / open / half-open). breakerFails
+ * consecutive exchange failures trip it open; after the cooldown one
+ * request is elected as the half-open probe (everyone else keeps
+ * skipping the worker), and its outcome closes or re-opens the
+ * breaker. Gating applies only to the normal routing pass — the
+ * desperation pass that runs when no other worker answered ignores
+ * breakers, so a request is never lost to one. Health-ping success
+ * also closes the breaker.
+ *
+ * Deadlines: the client's deadline budget is propagated, not
+ * repeated — each relay attempt re-encodes the request envelope with
+ * the budget that remains after time already burned in the router,
+ * and a request whose budget is spent is shed with DEADLINE before
+ * touching another worker (the client has already given up; compute
+ * would be wasted).
  */
 
 #ifndef CISA_SERVICE_ROUTER_HH
@@ -41,6 +58,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -69,9 +87,19 @@ class Router
         int healthMs = 0;  ///< 0 = CISA_ROUTER_HEALTH_MS
         int backlog = 0;   ///< 0 = CISA_SERVE_BACKLOG
         int maxConns = 0;  ///< 0 = CISA_SERVE_MAX_CONNS
+        /** Consecutive failures tripping a worker's breaker;
+         * 0 = CISA_BREAKER_FAILS. */
+        int breakerFails = 0;
+        /** Open-breaker cooldown before the half-open probe;
+         * 0 = CISA_BREAKER_COOLDOWN_MS. */
+        int breakerCooldownMs = 0;
         /** Re-verify relayed response payload checksums in the
          * router (off: endpoints verify; see file comment). */
         bool verifyRelay = false;
+        /** Called on every fleetStats() roll-up so an embedding
+         * process (cisa_fleetd) can graft its own counters —
+         * supervisor restarts, crash loops — into the snapshot. */
+        std::function<void(StatsSnap &)> statsAugment;
     };
 
     explicit Router(const Options &opts);
@@ -99,6 +127,12 @@ class Router
         std::mutex mu;
         std::vector<int> pool; ///< idle connections
         std::atomic<bool> up{true};
+        /** Consecutive exchange failures since the last success. */
+        std::atomic<int> consecFails{0};
+        /** 0 = closed, 1 = open, 2 = half-open (probe in flight). */
+        std::atomic<int> breaker{0};
+        /** When an open breaker may admit its probe (steady ms). */
+        std::atomic<int64_t> openUntilMs{0};
     };
 
     void acceptLoop();
@@ -120,10 +154,18 @@ class Router
                   std::vector<uint8_t> *respWire);
 
     /** Route + relay one request; always fills @p respWire (a
-     * synthesized error response when the whole fleet fails). */
-    void forward(const Request &req,
+     * synthesized error response when the whole fleet fails, a
+     * DEADLINE response when @p deadline_ms (0 = none) is spent). */
+    void forward(const Request &req, uint32_t deadline_ms,
                  const std::vector<uint8_t> &reqWire,
                  std::vector<uint8_t> *respWire);
+
+    /** May a normal-pass request try worker @p w right now? Closed:
+     * yes. Open past cooldown: the one caller that wins the CAS to
+     * half-open becomes the probe. Otherwise no. */
+    bool breakerAllow(Worker &w);
+    void breakerSuccess(Worker &w);
+    void breakerFailure(Worker &w);
 
     void healthLoop();
 
@@ -153,6 +195,10 @@ class Router
     std::atomic<uint64_t> reroutes_{0};
     std::atomic<uint64_t> connsAccepted_{0};
     std::atomic<uint64_t> connsRejected_{0};
+    std::atomic<uint64_t> breakerTrips_{0};
+    std::atomic<uint64_t> breakerProbes_{0};
+    std::atomic<uint64_t> breakerRecoveries_{0};
+    std::atomic<uint64_t> deadlineShed_{0};
 };
 
 } // namespace cisa

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "service/address.hh"
 #include "service/frame.hh"
@@ -132,6 +133,13 @@ Server::acceptLoop()
             if (errno == EINTR)
                 continue;
             warn("cisa-serve accept: %s", std::strerror(errno));
+            continue;
+        }
+        if (faultHit(FaultSite::NetAccept)) {
+            // Injected ECONNABORTED: the connection dies before a
+            // thread is spawned, as if the peer hung up in the
+            // backlog. The client's retry policy must absorb it.
+            ::close(fd);
             continue;
         }
         setNoDelay(fd);
@@ -273,7 +281,7 @@ Server::serveFrames(int fd)
         resp.encode(w);
         auto out = std::make_shared<const std::vector<uint8_t>>(
             encodeFrame(FrameKind::Response, w.take()));
-        if (mayCache && resp.status == Status::Ok)
+        if (mayCache && resp.status == Status::Ok && !resp.stale)
             cacheWire(key, out);
         m.bytesOut.fetch_add(out->size(), std::memory_order_relaxed);
         if (!writeWire(fd, *out))

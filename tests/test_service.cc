@@ -332,6 +332,39 @@ TEST(ResponseCodec, RoundTrips)
     }
 }
 
+TEST(ResponseCodec, StaleFlagRidesStatusBitSeven)
+{
+    Response in;
+    in.status = Status::Ok;
+    in.body = {9, 8, 7};
+    ByteWriter wFresh;
+    in.encode(wFresh);
+    in.stale = true;
+    ByteWriter wStale;
+    in.encode(wStale);
+    std::vector<uint8_t> fresh = wFresh.take();
+    std::vector<uint8_t> stale = wStale.take();
+    // Identical bytes except the flag bit: the fleet's byte-identity
+    // guarantee covers stale serves (same body, different mode).
+    ASSERT_EQ(fresh.size(), stale.size());
+    EXPECT_EQ(stale[0], fresh[0] | 0x80);
+    EXPECT_TRUE(std::equal(fresh.begin() + 1, fresh.end(),
+                           stale.begin() + 1));
+
+    ByteReader r(stale);
+    Response out;
+    ASSERT_TRUE(Response::decode(r, &out));
+    EXPECT_EQ(out.status, Status::Ok);
+    EXPECT_TRUE(out.stale);
+    EXPECT_EQ(out.body, in.body);
+
+    // A flag bit over a garbage status is still rejected.
+    std::vector<uint8_t> bad = stale;
+    bad[0] = 0x80 | 0x7f;
+    ByteReader rb(bad);
+    EXPECT_FALSE(Response::decode(rb, &out));
+}
+
 TEST(ResponseCodec, TypedBodiesRoundTrip)
 {
     PhasePerf p;
@@ -642,6 +675,112 @@ TEST(Executor, CachesCompletedResponses)
     EXPECT_EQ(runs.load(), 3);
 }
 
+TEST(Executor, StaleServesCachedAnswerWhileDraining)
+{
+    std::atomic<int> runs{0};
+    Executor::Options opts;
+    opts.queueBound = 4;
+    opts.workers = 1;
+    opts.cacheEntries = 8;
+    opts.staleServe = 1;
+    opts.handler = [&](const Request &, CancelToken &) {
+        runs++;
+        Response r;
+        r.body = {7};
+        return r;
+    };
+    Executor exec(opts);
+
+    Response fresh = exec.call(Request::slabPerf(2));
+    EXPECT_EQ(fresh.status, Status::Ok);
+    EXPECT_FALSE(fresh.stale);
+    exec.drain();
+
+    // Degraded mode: the cached answer comes back flagged stale,
+    // with the exact same body; uncached requests still see BUSY.
+    Response stale = exec.call(Request::slabPerf(2));
+    EXPECT_EQ(stale.status, Status::Ok);
+    EXPECT_TRUE(stale.stale);
+    EXPECT_EQ(stale.body, fresh.body);
+    EXPECT_EQ(runs.load(), 1);
+    EXPECT_EQ(exec.call(Request::slabPerf(3)).status, Status::Busy);
+
+    StatsSnap s = exec.snapshot();
+    EXPECT_EQ(s.ep[size_t(ReqType::Slab)].stale, 1u);
+    EXPECT_EQ(s.ep[size_t(ReqType::Slab)].cacheHits, 1u);
+}
+
+TEST(Executor, StaleServeDisabledRestoresStrictDrain)
+{
+    Executor::Options opts;
+    opts.queueBound = 4;
+    opts.workers = 1;
+    opts.cacheEntries = 8;
+    opts.staleServe = 0;
+    opts.handler = [&](const Request &, CancelToken &) {
+        Response r;
+        r.body = {7};
+        return r;
+    };
+    Executor exec(opts);
+
+    EXPECT_EQ(exec.call(Request::slabPerf(2)).status, Status::Ok);
+    exec.drain();
+    // Strict mode: draining answers BUSY even on a cache hit.
+    EXPECT_EQ(exec.call(Request::slabPerf(2)).status, Status::Busy);
+    EXPECT_EQ(exec.snapshot().ep[size_t(ReqType::Slab)].stale, 0u);
+}
+
+TEST(Executor, StaleServesCachedAnswerWhenQueueIsFull)
+{
+    GatedHandler gate;
+    Executor::Options opts;
+    opts.queueBound = 1;
+    opts.workers = 1;
+    opts.cacheEntries = 8;
+    opts.staleServe = 1;
+    opts.handler = std::ref(gate);
+    Executor exec(opts);
+
+    // Warm the cache while the executor is healthy.
+    gate.release();
+    Response fresh = exec.call(Request::slabPerf(2));
+    EXPECT_EQ(fresh.status, Status::Ok);
+    EXPECT_FALSE(fresh.stale);
+
+    // Saturate: one request on the worker, one in the queue.
+    {
+        std::lock_guard<std::mutex> lk(gate.mu);
+        gate.open = false;
+    }
+    std::vector<std::thread> waiters;
+    waiters.emplace_back(
+        [&] { exec.call(Request::slabPerf(3)); });
+    while (gate.invocations.load() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    waiters.emplace_back(
+        [&] { exec.call(Request::slabPerf(4)); });
+    while (exec.queueDepth() < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Queue at bound: the cached slab is served stale, the uncached
+    // one is refused.
+    Response stale = exec.call(Request::slabPerf(2));
+    EXPECT_EQ(stale.status, Status::Ok);
+    EXPECT_TRUE(stale.stale);
+    EXPECT_EQ(stale.body, fresh.body);
+    EXPECT_EQ(exec.call(Request::slabPerf(5)).status, Status::Busy);
+
+    gate.release();
+    for (std::thread &t : waiters)
+        t.join();
+
+    // Healthy again: the same hit is fresh once more.
+    Response again = exec.call(Request::slabPerf(2));
+    EXPECT_EQ(again.status, Status::Ok);
+    EXPECT_FALSE(again.stale);
+}
+
 TEST(Executor, CacheEvictsBeyondCapacity)
 {
     std::atomic<int> runs{0};
@@ -806,7 +945,9 @@ TEST(ServerE2E, ConcurrentClientsByteIdenticalAndCoalesced)
     constexpr int kClients = 6;
     constexpr int kSlab = 2;
     std::vector<Response> got(kClients);
-    std::vector<bool> okTransport(kClients, false);
+    // vector<char>, not vector<bool>: the clients write their slots
+    // concurrently, and vector<bool> packs neighbours into one word.
+    std::vector<char> okTransport(kClients, 0);
     std::atomic<int> ready{0};
     std::vector<std::thread> threads;
     for (int i = 0; i < kClients; i++) {

@@ -45,6 +45,7 @@ struct EnvSetup
 #include <vector>
 
 #include "common/env.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "explore/campaign.hh"
 #include "explore/slabstore.hh"
@@ -462,6 +463,173 @@ TEST(SlabStore, AppendAfterTornTailKeepsBothSides)
                   rec.slab == 5 ? v : valsFor(rec.slab, 0));
     }
     EXPECT_GE(r.health().salvaged, 1u);
+    cleanup(path);
+}
+
+// ---------------------------------------------------------------
+// Injected disk faults: the same salvage/quarantine guarantees, but
+// with the tearing produced by the live fault plane
+// (src/common/faultinject.hh) inside the real write path instead of
+// by hand-truncated files.
+// ---------------------------------------------------------------
+
+/** Disarms the fault plane however the test exits. */
+struct FaultGuard
+{
+    ~FaultGuard() { faultConfigure(""); }
+};
+
+TEST(SlabStoreFaults, InjectedShortWriteTearsAppendAndIsSalvaged)
+{
+    QuietLogs q;
+    FaultGuard fg;
+    std::string path = tmpPath("fault_shortwrite");
+    cleanup(path);
+    {
+        SlabStore w = mkStore(path);
+        for (int s = 0; s < 2; s++) {
+            std::vector<float> v = valsFor(s, 0);
+            ASSERT_TRUE(w.append(s, v.data(), v.size()));
+        }
+        // The next disk write tears mid-record and fails ENOSPC.
+        ASSERT_TRUE(faultConfigure("disk.write:nth=1"));
+        std::vector<float> v2 = valsFor(2, 0);
+        errno = 0;
+        EXPECT_FALSE(w.append(2, v2.data(), v2.size()));
+        EXPECT_EQ(errno, ENOSPC);
+        ASSERT_TRUE(faultConfigure(""));
+    }
+    // Half a record really is on disk — and must never be served.
+    EXPECT_EQ(fileSize(path), 2 * kRecBytes + kRecBytes / 2);
+    SlabStore r = mkStore(path);
+    std::vector<SlabRec> recs = r.poll();
+    ASSERT_EQ(recs.size(), 2u);
+    for (const SlabRec &rec : recs) {
+        EXPECT_LT(rec.slab, 2);
+        EXPECT_EQ(rec.vals, valsFor(rec.slab, 0));
+    }
+    EXPECT_GE(r.health().salvaged, 1u);
+    EXPECT_EQ(r.health().quarantined, 0u);
+    // The next append must supersede the torn tail cleanly.
+    std::vector<float> v2 = valsFor(2, 1);
+    ASSERT_TRUE(r.append(2, v2.data(), v2.size()));
+    SlabStore r2 = mkStore(path);
+    recs = r2.poll();
+    ASSERT_EQ(recs.size(), 3u);
+    cleanup(path);
+}
+
+TEST(SlabStoreFaults, CleanEnospcWritesNothingAndFailsLoudly)
+{
+    QuietLogs q;
+    FaultGuard fg;
+    std::string path = tmpPath("fault_enospc");
+    cleanup(path);
+    SlabStore w = mkStore(path);
+    std::vector<float> v = valsFor(0, 0);
+    ASSERT_TRUE(w.append(0, v.data(), v.size()));
+    // short=0: the fired write fails before writing any byte.
+    ASSERT_TRUE(faultConfigure("disk.write:nth=1,short=0"));
+    std::vector<float> v1 = valsFor(1, 0);
+    EXPECT_FALSE(w.append(1, v1.data(), v1.size()));
+    ASSERT_TRUE(faultConfigure(""));
+    EXPECT_EQ(fileSize(path), kRecBytes); // untouched
+    SlabStore r = mkStore(path);
+    std::vector<SlabRec> recs = r.poll();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].vals, valsFor(0, 0));
+    EXPECT_EQ(r.health().salvaged, 0u);
+    cleanup(path);
+}
+
+TEST(SlabStoreFaults, FailedFsyncIsReportedButBytesSurvive)
+{
+    QuietLogs q;
+    FaultGuard fg;
+    std::string path = tmpPath("fault_fsync");
+    cleanup(path);
+    SlabStore w = mkStore(path);
+    ASSERT_TRUE(faultConfigure("disk.fsync:nth=1"));
+    std::vector<float> v = valsFor(0, 0);
+    // Durability can't be promised, so append must report failure —
+    // but the record bytes were fully written and a reload serves
+    // them (the record is intact, just not guaranteed durable).
+    EXPECT_FALSE(w.append(0, v.data(), v.size()));
+    ASSERT_TRUE(faultConfigure(""));
+    EXPECT_EQ(fileSize(path), size_t(kRecBytes));
+    SlabStore r = mkStore(path);
+    std::vector<SlabRec> recs = r.poll();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].vals, valsFor(0, 0));
+    cleanup(path);
+}
+
+TEST(SlabStoreFaults, FailedRenameMidCompactionKeepsOriginal)
+{
+    QuietLogs q;
+    FaultGuard fg;
+    std::string path = tmpPath("fault_rename");
+    cleanup(path);
+    // Enough superseded records that poll() wants to compact
+    // (waste >= 4096 and >= half the file).
+    {
+        SlabStore w = mkStore(path);
+        for (int iter = 0; iter < 100; iter++) {
+            std::vector<float> v = valsFor(0, iter);
+            ASSERT_TRUE(w.append(0, v.data(), v.size()));
+        }
+    }
+    size_t fullSize = fileSize(path);
+    ASSERT_EQ(fullSize, 100 * kRecBytes);
+    {
+        // Compaction writes the tmp file, then its rename fails:
+        // the original must survive byte-for-byte.
+        ASSERT_TRUE(faultConfigure("disk.rename:nth=1"));
+        SlabStore r = mkStore(path);
+        std::vector<SlabRec> recs = r.poll();
+        ASSERT_TRUE(faultConfigure(""));
+        ASSERT_EQ(recs.size(), 1u);
+        EXPECT_EQ(recs[0].vals, valsFor(0, 99));
+        EXPECT_EQ(fileSize(path), fullSize);
+        // No tmp litter either.
+        EXPECT_FALSE(fileExists(path + ".tmp." +
+                                std::to_string(::getpid())));
+    }
+    // With the fault gone the same store compacts down to one
+    // record, still serving the same (latest) values.
+    SlabStore r2 = mkStore(path);
+    std::vector<SlabRec> recs = r2.poll();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].vals, valsFor(0, 99));
+    EXPECT_EQ(fileSize(path), size_t(kRecBytes));
+    cleanup(path);
+}
+
+TEST(SlabStoreFaults, TornCompactionTmpWriteKeepsOriginal)
+{
+    QuietLogs q;
+    FaultGuard fg;
+    std::string path = tmpPath("fault_compactwrite");
+    cleanup(path);
+    {
+        SlabStore w = mkStore(path);
+        for (int iter = 0; iter < 100; iter++) {
+            std::vector<float> v = valsFor(0, iter);
+            ASSERT_TRUE(w.append(0, v.data(), v.size()));
+        }
+    }
+    size_t fullSize = fileSize(path);
+    {
+        // The compaction's tmp-file write tears: compact must
+        // abandon the tmp and leave the original alone.
+        ASSERT_TRUE(faultConfigure("disk.write:nth=1"));
+        SlabStore r = mkStore(path);
+        std::vector<SlabRec> recs = r.poll();
+        ASSERT_TRUE(faultConfigure(""));
+        ASSERT_EQ(recs.size(), 1u);
+        EXPECT_EQ(recs[0].vals, valsFor(0, 99));
+        EXPECT_EQ(fileSize(path), fullSize);
+    }
     cleanup(path);
 }
 

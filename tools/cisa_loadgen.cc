@@ -12,7 +12,8 @@
  * Usage:
  *   cisa_loadgen --address ADDR [--rate R] [--conns N]
  *                [--duration-ms D | --count N] [--mix SPEC]
- *                [--slab S] [--retries N]
+ *                [--slab S] [--retries N] [--deadline-ms N]
+ *                [--verify-bytes]
  *                [--kill-pid P --kill-at-ms T] [--json]
  *
  * SPEC weights endpoints, e.g. "slab=8,ping=1,eval=1,table=1"
@@ -20,6 +21,15 @@
  * fires as fast as responses return). Exit status is nonzero if any
  * request was lost (transport failure or ERROR status), which is
  * how the fleet smoke test asserts zero loss under worker churn.
+ *
+ * --verify-bytes asserts the fleet's determinism story end to end:
+ * the first Ok response to each distinct request fingerprint records
+ * a body hash, and any later response disagreeing with it is a
+ * mismatch (exit 3). Under the chaos soak this is what "byte-
+ * identical responses despite faults, reroutes, and stale serves"
+ * means. Stale-flagged responses are counted (the degraded-mode
+ * signal) and verified like any other — stale marks the serving
+ * mode, never different bytes.
  */
 
 #include <algorithm>
@@ -33,6 +43,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/hash.hh"
@@ -98,8 +109,11 @@ struct Tally
 {
     uint64_t sent = 0;
     uint64_t ok = 0;
+    uint64_t stale = 0;    ///< Ok but served degraded from cache
     uint64_t busy = 0;
+    uint64_t deadline = 0; ///< DEADLINE responses (budget spent)
     uint64_t lost = 0; ///< transport failure or ERROR status
+    uint64_t mismatched = 0; ///< --verify-bytes disagreements
     std::vector<std::vector<uint32_t>> latBySec; ///< us, Ok only
 };
 
@@ -120,7 +134,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s --address ADDR [--rate R] [--conns N]\n"
         "          [--duration-ms D | --count N] [--mix SPEC]\n"
-        "          [--slab S] [--retries N]\n"
+        "          [--slab S] [--retries N] [--deadline-ms N]\n"
+        "          [--verify-bytes]\n"
         "          [--kill-pid P --kill-at-ms T] [--json]\n",
         argv0);
 }
@@ -138,6 +153,8 @@ main(int argc, char **argv)
     std::string mixSpec = "slab=1";
     int fixedSlab = -1;
     int retries = -1;
+    uint32_t deadlineMs = 0;
+    bool verifyBytes = false;
     long killPid = 0;
     int64_t killAtMs = 0;
     bool json = false;
@@ -166,6 +183,10 @@ main(int argc, char **argv)
             fixedSlab = std::atoi(val());
         else if (!std::strcmp(argv[i], "--retries"))
             retries = std::atoi(val());
+        else if (!std::strcmp(argv[i], "--deadline-ms"))
+            deadlineMs = uint32_t(std::atoll(val()));
+        else if (!std::strcmp(argv[i], "--verify-bytes"))
+            verifyBytes = true;
         else if (!std::strcmp(argv[i], "--kill-pid"))
             killPid = std::atol(val());
         else if (!std::strcmp(argv[i], "--kill-at-ms"))
@@ -209,6 +230,10 @@ main(int argc, char **argv)
     std::atomic<uint64_t> seq{0};
     std::mutex mergeMu;
     Tally total;
+    // --verify-bytes ledger: request fingerprint -> hash of the
+    // first Ok body seen for it. Every later response must agree.
+    std::mutex verifyMu;
+    std::unordered_map<uint64_t, uint64_t> bodyHash;
     size_t secSlots = durationMs > 0 ? size_t(durationMs / 1000 + 2)
                                      : size_t(1) << 10;
     total.latBySec.resize(secSlots);
@@ -260,36 +285,49 @@ main(int argc, char **argv)
                            : int(n % uint64_t(Campaign::kSlabs));
 
             t.sent++;
-            Status st = Status::Error;
+            // Raw Request/Response (not the typed wrappers): the
+            // verification and stale accounting need the response
+            // bytes and flags, not just the decoded payload.
+            Request req;
             switch (ty) {
               case ReqType::Ping:
-                st = c.ping();
+                req = Request::ping();
                 break;
-              case ReqType::Eval: {
-                PhasePerf pp;
-                DesignPoint dp = DesignPoint::composite(
-                    int(n % uint64_t(FeatureSet::count())),
-                    int(n % uint64_t(DesignPoint::kUarchCount)));
-                st = c.evalPoint(dp, int(n % uint64_t(phaseCount())),
-                                 &pp);
+              case ReqType::Eval:
+                req = Request::evalPoint(
+                    DesignPoint::composite(
+                        int(n % uint64_t(FeatureSet::count())),
+                        int(n %
+                            uint64_t(DesignPoint::kUarchCount))),
+                    int(n % uint64_t(phaseCount())));
                 break;
-              }
-              case ReqType::Slab: {
-                std::vector<PhasePerf> perf;
-                st = c.slabPerf(slab, &perf);
+              case ReqType::Slab:
+                req = Request::slabPerf(slab);
                 break;
-              }
-              case ReqType::Table: {
-                std::string table;
-                st = c.tableOf(slab, &table);
+              case ReqType::Table:
+                req = Request::tableOf(slab);
                 break;
-              }
               default:
                 break;
             }
+            Response resp;
+            Status st = c.call(req, &resp, deadlineMs)
+                            ? resp.status
+                            : Status::Error;
             Clock::time_point done = Clock::now();
             if (st == Status::Ok) {
                 t.ok++;
+                if (resp.stale)
+                    t.stale++;
+                if (verifyBytes && req.cacheable()) {
+                    uint64_t h = fnv1a(resp.body.data(),
+                                       resp.body.size());
+                    std::lock_guard<std::mutex> lk(verifyMu);
+                    auto [it, fresh] =
+                        bodyHash.emplace(req.fingerprint(), h);
+                    if (!fresh && it->second != h)
+                        t.mismatched++;
+                }
                 // Open-loop latency: measured from the scheduled
                 // arrival, so time spent waiting for a saturated
                 // server counts.
@@ -306,6 +344,8 @@ main(int argc, char **argv)
                         std::min<int64_t>(us, INT32_MAX)));
             } else if (st == Status::Busy) {
                 t.busy++;
+            } else if (st == Status::Deadline) {
+                t.deadline++;
             } else {
                 t.lost++;
             }
@@ -313,8 +353,11 @@ main(int argc, char **argv)
         std::lock_guard<std::mutex> lk(mergeMu);
         total.sent += t.sent;
         total.ok += t.ok;
+        total.stale += t.stale;
         total.busy += t.busy;
+        total.deadline += t.deadline;
         total.lost += t.lost;
+        total.mismatched += t.mismatched;
         for (size_t s = 0; s < secSlots; s++)
             total.latBySec[s].insert(total.latBySec[s].end(),
                                      t.latBySec[s].begin(),
@@ -343,10 +386,16 @@ main(int argc, char **argv)
         std::printf("  \"sent\": %llu,\n",
                     (unsigned long long)total.sent);
         std::printf("  \"ok\": %llu,\n", (unsigned long long)total.ok);
+        std::printf("  \"stale\": %llu,\n",
+                    (unsigned long long)total.stale);
         std::printf("  \"busy\": %llu,\n",
                     (unsigned long long)total.busy);
+        std::printf("  \"deadline\": %llu,\n",
+                    (unsigned long long)total.deadline);
         std::printf("  \"lost\": %llu,\n",
                     (unsigned long long)total.lost);
+        std::printf("  \"mismatched\": %llu,\n",
+                    (unsigned long long)total.mismatched);
         std::printf("  \"rps\": %.1f,\n", rps);
         std::printf("  \"p50_us\": %llu,\n", (unsigned long long)p50);
         std::printf("  \"p99_us\": %llu,\n", (unsigned long long)p99);
@@ -367,14 +416,18 @@ main(int argc, char **argv)
         }
         std::printf("\n  ]\n}\n");
     } else {
-        std::printf("loadgen: %llu sent, %llu ok, %llu busy, "
-                    "%llu lost in %.2fs (%.0f ok/s), "
+        std::printf("loadgen: %llu sent, %llu ok (%llu stale), "
+                    "%llu busy, %llu deadline, %llu lost, "
+                    "%llu mismatched in %.2fs (%.0f ok/s), "
                     "p50 %llu us, p99 %llu us\n",
                     (unsigned long long)total.sent,
                     (unsigned long long)total.ok,
+                    (unsigned long long)total.stale,
                     (unsigned long long)total.busy,
-                    (unsigned long long)total.lost, elapsed, rps,
-                    (unsigned long long)p50,
+                    (unsigned long long)total.deadline,
+                    (unsigned long long)total.lost,
+                    (unsigned long long)total.mismatched, elapsed,
+                    rps, (unsigned long long)p50,
                     (unsigned long long)p99);
         for (size_t s = 0; s < secSlots; s++) {
             if (total.latBySec[s].empty())
@@ -388,5 +441,7 @@ main(int argc, char **argv)
                                                   0.99));
         }
     }
+    if (total.mismatched > 0)
+        return 3; // determinism broken — worse than loss
     return total.lost == 0 ? 0 : 2;
 }
