@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Wall-clock measurement of the datacenter-scale scheduling
+ * simulator: a heterogeneous grid at half load (where placement has
+ * real choices), phase-affinity policy against the iso-area
+ * homogeneous x86 baseline on the same seeded job stream. Reports
+ * simulated jobs/s of wall time, placement-scoring p50/p99 latency,
+ * the slab cache-hit rate, and the affinity-vs-homogeneous
+ * throughput/EDP ratios — the fig13 trend at scale.
+ *
+ * A second leg reruns the identical config with the slab tables
+ * served by a live 2-worker cisa-serve fleet behind cisa_router
+ * instead of the in-process campaign, and requires the deterministic
+ * JSON summary to match the local run byte-for-byte — the dcsim
+ * determinism contract under real TCP transport — while reporting
+ * the fleet-path jobs/s and the remote traffic the scheduler
+ * generated.
+ *
+ * With --json, emits a single machine-readable JSON object on
+ * stdout (see scripts/bench_perf.sh, which merges it into
+ * BENCH_PR<N>.json). Exits nonzero unless affinity beats the
+ * baseline on both throughput and EDP and the fleet run matched.
+ *
+ * Knobs: CISA_THREADS, CISA_SIM_UOPS / CISA_SIM_WARMUP,
+ * CISA_DSE_CACHE (defaulted to a private file), --cores / --jobs
+ * for the grid size, --serve / --router binary overrides (default:
+ * sibling tools of this binary).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench/benchcommon.hh"
+#include "common/env.hh"
+#include "common/parallel.hh"
+#include "dcsim/dcsim.hh"
+
+using namespace cisa;
+
+namespace
+{
+
+std::string
+dirnameOf(const std::string &path)
+{
+    auto slash = path.rfind('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+/** Fork/exec with the child's stdout/stderr silenced — worker
+ * shutdown stats would otherwise interleave with (and in --json
+ * mode corrupt) this bench's own output. */
+pid_t
+spawn(const std::vector<std::string> &args)
+{
+    std::vector<char *> argv;
+    for (const std::string &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        int null = ::open("/dev/null", O_WRONLY);
+        if (null >= 0) {
+            ::dup2(null, 1);
+            ::dup2(null, 2);
+            if (null > 2)
+                ::close(null);
+        }
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** Block until the --print-address file exists with one full line;
+ * empty string on timeout. */
+std::string
+waitAddress(const std::string &file)
+{
+    for (int i = 0; i < 400; i++) {
+        FILE *f = std::fopen(file.c_str(), "r");
+        if (f) {
+            char buf[256] = {0};
+            char *line = std::fgets(buf, sizeof(buf), f);
+            std::fclose(f);
+            if (line) {
+                std::string s(line);
+                while (!s.empty() &&
+                       (s.back() == '\n' || s.back() == '\r'))
+                    s.pop_back();
+                if (!s.empty())
+                    return s;
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return {};
+}
+
+void
+reap(std::vector<pid_t> &pids, int sig)
+{
+    for (pid_t p : pids)
+        if (p > 0)
+            ::kill(p, sig);
+    for (pid_t p : pids)
+        if (p > 0)
+            ::waitpid(p, nullptr, 0);
+    pids.clear();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    uint64_t cores = 4096;
+    uint64_t jobs = 40000;
+    std::string bindir = dirnameOf(argv[0]);
+    std::string serveBin = bindir + "/../tools/cisa_serve";
+    std::string routerBin = bindir + "/../tools/cisa_router";
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else if (!std::strcmp(argv[i], "--cores") && i + 1 < argc)
+            cores = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--serve") && i + 1 < argc)
+            serveBin = argv[++i];
+        else if (!std::strcmp(argv[i], "--router") && i + 1 < argc)
+            routerBin = argv[++i];
+    }
+    if (::access(serveBin.c_str(), X_OK) != 0 ||
+        ::access(routerBin.c_str(), X_OK) != 0) {
+        std::fprintf(stderr,
+                     "perf_dcsim: missing %s or %s (build tools/)\n",
+                     serveBin.c_str(), routerBin.c_str());
+        return 1;
+    }
+
+    const std::string tag = std::to_string(getpid());
+    // A private slab store unless the caller pinned one; the local
+    // leg computes the slabs into it, the fleet workers adopt them.
+    std::string store = "/tmp/cisa_dcsim_" + tag + ".bin";
+    bool ownStore = ::getenv("CISA_DSE_CACHE") == nullptr;
+    if (ownStore)
+        ::setenv("CISA_DSE_CACHE", store.c_str(), 1);
+    else
+        store = ::getenv("CISA_DSE_CACHE");
+
+    int threads = ThreadPool::get().threads();
+
+    // Half load: at inflight == tiles every ranking's first free
+    // choice is forced and the policies converge; at cores/2 the
+    // affinity gain over the homogeneous baseline is the signal this
+    // bench exists to track.
+    DcsimConfig cfg;
+    cfg.cores = cores;
+    cfg.jobs = jobs;
+    cfg.inflight = cores / 2;
+    cfg.policy = DcPolicy::Affinity;
+    cfg.objective = DcObjective::Time;
+    cfg.seed = 1;
+
+    // Local leg: in-process campaign (cold store — the fetches and
+    // the hit rate below include the slab computation).
+    PerfSource local;
+    DcsimComparison cmp = runWithBaseline(cfg, local);
+    const DcsimResult &run = cmp.run;
+    std::string localJson = dcsimJson(run);
+
+    // Fleet leg: identical config, slabs over the wire from two
+    // workers behind the router. The workers adopt the local leg's
+    // slabs from the shared store, so this times the scheduler as a
+    // fleet client, not a recomputation.
+    auto spawnWorker = [&](int idx) -> std::pair<pid_t, std::string> {
+        std::string af =
+            "/tmp/cisa_dcsim_" + tag + "_w" + std::to_string(idx);
+        ::unlink(af.c_str());
+        pid_t pid = spawn({serveBin, "--address", "127.0.0.1:0",
+                           "--print-address", af});
+        std::string addr = waitAddress(af);
+        ::unlink(af.c_str());
+        return {pid, addr};
+    };
+
+    bool spawnFailed = false;
+    DcsimResult fleetRun;
+    bool fleetMatch = false;
+    {
+        std::vector<pid_t> pids;
+        std::vector<std::string> addrs;
+        for (int i = 0; i < 2; i++) {
+            auto [pid, addr] = spawnWorker(i);
+            pids.push_back(pid);
+            if (addr.empty())
+                spawnFailed = true;
+            addrs.push_back(addr);
+        }
+        std::string rf = "/tmp/cisa_dcsim_" + tag + "_r";
+        ::unlink(rf.c_str());
+        std::vector<std::string> rargs = {routerBin, "--address",
+                                          "127.0.0.1:0",
+                                          "--print-address", rf};
+        for (const std::string &a : addrs) {
+            rargs.push_back("--worker");
+            rargs.push_back(a);
+        }
+        pids.push_back(spawn(rargs));
+        std::string raddr = waitAddress(rf);
+        ::unlink(rf.c_str());
+        if (raddr.empty())
+            spawnFailed = true;
+        if (!spawnFailed) {
+            PerfSource fleet(raddr);
+            fleetRun = runDcsim(cfg, fleet);
+            fleetMatch = dcsimJson(fleetRun) == localJson;
+        }
+        reap(pids, SIGTERM);
+    }
+
+    if (ownStore)
+        ::unlink(store.c_str());
+
+    bool pass = !spawnFailed && fleetMatch && cmp.throughputX > 1.0 &&
+                cmp.edpX > 1.0;
+
+    if (json) {
+        std::printf(
+            "{\n"
+            "  \"bench\": \"perf_dcsim\",\n"
+            "  \"threads\": %d,\n"
+            "  \"sim_uops\": %llu,\n"
+            "  \"sim_warmup\": %llu,\n"
+            "  \"cores\": %llu,\n"
+            "  \"jobs\": %llu,\n"
+            "  \"inflight\": %llu,\n"
+            "  \"mix\": \"%s\",\n"
+            "  \"policy\": \"%s\",\n"
+            "  \"objective\": \"%s\",\n"
+            "  \"seed\": %llu,\n",
+            threads, (unsigned long long)simUopBudget(),
+            (unsigned long long)simWarmupUops(),
+            (unsigned long long)run.cores, (unsigned long long)jobs,
+            (unsigned long long)cfg.inflight, run.mix.c_str(),
+            dcPolicyName(run.policy), dcObjectiveName(run.objective),
+            (unsigned long long)cfg.seed);
+        std::printf(
+            "  \"local\": {\"wall_s\": %.3f, \"jobs_per_sec\": %.0f,"
+            " \"place_p50_ns\": %llu, \"place_p99_ns\": %llu,"
+            " \"slab_fetches\": %llu, \"slab_hit_rate\": %.6f,"
+            " \"utilization\": %.4f, \"migrations\": %llu},\n",
+            run.wallSeconds, run.wallJobsPerSec,
+            (unsigned long long)run.placeP50Ns,
+            (unsigned long long)run.placeP99Ns,
+            (unsigned long long)run.slabFetches, run.slabHitRate,
+            run.utilization, (unsigned long long)run.migrations);
+        std::printf(
+            "  \"vs_homog\": {\"baseline_cores\": %llu,"
+            " \"throughput_x\": %.4f, \"edp_x\": %.4f},\n",
+            (unsigned long long)cmp.baseline.cores, cmp.throughputX,
+            cmp.edpX);
+        std::printf(
+            "  \"fleet\": {\"workers\": 2, \"wall_s\": %.3f,"
+            " \"jobs_per_sec\": %.0f, \"remote_calls\": %llu,"
+            " \"slab_fetches\": %llu, \"slab_hit_rate\": %.6f,"
+            " \"fetch_s\": %.3f, \"deterministic_match\": %s},\n",
+            fleetRun.wallSeconds, fleetRun.wallJobsPerSec,
+            (unsigned long long)fleetRun.remoteCalls,
+            (unsigned long long)fleetRun.slabFetches,
+            fleetRun.slabHitRate, fleetRun.fetchSeconds,
+            fleetMatch ? "true" : "false");
+        std::printf("  \"pass\": %s\n}\n", pass ? "true" : "false");
+    } else {
+        std::printf("dcsim %llu cores (%s), %llu jobs, inflight "
+                    "%llu, %s/%s:\n",
+                    (unsigned long long)run.cores, run.mix.c_str(),
+                    (unsigned long long)jobs,
+                    (unsigned long long)cfg.inflight,
+                    dcPolicyName(run.policy),
+                    dcObjectiveName(run.objective));
+        std::printf("  local : %8.3f s wall, %9.0f jobs/s, place "
+                    "p50 %llu ns p99 %llu ns, %llu slab fetches "
+                    "(hit rate %.6f)\n",
+                    run.wallSeconds, run.wallJobsPerSec,
+                    (unsigned long long)run.placeP50Ns,
+                    (unsigned long long)run.placeP99Ns,
+                    (unsigned long long)run.slabFetches,
+                    run.slabHitRate);
+        std::printf("  vs homog (%llu x86 cores): %.3fx throughput, "
+                    "%.3fx EDP\n",
+                    (unsigned long long)cmp.baseline.cores,
+                    cmp.throughputX, cmp.edpX);
+        std::printf("  fleet : %8.3f s wall, %9.0f jobs/s, %llu "
+                    "remote calls (%.3f s fetching), %s\n",
+                    fleetRun.wallSeconds, fleetRun.wallJobsPerSec,
+                    (unsigned long long)fleetRun.remoteCalls,
+                    fleetRun.fetchSeconds,
+                    fleetMatch ? "byte-identical to local"
+                               : "MISMATCH vs local");
+        std::printf("  %s\n", pass ? "pass" : "FAIL");
+    }
+    return pass ? 0 : 1;
+}

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -69,6 +70,9 @@ dirnameOf(const std::string &path)
                                       : path.substr(0, slash);
 }
 
+/** Fork/exec with the child's stdout/stderr silenced — worker
+ * shutdown stats would otherwise interleave with (and in --json
+ * mode corrupt) this bench's own output. */
 pid_t
 spawn(const std::vector<std::string> &args)
 {
@@ -78,6 +82,13 @@ spawn(const std::vector<std::string> &args)
     argv.push_back(nullptr);
     pid_t pid = ::fork();
     if (pid == 0) {
+        int null = ::open("/dev/null", O_WRONLY);
+        if (null >= 0) {
+            ::dup2(null, 1);
+            ::dup2(null, 2);
+            if (null > 2)
+                ::close(null);
+        }
         ::execv(argv[0], argv.data());
         ::_exit(127);
     }

@@ -2,13 +2,19 @@
 # Seed the perf trajectory: run bench/perf_campaign (library hot
 # path) at CISA_THREADS=1 and CISA_THREADS=4 — the single-thread run
 # isolates the batch engine's algorithmic win from pool scaling —
-# bench/perf_service (the cisa-serve daemon path), and
-# bench/perf_fleet (the sharded TCP fleet behind cisa_router:
-# req/s + p50/p99 at 1/2/4/8 workers, plus the worker-kill churn
-# leg), all in --json mode, and write the objects wrapped in one
-# JSON document to BENCH_PR<N>.json at the repo root.
+# bench/perf_service (the cisa-serve daemon path), bench/perf_fleet
+# (the sharded TCP fleet behind cisa_router: req/s + p50/p99 at
+# 1/2/4/8 workers, plus the worker-kill churn leg), and
+# bench/perf_dcsim (the datacenter scheduling simulator: simulated
+# jobs/s, slab cache-hit rate, p99 placement latency, and the
+# affinity-vs-homogeneous throughput/EDP ratios, local and
+# fleet-served), all in --json mode, and write the objects wrapped
+# in one JSON document to BENCH_PR<N>.json at the repo root.
 #
-# Usage: scripts/bench_perf.sh [pr-number] [build-dir]
+# Usage: scripts/bench_perf.sh [pr-number] [build-dir] [mode]
+#
+# mode "all" (default) runs every bench; mode "dcsim" runs only
+# perf_dcsim — the quick way to regenerate the scheduler numbers.
 #
 # Honors the usual knobs (CISA_SIM_UOPS, CISA_SIM_WARMUP,
 # CISA_BENCH_SLAB; CISA_THREADS for the service legs); defaults
@@ -16,11 +22,21 @@
 # one core.
 set -eu
 
-pr="${1:-7}"
+pr="${1:-9}"
 build="${2:-build}"
+mode="${3:-all}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
-for b in perf_campaign perf_service perf_fleet; do
+case "$mode" in
+all) benches="perf_campaign perf_service perf_fleet perf_dcsim" ;;
+dcsim) benches="perf_dcsim" ;;
+*)
+    echo "error: unknown mode '$mode' (all|dcsim)" >&2
+    exit 1
+    ;;
+esac
+
+for b in $benches; do
     if [ ! -x "$root/$build/bench/$b" ]; then
         echo "error: $root/$build/bench/$b not built" \
              "(cmake --build $build)" >&2
@@ -28,12 +44,27 @@ for b in perf_campaign perf_service perf_fleet; do
     fi
 done
 
+out="$root/BENCH_PR${pr}.json"
+
+if [ "$mode" = dcsim ]; then
+    dcsim_json="$("$root/$build/bench/perf_dcsim" --json)"
+    {
+        echo '{'
+        echo '  "dcsim":'
+        echo "$dcsim_json" | sed 's/^/  /'
+        echo '}'
+    } > "$out"
+    echo "wrote $out:"
+    cat "$out"
+    exit 0
+fi
+
 campaign1_json="$(CISA_THREADS=1 "$root/$build/bench/perf_campaign" --json)"
 campaign4_json="$(CISA_THREADS=4 "$root/$build/bench/perf_campaign" --json)"
 service_json="$("$root/$build/bench/perf_service" --json)"
 fleet_json="$("$root/$build/bench/perf_fleet" --json)"
+dcsim_json="$("$root/$build/bench/perf_dcsim" --json)"
 
-out="$root/BENCH_PR${pr}.json"
 {
     echo '{'
     echo '  "campaign_threads1":'
@@ -43,7 +74,9 @@ out="$root/BENCH_PR${pr}.json"
     echo '  "service":'
     echo "$service_json" | sed 's/^/  /;$s/$/,/'
     echo '  "fleet":'
-    echo "$fleet_json" | sed 's/^/  /'
+    echo "$fleet_json" | sed 's/^/  /;$s/$/,/'
+    echo '  "dcsim":'
+    echo "$dcsim_json" | sed 's/^/  /'
     echo '}'
 } > "$out"
 echo "wrote $out:"

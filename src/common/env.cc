@@ -271,4 +271,17 @@ superviseCrashLoop()
     return int(envIntRange("CISA_SUPERVISE_CRASHLOOP", 5, 1, 1000));
 }
 
+int
+dcsimParBatch()
+{
+    return int(
+        envIntRange("CISA_DCSIM_PAR_BATCH", 64, 2, 1 << 20));
+}
+
+int
+dcsimIdlePct()
+{
+    return int(envIntRange("CISA_DCSIM_IDLE_PCT", 10, 0, 100));
+}
+
 } // namespace cisa

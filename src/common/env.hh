@@ -160,6 +160,16 @@ int superviseStableMs();
  * (CISA_SUPERVISE_CRASHLOOP). */
 int superviseCrashLoop();
 
+/** Smallest same-tick placement batch the datacenter simulator fans
+ * out over the thread pool; smaller batches score inline on the
+ * event loop thread. Results are bit-identical either way
+ * (CISA_DCSIM_PAR_BATCH). */
+int dcsimParBatch();
+
+/** Idle power of an unoccupied datacenter tile as a percentage of
+ * its structural peak power (CISA_DCSIM_IDLE_PCT). */
+int dcsimIdlePct();
+
 } // namespace cisa
 
 #endif // CISA_COMMON_ENV_HH

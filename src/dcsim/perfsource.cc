@@ -1,0 +1,77 @@
+#include "dcsim/perfsource.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "service/client.hh"
+
+namespace cisa
+{
+
+PerfSource::PerfSource(std::string fleet_address)
+    : addr_(std::move(fleet_address))
+{
+}
+
+PerfSource::~PerfSource() = default;
+
+std::vector<PhasePerf>
+PerfSource::fetch(int slab)
+{
+    if (addr_.empty())
+        return Campaign::get().slabPerf(slab);
+
+    // Lazily opened so a source constructed for a fleet that is
+    // never consulted costs no connection. Caller holds mu_.
+    if (!client_) {
+        client_ = std::make_unique<Client>();
+        std::string err;
+        panic_if(!client_->connect(addr_, &err),
+                 "dcsim: cannot reach fleet at %s: %s",
+                 addr_.c_str(), err.c_str());
+    }
+    remoteCalls_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<PhasePerf> block;
+    Status st = client_->slabPerf(slab, &block);
+    panic_if(st != Status::Ok,
+             "dcsim: fleet slab %d failed: %s (%s)", slab,
+             statusName(st), client_->lastError().c_str());
+    return block;
+}
+
+const std::vector<PhasePerf> &
+PerfSource::slab(int slab)
+{
+    panic_if(slab < 0 || slab >= Campaign::kSlabs, "bad slab %d",
+             slab);
+    auto &ready = ready_[size_t(slab)];
+    if (!ready.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!ready.load(std::memory_order_relaxed)) {
+            auto t0 = std::chrono::steady_clock::now();
+            cache_[size_t(slab)] = fetch(slab);
+            auto dt = std::chrono::steady_clock::now() - t0;
+            fetchNs_.fetch_add(
+                uint64_t(std::chrono::duration_cast<
+                             std::chrono::nanoseconds>(dt)
+                             .count()),
+                std::memory_order_relaxed);
+            slabFetches_.fetch_add(1, std::memory_order_relaxed);
+            ready.store(true, std::memory_order_release);
+        }
+    }
+    return cache_[size_t(slab)];
+}
+
+PerfSource::Stats
+PerfSource::stats() const
+{
+    Stats s;
+    s.cellLookups = cellLookups_.load(std::memory_order_relaxed);
+    s.slabFetches = slabFetches_.load(std::memory_order_relaxed);
+    s.remoteCalls = remoteCalls_.load(std::memory_order_relaxed);
+    s.fetchNs = fetchNs_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace cisa

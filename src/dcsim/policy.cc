@@ -1,0 +1,135 @@
+#include "dcsim/policy.hh"
+
+#include <cstring>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "migration/cost.hh"
+#include "power/calib.hh"
+
+namespace cisa
+{
+
+bool
+parseDcPolicy(const std::string &name, DcPolicy *out)
+{
+    if (name == "random")
+        *out = DcPolicy::Random;
+    else if (name == "homog")
+        *out = DcPolicy::HomogBest;
+    else if (name == "affinity")
+        *out = DcPolicy::Affinity;
+    else if (name == "migration")
+        *out = DcPolicy::MigrationAware;
+    else
+        return false;
+    return true;
+}
+
+const char *
+dcPolicyName(DcPolicy p)
+{
+    switch (p) {
+      case DcPolicy::Random:         return "random";
+      case DcPolicy::HomogBest:      return "homog";
+      case DcPolicy::Affinity:       return "affinity";
+      case DcPolicy::MigrationAware: return "migration";
+    }
+    return "?";
+}
+
+bool
+parseDcObjective(const std::string &name, DcObjective *out)
+{
+    if (name == "time")
+        *out = DcObjective::Time;
+    else if (name == "edp")
+        *out = DcObjective::Edp;
+    else
+        return false;
+    return true;
+}
+
+const char *
+dcObjectiveName(DcObjective o)
+{
+    return o == DcObjective::Time ? "time" : "edp";
+}
+
+void
+rankClasses(const Cluster &cluster, DcPolicy policy, DcObjective obj,
+            int gp, int cur_class, double runs, uint64_t rnd,
+            uint8_t *out)
+{
+    const auto &cls = cluster.classes();
+    size_t n = cls.size();
+    panic_if(n > size_t(kMaxTileClasses), "too many tile classes");
+
+    double key[kMaxTileClasses];
+    for (size_t c = 0; c < n; c++) {
+        const TileClass &tc = cls[c];
+        switch (policy) {
+          case DcPolicy::Random:
+            // Independent uniform keys: sorting them is a seeded
+            // shuffle, ties (measure zero) break by index.
+            key[c] = double(splitmix64(rnd + c)) * 0x1p-64;
+            break;
+          case DcPolicy::HomogBest:
+            key[c] = obj == DcObjective::Time ? tc.meanTime
+                                              : tc.meanTimeEnergy;
+            break;
+          case DcPolicy::Affinity: {
+            double t = double(tc.timePerRun[size_t(gp)]);
+            key[c] =
+                obj == DcObjective::Time
+                    ? t
+                    : t * double(tc.energyPerRun[size_t(gp)]);
+            break;
+          }
+          case DcPolicy::MigrationAware: {
+            double t =
+                runs * double(tc.timePerRun[size_t(gp)]);
+            double e =
+                runs * double(tc.energyPerRun[size_t(gp)]);
+            if (cur_class >= 0 && size_t(cur_class) != c) {
+                double mig =
+                    double(migrationPenaltyCycles(
+                        cls[size_t(cur_class)].point.vendor,
+                        tc.point.vendor)) /
+                    power_calib::kFreqHz;
+                t += mig;
+            }
+            key[c] = obj == DcObjective::Time ? t : t * e;
+            break;
+          }
+        }
+        out[c] = uint8_t(c);
+    }
+
+    // Insertion sort (n <= 32): ascending key, ties by class index
+    // (stable over the pre-sorted identity order).
+    for (size_t i = 1; i < n; i++) {
+        uint8_t v = out[i];
+        double kv = key[v];
+        size_t j = i;
+        while (j > 0 && key[out[j - 1]] > kv) {
+            out[j] = out[j - 1];
+            j--;
+        }
+        out[j] = v;
+    }
+}
+
+uint64_t
+rankLookups(DcPolicy policy, size_t n_classes)
+{
+    switch (policy) {
+      case DcPolicy::Affinity:
+      case DcPolicy::MigrationAware:
+        return uint64_t(n_classes);
+      default:
+        return 0;
+    }
+}
+
+} // namespace cisa

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Pluggable placement policies for the datacenter simulator. A
+ * policy answers one question: given a job about to start phase gp,
+ * in which order should the tile classes be tried? The engine walks
+ * the ranking and takes the first class with a free tile, so a
+ * ranking is a full permutation — a job never starves because its
+ * favourite class is busy.
+ *
+ *  - random:    a seeded shuffle (the null hypothesis)
+ *  - homog:     a fixed ranking by mean per-phase time (mean
+ *               time x energy under the EDP objective) — placement
+ *               that treats the grid as homogeneous "best cores
+ *               first"; the scheduling baseline the affinity gain
+ *               is measured against
+ *  - affinity:  greedy per-phase ranking straight from the slab
+ *               tables (Figure 13's preference regime at scale)
+ *  - migration: affinity, but each class's phase cost is charged
+ *               the src/migration penalty for moving off the job's
+ *               current class (composite overlap vs full cross-ISA
+ *               translation), so cheap phases stay put
+ *
+ * rankClasses() is pure: it reads only the bound cluster tables and
+ * its arguments, and resolves ties by class index — rankings are
+ * bit-reproducible from any thread, which is what lets the engine
+ * score same-tick batches on the pool without losing determinism.
+ */
+
+#ifndef CISA_DCSIM_POLICY_HH
+#define CISA_DCSIM_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dcsim/cluster.hh"
+
+namespace cisa
+{
+
+enum class DcPolicy : uint8_t
+{
+    Random,
+    HomogBest,
+    Affinity,
+    MigrationAware
+};
+
+enum class DcObjective : uint8_t
+{
+    Time, ///< rank by per-phase seconds
+    Edp   ///< rank by per-phase seconds x joules
+};
+
+/** Parse "random" / "homog" / "affinity" / "migration". */
+bool parseDcPolicy(const std::string &name, DcPolicy *out);
+const char *dcPolicyName(DcPolicy p);
+
+bool parseDcObjective(const std::string &name, DcObjective *out);
+const char *dcObjectiveName(DcObjective o);
+
+/** Upper bound on tile classes a cluster may have (stack buffers in
+ * the scoring hot path are sized by it). */
+constexpr int kMaxTileClasses = 32;
+
+/**
+ * Write the class ranking (best first) for a job entering global
+ * phase @p gp into @p out[0 .. nClasses). @p cur_class is the class
+ * the job currently occupies (-1 before first placement); @p runs is
+ * the phase's run count (weights the one-off migration penalty
+ * against the phase's total work); @p rnd seeds the random policy's
+ * shuffle. Pure and deterministic (ties by class index).
+ */
+void rankClasses(const Cluster &cluster, DcPolicy policy,
+                 DcObjective obj, int gp, int cur_class, double runs,
+                 uint64_t rnd, uint8_t *out);
+
+/** Table lookups one ranking performs (for cache-hit accounting):
+ * the per-phase policies read one cell per class, the fixed ones
+ * none. */
+uint64_t rankLookups(DcPolicy policy, size_t n_classes);
+
+} // namespace cisa
+
+#endif // CISA_DCSIM_POLICY_HH

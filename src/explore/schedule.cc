@@ -12,22 +12,6 @@ namespace cisa
 namespace
 {
 
-/** Global phase index of each benchmark's first phase. */
-const std::vector<int> &
-benchStarts()
-{
-    static const std::vector<int> starts = [] {
-        std::vector<int> v;
-        int at = 0;
-        for (const auto &b : specSuite()) {
-            v.push_back(at);
-            at += int(b.phases.size());
-        }
-        return v;
-    }();
-    return starts;
-}
-
 /** Fixed reference core: x86-64 on a mid-range OoO design. */
 const DesignPoint &
 referenceCore()
@@ -85,18 +69,38 @@ struct AppState
 int
 globalPhase(const AppState &a)
 {
-    return benchStarts()[size_t(a.bench)] + a.phaseLocal;
+    return phaseStartIndex(a.bench) + a.phaseLocal;
 }
 
+} // namespace
+
 double
-phaseRuns(int bench, int local)
+phaseRunCount(int bench, int local)
 {
     const auto &p = specSuite()[size_t(bench)].phases[size_t(local)];
     return p.weight * kRunsPerWeight *
            double(specSuite()[size_t(bench)].phases.size());
 }
 
-} // namespace
+std::array<int, 4>
+bestAssignment(const double val[4][4], const std::vector<int> &active)
+{
+    std::array<int, 4> perm = {0, 1, 2, 3};
+    std::array<int, 4> best_assign{-1, -1, -1, -1};
+    double best_score = -1e300;
+    do {
+        double score = 0;
+        for (size_t k = 0; k < active.size(); k++)
+            score += val[k][perm[k]];
+        if (score > best_score) {
+            best_score = score;
+            best_assign = {-1, -1, -1, -1};
+            for (size_t k = 0; k < active.size(); k++)
+                best_assign[size_t(active[k])] = perm[k];
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best_assign;
+}
 
 double
 MulticoreDesign::totalAreaMm2() const
@@ -159,8 +163,9 @@ referenceTime(int bench)
             double t = 0;
             for (size_t p = 0;
                  p < specSuite()[b].phases.size(); p++) {
-                int gp = benchStarts()[b] + int(p);
-                t += phaseRuns(int(b), int(p)) * refPhaseTime(gp);
+                int gp = phaseStartIndex(int(b)) + int(p);
+                t += phaseRunCount(int(b), int(p)) *
+                     refPhaseTime(gp);
             }
             v[b] = t;
         }
@@ -179,7 +184,7 @@ runMultiprog(const MulticoreDesign &design,
     for (int i = 0; i < 4; i++) {
         st[size_t(i)].bench = apps[size_t(i)];
         st[size_t(i)].remainingRuns =
-            phaseRuns(apps[size_t(i)], 0);
+            phaseRunCount(apps[size_t(i)], 0);
     }
 
     MpOutcome out;
@@ -231,20 +236,7 @@ runMultiprog(const MulticoreDesign &design,
                                 : ref / t;
             }
         }
-        std::array<int, 4> perm = {0, 1, 2, 3};
-        std::array<int, 4> best_assign{-1, -1, -1, -1};
-        double best_score = -1e300;
-        do {
-            double score = 0;
-            for (size_t k = 0; k < active.size(); k++)
-                score += val[k][perm[k]];
-            if (score > best_score) {
-                best_score = score;
-                best_assign = {-1, -1, -1, -1};
-                for (size_t k = 0; k < active.size(); k++)
-                    best_assign[size_t(active[k])] = perm[k];
-            }
-        } while (std::next_permutation(perm.begin(), perm.end()));
+        std::array<int, 4> best_assign = bestAssignment(val, active);
 
         // Apply migrations.
         for (int i : active) {
@@ -312,7 +304,7 @@ runMultiprog(const MulticoreDesign &design,
                     a.finish = now + dt;
                 } else {
                     a.remainingRuns =
-                        phaseRuns(a.bench, a.phaseLocal);
+                        phaseRunCount(a.bench, a.phaseLocal);
                 }
             }
         }
@@ -337,7 +329,7 @@ runSingleThread(const MulticoreDesign &design, int bench,
     int prev = -1;
     const auto &phs = specSuite()[size_t(bench)].phases;
     for (size_t p = 0; p < phs.size(); p++) {
-        int gp = benchStarts()[size_t(bench)] + int(p);
+        int gp = phaseStartIndex(bench) + int(p);
         int best = 0;
         double best_m = 1e300;
         for (int c = 0; c < 4; c++) {
@@ -354,7 +346,7 @@ runSingleThread(const MulticoreDesign &design, int bench,
         }
         const PhasePerf &pp = camp.at(design.cores[size_t(best)],
                                       gp);
-        double runs = phaseRuns(bench, int(p));
+        double runs = phaseRunCount(bench, int(p));
         out.time += runs * double(pp.timePerRun);
         out.energy += runs * double(pp.energyPerRun);
         if (usage) {

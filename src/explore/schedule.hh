@@ -93,6 +93,24 @@ struct StOutcome
     int migrations = 0;
 };
 
+/** Runs of phase (bench, local) per program: weight x kRunsPerWeight
+ * x phase count. The work quantum shared by the 4-core scheduler and
+ * the datacenter simulator's job model. */
+double phaseRunCount(int bench, int localPhase);
+
+/**
+ * The exhaustive assignment step of runMultiprog, exported so the
+ * brute-force cross-check tests (and any policy wanting the paper's
+ * exact 4-core solver) can call it directly: given per-(app, core)
+ * values val[k][c] for the apps listed in @p active (indices into
+ * val's rows), try all injective app-to-core assignments and return
+ * the score-maximal one as assignment[app] = core (-1 for apps not
+ * in @p active). Ties resolve to the first maximal permutation in
+ * lexicographic order — deterministic.
+ */
+std::array<int, 4> bestAssignment(const double val[4][4],
+                                  const std::vector<int> &active);
+
 /** Run the 4-app workload @p apps (benchmark ids) on @p design. */
 MpOutcome runMultiprog(const MulticoreDesign &design,
                        const std::array<int, 4> &apps, Objective obj,

@@ -76,4 +76,16 @@ measureDowngrade(int phase_idx, const FeatureSet &code_fs,
     return out;
 }
 
+uint64_t
+migrationPenaltyCycles(VendorIsa from, VendorIsa to)
+{
+    // Within the superset encoding (any composite pair) or within
+    // one vendor family, migration moves register state and refills
+    // cold structures. Across vendor families — and between a vendor
+    // core and a composite one — the binary must be translated and
+    // the program state transformed.
+    return from == to ? migration_cost::kCompositeCycles
+                       : migration_cost::kCrossIsaCycles;
+}
+
 } // namespace cisa

@@ -15,6 +15,7 @@
 #define CISA_MIGRATION_COST_HH
 
 #include "isa/features.hh"
+#include "isa/vendor.hh"
 #include "uarch/uconfig.hh"
 
 namespace cisa
@@ -29,6 +30,17 @@ constexpr uint64_t kCompositeCycles = 30000;
 /** Cross-vendor migration: binary translation + state transform. */
 constexpr uint64_t kCrossIsaCycles = 4000000;
 } // namespace migration_cost
+
+/**
+ * Fixed cycle cost of migrating a thread from a core of vendor
+ * family @p from to one of @p to (Section IV.B): cheap register/
+ * state movement plus cold structures when both cores decode the
+ * same superset encoding (composite<->composite or same vendor),
+ * full binary translation and program-state transformation when the
+ * vendor families differ. Used by the 4-core migration model and the
+ * datacenter scheduler's migration-aware placement policy.
+ */
+uint64_t migrationPenaltyCycles(VendorIsa from, VendorIsa to);
 
 /** Outcome of one downgrade experiment. */
 struct DowngradeCost

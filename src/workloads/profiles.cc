@@ -211,4 +211,22 @@ benchIndex(const std::string &name)
     return -1;
 }
 
+int
+phaseStartIndex(int bench)
+{
+    // Magic-static init: safe to race from parallel consumers.
+    static const std::vector<int> starts = [] {
+        std::vector<int> v;
+        int at = 0;
+        for (const auto &b : specSuite()) {
+            v.push_back(at);
+            at += int(b.phases.size());
+        }
+        return v;
+    }();
+    panic_if(bench < 0 || bench >= int(starts.size()),
+             "bad benchmark index %d", bench);
+    return starts[size_t(bench)];
+}
+
 } // namespace cisa

@@ -87,6 +87,13 @@ int phaseCount();
 /** Index of a benchmark by name, -1 if unknown. */
 int benchIndex(const std::string &name);
 
+/**
+ * Global phase index (into allPhases()) of benchmark @p bench's
+ * first phase, so global index = phaseStartIndex(b) + local index.
+ * Shared by the 4-core scheduler and the datacenter simulator.
+ */
+int phaseStartIndex(int bench);
+
 } // namespace cisa
 
 #endif // CISA_WORKLOADS_PROFILES_HH

@@ -12,8 +12,8 @@
  * Usage:
  *   cisa_loadgen --address ADDR [--rate R] [--conns N]
  *                [--duration-ms D | --count N] [--mix SPEC]
- *                [--slab S] [--retries N] [--deadline-ms N]
- *                [--verify-bytes]
+ *                [--slab S] [--seed S] [--retries N]
+ *                [--deadline-ms N] [--verify-bytes]
  *                [--kill-pid P --kill-at-ms T] [--json]
  *
  * SPEC weights endpoints, e.g. "slab=8,ping=1,eval=1,table=1"
@@ -21,6 +21,14 @@
  * fires as fast as responses return). Exit status is nonzero if any
  * request was lost (transport failure or ERROR status), which is
  * how the fleet smoke test asserts zero loss under worker churn.
+ *
+ * --seed makes the stream itself reproducible: request n's endpoint
+ * and slab picks are drawn from splitmix64 keyed by (seed, n)
+ * instead of n alone, and each open-loop arrival is jittered
+ * uniformly within its rate slot by the same hash — a deterministic
+ * Poisson-ish process (mean rate preserved) instead of a metronome,
+ * so two runs with one seed offer the server byte-identical load and
+ * different seeds decorrelate the bursts.
  *
  * --verify-bytes asserts the fleet's determinism story end to end:
  * the first Ok response to each distinct request fingerprint records
@@ -134,8 +142,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s --address ADDR [--rate R] [--conns N]\n"
         "          [--duration-ms D | --count N] [--mix SPEC]\n"
-        "          [--slab S] [--retries N] [--deadline-ms N]\n"
-        "          [--verify-bytes]\n"
+        "          [--slab S] [--seed S] [--retries N]\n"
+        "          [--deadline-ms N] [--verify-bytes]\n"
         "          [--kill-pid P --kill-at-ms T] [--json]\n",
         argv0);
 }
@@ -152,6 +160,8 @@ main(int argc, char **argv)
     uint64_t count = 0;
     std::string mixSpec = "slab=1";
     int fixedSlab = -1;
+    uint64_t seed = 0;
+    bool seeded = false;
     int retries = -1;
     uint32_t deadlineMs = 0;
     bool verifyBytes = false;
@@ -181,6 +191,10 @@ main(int argc, char **argv)
             mixSpec = val();
         else if (!std::strcmp(argv[i], "--slab"))
             fixedSlab = std::atoi(val());
+        else if (!std::strcmp(argv[i], "--seed")) {
+            seed = std::strtoull(val(), nullptr, 10);
+            seeded = true;
+        }
         else if (!std::strcmp(argv[i], "--retries"))
             retries = std::atoi(val());
         else if (!std::strcmp(argv[i], "--deadline-ms"))
@@ -260,10 +274,21 @@ main(int argc, char **argv)
                 seq.fetch_add(1, std::memory_order_relaxed);
             if (count && n >= count)
                 break;
+            // One hash drives everything request n does, so a seeded
+            // run is reproducible end to end.
+            uint64_t h = seeded ? splitmix64(hashCombine(seed, n))
+                                : splitmix64(n);
             Clock::time_point sched = start;
             if (rate > 0) {
+                double slot = double(n);
+                if (seeded) {
+                    // Deterministic jitter: uniform within the rate
+                    // slot, so the mean rate holds but arrivals stop
+                    // being a metronome.
+                    slot += double(h >> 11) * 0x1p-53;
+                }
                 sched += std::chrono::nanoseconds(
-                    uint64_t(double(n) * 1e9 / rate));
+                    uint64_t(slot * 1e9 / rate));
                 std::this_thread::sleep_until(sched);
             } else {
                 sched = Clock::now();
@@ -271,7 +296,7 @@ main(int argc, char **argv)
             if (sched >= end)
                 break;
 
-            uint64_t pick = splitmix64(n) % uint64_t(totalWeight);
+            uint64_t pick = h % uint64_t(totalWeight);
             ReqType ty = mix.back().type;
             for (const MixEntry &m : mix) {
                 if (pick < uint64_t(m.weight)) {
@@ -280,9 +305,11 @@ main(int argc, char **argv)
                 }
                 pick -= uint64_t(m.weight);
             }
-            int slab = fixedSlab >= 0
-                           ? fixedSlab
-                           : int(n % uint64_t(Campaign::kSlabs));
+            int slab =
+                fixedSlab >= 0
+                    ? fixedSlab
+                    : int((seeded ? splitmix64(h) : n) %
+                          uint64_t(Campaign::kSlabs));
 
             t.sent++;
             // Raw Request/Response (not the typed wrappers): the
