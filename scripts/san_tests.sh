@@ -4,7 +4,10 @@
 # taken error paths; this makes sure those paths are also clean under
 # ASan+UBSan (memory / UB), UBSan alone, and TSan (the injected
 # failures race against the executor pool, the router's health prober
-# and the slab store's cross-process locking).
+# and the slab store's cross-process locking). The compiler pass
+# tests ride along: SCCP's constant folding and unroll's trip
+# arithmetic are exactly the kind of integer code UBSan catches
+# overflowing, and the golden O1 test pins the whole mid-end.
 #
 # Not registered with ctest (it configures and builds three extra
 # trees); run it by hand or from CI:
@@ -15,7 +18,8 @@ set -eu
 jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
-tests="test_faultinject test_slabstore test_service"
+tests="test_faultinject test_slabstore test_service test_passes \
+test_compile_units"
 
 run_config() {
     name="$1"

@@ -154,6 +154,24 @@ batchSimdEnabled()
 }
 
 int
+compileOptLevel()
+{
+    return int(envIntRange("CISA_OPT", 1, 0, 2));
+}
+
+std::string
+compilePassOverride()
+{
+    return envStr("CISA_PASSES", "");
+}
+
+bool
+pipelineVerifyEnabled()
+{
+    return envInt("CISA_VERIFY_IR", 0) != 0;
+}
+
+int
 searchRestarts()
 {
     return int(envIntRange("CISA_SEARCH_RESTARTS", 2, 1, 1000));

@@ -1,8 +1,11 @@
 #include "compiler/compiler.hh"
 
+#include <chrono>
+
+#include "common/env.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "compiler/interp.hh"
-#include "compiler/passes/dce.hh"
 #include "compiler/passes/encode.hh"
 #include "compiler/passes/isel.hh"
 #include "compiler/passes/regalloc.hh"
@@ -10,6 +13,39 @@
 
 namespace cisa
 {
+
+CompileOptions
+CompileOptions::fromEnv()
+{
+    CompileOptions o;
+    o.optLevel = compileOptLevel();
+    o.passOverride = compilePassOverride();
+    o.verifyIr = pipelineVerifyEnabled();
+    return o;
+}
+
+uint64_t
+CompileOptions::pipelineKey() const
+{
+    uint64_t h = fnv1a("cisa-pipeline-v1");
+    h = hashCombine(h, uint64_t(optLevel));
+    h = fnv1a(passOverride, h);
+    h = hashCombine(h, uint64_t(enableLvn) |
+                           uint64_t(enableVectorize) << 1 |
+                           uint64_t(enableIfConvert) << 2 |
+                           uint64_t(enableSchedule) << 3 |
+                           uint64_t(verifyIr) << 4);
+    h = hashCombine(h, uint64_t(ifParams.pipelineDepth));
+    h = hashCombine(h, uint64_t(ifParams.maxHammockInstrs));
+    uint64_t rate;
+    static_assert(sizeof(rate) == sizeof(ifParams.minMispredictRate),
+                  "bit-pattern hash expects a 64-bit double");
+    __builtin_memcpy(&rate, &ifParams.minMispredictRate, 8);
+    h = hashCombine(h, rate);
+    h = hashCombine(h, uint64_t(unrollParams.maxTrip));
+    h = hashCombine(h, uint64_t(unrollParams.maxExpandedInstrs));
+    return h;
+}
 
 MachineProgram
 compile(const IrModule &m, const CompileOptions &opts,
@@ -21,46 +57,52 @@ compile(const IrModule &m, const CompileOptions &opts,
     IrModule work = m; // passes mutate a private copy
     CompileReport rep;
 
-    for (auto &f : work.funcs) {
-        if (opts.enableLvn) {
-            LvnStats s = runLvn(f, t.regDepth);
-            rep.lvn.exprsEliminated += s.exprsEliminated;
-            rep.lvn.loadsEliminated += s.loadsEliminated;
-            rep.lvn.skippedForPressure += s.skippedForPressure;
-            rep.dceRemoved += runDce(f);
-        }
-        if (opts.enableVectorize && t.simd()) {
-            VectorizeStats s = runVectorize(f);
-            rep.vec.loopsVectorized += s.loopsVectorized;
-            rep.vec.loopsRejected += s.loopsRejected;
-        }
-        if (opts.enableIfConvert && t.fullPredication()) {
-            IfConvertParams p = opts.ifParams;
-            p.regDepth = t.regDepth;
-            IfConvertStats s = runIfConvert(f, p);
-            rep.ifc.diamondsConverted += s.diamondsConverted;
-            rep.ifc.trianglesConverted += s.trianglesConverted;
-            rep.ifc.rejectedUnprofitable += s.rejectedUnprofitable;
-            rep.ifc.rejectedShape += s.rejectedShape;
-        }
-    }
+    PipelineSpec spec =
+        opts.passOverride.empty()
+            ? PipelineSpec::forLevel(opts.optLevel, opts)
+            : PipelineSpec::parse(opts.passOverride);
+    rep.pipeline = spec.str();
+    PassManager pm(spec);
+    pm.run(work, opts, rep);
     work.validate();
 
     MachineProgram prog;
     prog.name = work.name;
     prog.target = t;
 
+    using clk = std::chrono::steady_clock;
+    double us[4] = {0, 0, 0, 0}; // isel, regalloc, sched, encode
+    auto timed = [&](int stage, auto &&fn) {
+        auto t0 = clk::now();
+        fn();
+        us[stage] +=
+            std::chrono::duration<double, std::micro>(clk::now() -
+                                                      t0)
+                .count();
+    };
+
     std::vector<uint64_t> bases = regionLayout(work, t.widthBits());
     for (const auto &f : work.funcs) {
-        MachineFunction mf = runIsel(f, work, bases, t);
-        runRegalloc(mf, t);
+        MachineFunction mf;
+        timed(0, [&] { mf = runIsel(f, work, bases, t); });
+        timed(1, [&] { runRegalloc(mf, t); });
         if (opts.enableSchedule) {
-            SchedStats s = runSchedule(mf);
-            rep.blocksScheduled += s.blocksScheduled;
+            timed(2, [&] {
+                SchedStats s = runSchedule(mf);
+                rep.blocksScheduled += s.blocksScheduled;
+            });
         }
         prog.funcs.push_back(std::move(mf));
     }
-    runEncode(prog);
+    timed(3, [&] { runEncode(prog); });
+
+    const char *stage_names[4] = {"isel", "regalloc", "sched",
+                                  "encode"};
+    for (int s = 0; s < 4; s++) {
+        if (s == 2 && !opts.enableSchedule)
+            continue;
+        rep.passRuns.push_back({stage_names[s], us[s], true});
+    }
 
     if (report)
         *report = rep;

@@ -149,61 +149,78 @@ MemRegion::sizeBytes(int ptr_bits) const
     return count * uint64_t(elemBytes(ptr_bits));
 }
 
-void
-IrModule::validate() const
+std::string
+IrModule::check() const
 {
-    panic_if(funcs.empty(), "module '%s' has no functions",
-             name.c_str());
+    std::ostringstream err;
+    if (funcs.empty()) {
+        err << "module '" << name << "' has no functions";
+        return err.str();
+    }
     for (const auto &f : funcs) {
-        panic_if(f.blocks.empty(), "function '%s' has no blocks",
-                 f.name.c_str());
+        if (f.blocks.empty()) {
+            err << "function '" << f.name << "' has no blocks";
+            return err.str();
+        }
         for (size_t bi = 0; bi < f.blocks.size(); bi++) {
             const IrBlock &b = f.blocks[bi];
-            panic_if(b.instrs.empty(), "%s: empty block %zu",
-                     f.name.c_str(), bi);
-            panic_if(!irIsTerminator(b.terminator().op),
-                     "%s: block %zu lacks a terminator",
-                     f.name.c_str(), bi);
+            if (b.instrs.empty()) {
+                err << f.name << ": empty block " << bi;
+                return err.str();
+            }
+            if (!irIsTerminator(b.terminator().op)) {
+                err << f.name << ": block " << bi
+                    << " lacks a terminator";
+                return err.str();
+            }
             for (size_t ii = 0; ii < b.instrs.size(); ii++) {
                 const IrInstr &i = b.instrs[ii];
-                panic_if(irIsTerminator(i.op) &&
-                         ii + 1 != b.instrs.size(),
-                         "%s: terminator mid-block %zu", f.name.c_str(),
-                         bi);
-                auto check_vreg = [&](int v) {
-                    panic_if(v >= f.numVregs,
-                             "%s: vreg %d out of range", f.name.c_str(),
-                             v);
-                };
-                check_vreg(i.dst);
-                check_vreg(i.a);
-                check_vreg(i.b);
-                check_vreg(i.c);
-                auto check_succ = [&](int s) {
-                    panic_if(s < 0 || size_t(s) >= f.blocks.size(),
-                             "%s: bad successor %d", f.name.c_str(), s);
-                };
-                if (i.op == IrOp::Br) {
-                    check_succ(i.succ0);
-                    check_succ(i.succ1);
-                } else if (i.op == IrOp::Jmp) {
-                    check_succ(i.succ0);
+                if (irIsTerminator(i.op) &&
+                    ii + 1 != b.instrs.size()) {
+                    err << f.name << ": terminator mid-block " << bi;
+                    return err.str();
                 }
-                if (i.op == IrOp::Call) {
-                    panic_if(i.imm < 0 ||
-                             size_t(i.imm) >= funcs.size(),
-                             "%s: bad callee %lld", f.name.c_str(),
-                             static_cast<long long>(i.imm));
+                auto bad_vreg = [&](int v) {
+                    return v >= f.numVregs;
+                };
+                for (int v : {i.dst, i.a, i.b, i.c, i.predVreg}) {
+                    if (bad_vreg(v)) {
+                        err << f.name << ": vreg " << v
+                            << " out of range in block " << bi;
+                        return err.str();
+                    }
                 }
-                if (i.op == IrOp::BaseAddr) {
-                    panic_if(i.imm < 0 ||
-                             size_t(i.imm) >= regions.size(),
-                             "%s: bad region %lld", f.name.c_str(),
-                             static_cast<long long>(i.imm));
+                auto bad_succ = [&](int s) {
+                    return s < 0 || size_t(s) >= f.blocks.size();
+                };
+                if ((i.op == IrOp::Br &&
+                     (bad_succ(i.succ0) || bad_succ(i.succ1))) ||
+                    (i.op == IrOp::Jmp && bad_succ(i.succ0))) {
+                    err << f.name << ": bad successor in block "
+                        << bi;
+                    return err.str();
+                }
+                if (i.op == IrOp::Call &&
+                    (i.imm < 0 || size_t(i.imm) >= funcs.size())) {
+                    err << f.name << ": bad callee " << i.imm;
+                    return err.str();
+                }
+                if (i.op == IrOp::BaseAddr &&
+                    (i.imm < 0 || size_t(i.imm) >= regions.size())) {
+                    err << f.name << ": bad region " << i.imm;
+                    return err.str();
                 }
             }
         }
     }
+    return std::string();
+}
+
+void
+IrModule::validate() const
+{
+    std::string err = check();
+    panic_if(!err.empty(), "%s", err.c_str());
 }
 
 std::string

@@ -172,7 +172,15 @@ struct IrModule
     std::vector<IrFunction> funcs; ///< funcs[0] is the entry point
     std::vector<MemRegion> regions;
 
-    /** Check structural invariants; panics with a message on error. */
+    /**
+     * Check structural invariants. Returns an empty string when the
+     * module is well-formed, otherwise a description of the first
+     * violation. Non-fatal so the pass pipeline's verify mode can
+     * attach the offending pass's name before dying.
+     */
+    std::string check() const;
+
+    /** check(), but panics with the message on error. */
     void validate() const;
 
     /** Human-readable listing (debugging aid). */

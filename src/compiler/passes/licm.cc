@@ -1,0 +1,133 @@
+#include "compiler/passes/licm.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace cisa
+{
+
+namespace
+{
+
+/** Pure ops that may execute speculatively (no traps, no memory or
+ * control effects). Div is excluded so its quotient corner cases
+ * stay exactly where the program put them. */
+bool
+hoistablePureOp(IrOp op)
+{
+    switch (op) {
+      case IrOp::ConstInt: case IrOp::ConstF: case IrOp::BaseAddr:
+      case IrOp::Add: case IrOp::Sub: case IrOp::Mul:
+      case IrOp::And: case IrOp::Or: case IrOp::Xor:
+      case IrOp::Shl: case IrOp::Shr:
+      case IrOp::FAdd: case IrOp::FSub: case IrOp::FMul:
+      case IrOp::FDiv: case IrOp::FSqrt:
+      case IrOp::I2F: case IrOp::F2I:
+      case IrOp::Gep: case IrOp::ICmp: case IrOp::Select:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+LicmStats
+runLicm(IrFunction &f, const Cfg &cfg, const LoopInfo &li,
+        const Liveness &lv)
+{
+    LicmStats stats;
+
+    // Innermost loops first, so code hoisted out of an inner loop is
+    // re-examined (with fresh def counts) as part of its outer loop.
+    std::vector<size_t> order(li.loops.size());
+    for (size_t k = 0; k < order.size(); k++)
+        order[k] = k;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return li.loops[a].depth > li.loops[b].depth;
+    });
+
+    std::vector<int> uses;
+    for (size_t k : order) {
+        const Loop &loop = li.loops[k];
+        int header = loop.header;
+
+        // Preheader: the unique out-of-loop predecessor, ending in
+        // an unconditional jump to the header (the same shape the
+        // vectorizer inserts its splats into).
+        int pre = -1;
+        bool usable = true;
+        for (int p : cfg.preds[size_t(header)]) {
+            if (loop.contains(p))
+                continue;
+            if (pre >= 0) {
+                usable = false;
+                break;
+            }
+            pre = p;
+        }
+        if (!usable || pre < 0) {
+            stats.loopsSkipped++;
+            continue;
+        }
+        IrBlock &ph = f.blocks[size_t(pre)];
+        const IrInstr &pt = ph.terminator();
+        if (pt.op != IrOp::Jmp || pt.succ0 != header) {
+            stats.loopsSkipped++;
+            continue;
+        }
+
+        // One scan for memory/call effects and per-vreg def counts.
+        bool mem_unsafe = false;
+        std::vector<int> defs_in_loop(size_t(f.numVregs), 0);
+        for (int b : loop.blocks) {
+            for (const IrInstr &i : f.blocks[size_t(b)].instrs) {
+                if (i.op == IrOp::Store || i.op == IrOp::VStore ||
+                    i.op == IrOp::Call)
+                    mem_unsafe = true;
+                if (i.dst >= 0)
+                    defs_in_loop[size_t(i.dst)]++;
+            }
+        }
+
+        // Hoist to fixpoint: moving a producer can make its
+        // consumers invariant on the next sweep.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (int b : loop.blocks) {
+                IrBlock &blk = f.blocks[size_t(b)];
+                for (size_t ii = 0; ii < blk.instrs.size();) {
+                    const IrInstr &i = blk.instrs[ii];
+                    bool is_load = i.op == IrOp::Load;
+                    bool ok =
+                        i.hasDst() && i.predVreg < 0 &&
+                        (hoistablePureOp(i.op) ||
+                         (is_load && !mem_unsafe && b == header)) &&
+                        defs_in_loop[size_t(i.dst)] == 1 &&
+                        !lv.isLiveIn(header, i.dst);
+                    if (ok) {
+                        uses.clear();
+                        irUses(i, uses);
+                        for (int u : uses)
+                            ok &= defs_in_loop[size_t(u)] == 0;
+                    }
+                    if (!ok) {
+                        ii++;
+                        continue;
+                    }
+                    ph.instrs.insert(ph.instrs.end() - 1, i);
+                    defs_in_loop[size_t(i.dst)] = 0;
+                    blk.instrs.erase(blk.instrs.begin() +
+                                     long(ii));
+                    stats.hoisted++;
+                    stats.loadsHoisted += is_load;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace cisa

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Loop-invariant code motion over natural loops.
+ *
+ * Pure, non-trapping computations whose operands have no definition
+ * inside the loop are hoisted into the loop's preheader — the unique
+ * out-of-loop predecessor of the header, reusing the vectorizer's
+ * convention of inserting before that block's `jmp` rather than
+ * growing the CFG. Because the IR is non-SSA, hoisting a definition
+ * is only legal when it is the *only* definition of its vreg in the
+ * loop and the vreg is not live into the header (otherwise the
+ * hoisted write would clobber a value that flows around the back
+ * edge). Loads hoist only from the header block (guaranteed to
+ * execute once the loop is entered) of loops with no stores or
+ * calls; everything else may be executed speculatively since the IR
+ * has no trapping arithmetic.
+ */
+
+#ifndef CISA_COMPILER_PASSES_LICM_HH
+#define CISA_COMPILER_PASSES_LICM_HH
+
+#include "compiler/analysis.hh"
+#include "compiler/ir.hh"
+
+namespace cisa
+{
+
+/** Statistics of one LICM run. */
+struct LicmStats
+{
+    int hoisted = 0;      ///< instructions moved to a preheader
+    int loadsHoisted = 0; ///< of which memory loads
+    int loopsSkipped = 0; ///< loops without a usable preheader
+};
+
+/**
+ * Hoist invariant code in @p f. The analyses must be current for
+ * @p f; the function is mutated in place (block structure is
+ * preserved, only instructions move).
+ */
+LicmStats runLicm(IrFunction &f, const Cfg &cfg, const LoopInfo &li,
+                  const Liveness &lv);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_LICM_HH

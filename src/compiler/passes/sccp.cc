@@ -1,0 +1,334 @@
+#include "compiler/passes/sccp.hh"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "compiler/analysis.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** Per-vreg lattice value. Top = no executable path has defined it
+ * yet; Const = every executable path agrees on `bits`; Bottom =
+ * runtime-varying. */
+struct Lat
+{
+    enum Kind : uint8_t { Top, Const, Bottom };
+    Kind kind = Top;
+    uint64_t bits = 0;
+
+    static Lat top() { return {}; }
+    static Lat bottom() { return {Bottom, 0}; }
+    static Lat cst(uint64_t b) { return {Const, b}; }
+
+    bool operator==(const Lat &o) const
+    {
+        return kind == o.kind && (kind != Const || bits == o.bits);
+    }
+};
+
+Lat
+meet(const Lat &a, const Lat &b)
+{
+    if (a.kind == Lat::Top)
+        return b;
+    if (b.kind == Lat::Top)
+        return a;
+    if (a.kind == Lat::Const && b.kind == Lat::Const &&
+        a.bits == b.bits)
+        return a;
+    return Lat::bottom();
+}
+
+double
+asF(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+uint64_t
+asBits(double d)
+{
+    uint64_t v;
+    std::memcpy(&v, &d, 8);
+    return v;
+}
+
+/** Width normalization, identical to the interpreter's. */
+uint64_t
+normInt(uint64_t v, Type t, int ptr_bits)
+{
+    switch (t) {
+      case Type::I32:
+        return uint64_t(int64_t(int32_t(uint32_t(v))));
+      case Type::PtrInt:
+        return ptr_bits == 32 ? uint64_t(uint32_t(v)) : v;
+      default:
+        return v;
+    }
+}
+
+/** The interpreter's integer binop, written with unsigned wrap so
+ * the fold itself is UB-free for any operand values. */
+bool
+foldIntBin(IrOp op, Type t, int pbits, uint64_t a, uint64_t b,
+           uint64_t *out)
+{
+    uint64_t v;
+    switch (op) {
+      case IrOp::Add: v = a + b; break;
+      case IrOp::Sub: v = a - b; break;
+      case IrOp::Mul: v = a * b; break;
+      case IrOp::And: v = a & b; break;
+      case IrOp::Or:  v = a | b; break;
+      case IrOp::Xor: v = a ^ b; break;
+      case IrOp::Shl: v = a << (b & 63); break;
+      case IrOp::Shr:
+        if (t == Type::I32 || (t == Type::PtrInt && pbits == 32)) {
+            // Logical shift at the declared 32-bit width, matching
+            // the interpreter's narrow shifter.
+            v = uint64_t(uint32_t(a) >> (b & 31));
+        } else {
+            v = a >> (b & 63);
+        }
+        break;
+      default:
+        return false; // Div stays on the interpreter
+    }
+    *out = normInt(v, t, pbits);
+    return true;
+}
+
+bool
+isFpArith(IrOp op)
+{
+    return op == IrOp::FAdd || op == IrOp::FSub ||
+           op == IrOp::FMul || op == IrOp::FDiv;
+}
+
+double
+foldFpBin(IrOp op, double a, double b)
+{
+    switch (op) {
+      case IrOp::FAdd: return a + b;
+      case IrOp::FSub: return a - b;
+      case IrOp::FMul: return a * b;
+      default:         return b == 0.0 ? 0.0 : a / b; // FDiv
+    }
+}
+
+/** State transfer of one instruction; returns the defined value (or
+ * Bottom for everything this pass refuses to model). */
+Lat
+transfer(const IrInstr &i, const std::vector<Lat> &st, int pbits)
+{
+    // A false predicate keeps the old register value, so a
+    // predicated def merges rather than assigns.
+    if (i.predVreg >= 0)
+        return Lat::bottom();
+
+    auto val = [&](int v) {
+        return v >= 0 ? st[size_t(v)] : Lat::bottom();
+    };
+    // Second source: vreg or the inline immediate, exactly as the
+    // interpreter reads it.
+    Lat b = i.b >= 0 ? st[size_t(i.b)]
+                     : Lat::cst(normInt(uint64_t(i.imm), i.type,
+                                        pbits));
+
+    switch (i.op) {
+      case IrOp::ConstInt:
+        return Lat::cst(normInt(uint64_t(i.imm), i.type, pbits));
+      case IrOp::ConstF:
+        return Lat::cst(asBits(i.fimm));
+      case IrOp::Add: case IrOp::Sub: case IrOp::Mul:
+      case IrOp::And: case IrOp::Or: case IrOp::Xor:
+      case IrOp::Shl: case IrOp::Shr: {
+        Lat a = val(i.a);
+        if (a.kind == Lat::Top || b.kind == Lat::Top)
+            return Lat::top();
+        if (a.kind != Lat::Const || b.kind != Lat::Const)
+            return Lat::bottom();
+        uint64_t out;
+        if (!foldIntBin(i.op, i.type, pbits, a.bits, b.bits, &out))
+            return Lat::bottom();
+        return Lat::cst(out);
+      }
+      case IrOp::FAdd: case IrOp::FSub: case IrOp::FMul:
+      case IrOp::FDiv: {
+        Lat a = val(i.a), bb = val(i.b);
+        if (a.kind == Lat::Top || bb.kind == Lat::Top)
+            return Lat::top();
+        if (a.kind != Lat::Const || bb.kind != Lat::Const)
+            return Lat::bottom();
+        return Lat::cst(asBits(
+            foldFpBin(i.op, asF(a.bits), asF(bb.bits))));
+      }
+      case IrOp::FSqrt: {
+        Lat a = val(i.a);
+        if (a.kind == Lat::Top)
+            return Lat::top();
+        if (a.kind != Lat::Const)
+            return Lat::bottom();
+        return Lat::cst(asBits(std::sqrt(std::fabs(asF(a.bits)))));
+      }
+      case IrOp::I2F: {
+        Lat a = val(i.a);
+        if (a.kind == Lat::Top)
+            return Lat::top();
+        if (a.kind != Lat::Const)
+            return Lat::bottom();
+        return Lat::cst(asBits(double(int64_t(a.bits))));
+      }
+      case IrOp::ICmp: {
+        Lat a = val(i.a);
+        if (a.kind == Lat::Top || b.kind == Lat::Top)
+            return Lat::top();
+        if (a.kind != Lat::Const || b.kind != Lat::Const)
+            return Lat::bottom();
+        return Lat::cst(evalCond(i.cond, int64_t(a.bits),
+                                 int64_t(b.bits))
+                            ? 1
+                            : 0);
+      }
+      case IrOp::Select: {
+        Lat c = val(i.a);
+        if (c.kind == Lat::Const)
+            return c.bits != 0 ? val(i.b) : val(i.c);
+        if (c.kind == Lat::Top)
+            return Lat::top();
+        return meet(val(i.b), val(i.c));
+      }
+      default:
+        // BaseAddr/Gep/Load/vector/Div/F2I and friends.
+        return Lat::bottom();
+    }
+}
+
+} // namespace
+
+SccpStats
+runSccp(IrFunction &f, int ptr_bits)
+{
+    SccpStats stats;
+    size_t nb = f.blocks.size();
+    size_t nv = size_t(f.numVregs);
+    Cfg cfg = Cfg::build(f);
+
+    // Block-entry states. Entry starts all-Bottom: the interpreter
+    // zero-fills its frame but machine registers hold garbage, so a
+    // read-before-write must never fold.
+    std::vector<std::vector<Lat>> in(nb, std::vector<Lat>(nv));
+    for (auto &l : in[0])
+        l = Lat::bottom();
+
+    // Round-robin to fixpoint over reverse postorder.
+    bool changed = true;
+    std::vector<Lat> out;
+    while (changed) {
+        changed = false;
+        for (int bi : cfg.rpo) {
+            out = in[size_t(bi)];
+            for (const IrInstr &i : f.blocks[size_t(bi)].instrs) {
+                if (i.dst >= 0)
+                    out[size_t(i.dst)] = transfer(i, out, ptr_bits);
+            }
+            for (int s : cfg.succs[size_t(bi)]) {
+                for (size_t v = 0; v < nv; v++) {
+                    Lat m = meet(in[size_t(s)][v], out[v]);
+                    if (!(m == in[size_t(s)][v])) {
+                        in[size_t(s)][v] = m;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Rewrite: re-walk each block flow-sensitively from its fixpoint
+    // entry state, replacing instructions that evaluate to constants
+    // and branches whose condition is known.
+    for (size_t bi = 0; bi < nb; bi++) {
+        std::vector<Lat> st = in[bi];
+        for (IrInstr &i : f.blocks[bi].instrs) {
+            Lat v = i.dst >= 0 ? transfer(i, st, ptr_bits)
+                               : Lat::top();
+            bool foldable =
+                i.dst >= 0 && i.predVreg < 0 &&
+                v.kind == Lat::Const && i.op != IrOp::ConstInt &&
+                i.op != IrOp::ConstF &&
+                (i.op == IrOp::Add || i.op == IrOp::Sub ||
+                 i.op == IrOp::Mul || i.op == IrOp::And ||
+                 i.op == IrOp::Or || i.op == IrOp::Xor ||
+                 i.op == IrOp::Shl || i.op == IrOp::Shr ||
+                 isFpArith(i.op) || i.op == IrOp::FSqrt ||
+                 i.op == IrOp::I2F || i.op == IrOp::ICmp ||
+                 i.op == IrOp::Select);
+            if (foldable) {
+                bool fp = isFpArith(i.op) || i.op == IrOp::FSqrt ||
+                          i.op == IrOp::I2F;
+                // Select forwards its chosen operand bit-for-bit;
+                // materialize by the operand's type.
+                if (i.op == IrOp::Select)
+                    fp = i.type == Type::F64;
+                IrInstr c;
+                c.dst = i.dst;
+                if (fp) {
+                    c.op = IrOp::ConstF;
+                    c.type = Type::F64;
+                    c.fimm = asF(v.bits);
+                } else {
+                    c.op = IrOp::ConstInt;
+                    c.type = i.type;
+                    c.imm = int64_t(v.bits);
+                }
+                i = c;
+                stats.constsFolded++;
+            }
+            if (i.dst >= 0)
+                st[size_t(i.dst)] = v;
+            if (i.op == IrOp::Br && i.a >= 0 &&
+                st[size_t(i.a)].kind == Lat::Const) {
+                int target = st[size_t(i.a)].bits != 0 ? i.succ0
+                                                       : i.succ1;
+                IrInstr j;
+                j.op = IrOp::Jmp;
+                j.succ0 = target;
+                i = j;
+                stats.branchesFolded++;
+            }
+        }
+    }
+
+    // Folding a branch can strand blocks; empty them to a bare ret
+    // so indices (and thus every surviving successor field) keep
+    // their meaning.
+    if (stats.branchesFolded > 0) {
+        Cfg after = Cfg::build(f);
+        for (size_t bi = 1; bi < nb; bi++) {
+            if (after.rpoIndex[bi] >= 0)
+                continue; // still reachable
+            IrBlock &b = f.blocks[bi];
+            if (b.instrs.size() == 1 &&
+                b.instrs[0].op == IrOp::Ret)
+                continue;
+            IrInstr r;
+            r.op = IrOp::Ret;
+            r.a = -1;
+            b.instrs.assign(1, r);
+            b.isLoopHeader = false;
+            b.vectorizable = false;
+            b.tripCountHint = 0;
+            stats.blocksUnreachable++;
+        }
+    }
+    return stats;
+}
+
+} // namespace cisa

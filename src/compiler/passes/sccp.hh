@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sparse-conditional-constant-style folding for the non-SSA IR.
+ *
+ * A forward dataflow over the CFG tracks, per basic block entry, a
+ * Top/Const/Bottom lattice value for every virtual register (meet
+ * over all predecessors; vregs are mutable, so the analysis is
+ * flow-sensitive rather than SSA-sparse). Pure instructions whose
+ * operands are constant fold to ConstInt/ConstF using exactly the
+ * interpreter's arithmetic (width normalization, the 32-bit logical
+ * shift path, defined divide-by-zero), so folding can never diverge
+ * from the semantic reference. Conditional branches on a known
+ * condition become unconditional jumps, and blocks that become
+ * unreachable are emptied to a bare `ret` so the block numbering —
+ * which successor indices refer to — stays stable.
+ *
+ * Deliberately unfolded: integer Div (quotient corner cases stay on
+ * the one interpreter implementation), F2I, BaseAddr/Gep/Load (isel
+ * wants the address forms intact), vector ops, and any predicated
+ * definition (a false predicate keeps the old value, so the def is
+ * a merge, not an assignment).
+ */
+
+#ifndef CISA_COMPILER_PASSES_SCCP_HH
+#define CISA_COMPILER_PASSES_SCCP_HH
+
+#include "compiler/ir.hh"
+
+namespace cisa
+{
+
+/** Statistics of one SCCP run. */
+struct SccpStats
+{
+    int constsFolded = 0;      ///< instrs rewritten to ConstInt/ConstF
+    int branchesFolded = 0;    ///< const-condition Br -> Jmp
+    int blocksUnreachable = 0; ///< blocks emptied after branch folds
+};
+
+/**
+ * Run constant folding on @p f for a target whose pointers are
+ * @p ptr_bits wide (PtrInt arithmetic truncates at that width).
+ * Mutates the function in place; semantics are preserved.
+ */
+SccpStats runSccp(IrFunction &f, int ptr_bits);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_SCCP_HH

@@ -1,0 +1,151 @@
+#include "compiler/passes/unroll.hh"
+
+#include <vector>
+
+#include "compiler/analysis.hh"
+
+namespace cisa
+{
+
+namespace
+{
+
+/** One candidate loop, fully decoded. */
+struct Plan
+{
+    int block = -1;   ///< the self-loop block
+    int exit = -1;    ///< where the back edge's fall-through goes
+    int64_t trips = 0;
+};
+
+constexpr int64_t kMaxBound = int64_t(1) << 30;
+
+/**
+ * Decode block @p bi as a canonical counted self-loop:
+ *
+ *   P:  ... ; iv = const #init ; ... ; jmp L
+ *   L:  body... ; iv = add iv, #step ; c = icmp.lt iv, #bound
+ *       br c -> L, exit
+ *
+ * with `c` produced and consumed exactly once and `iv` stepped
+ * exactly once inside the loop. Do-while trip count; returns false
+ * if any piece of the shape is missing.
+ */
+bool
+decode(const IrFunction &f, int bi, Plan *plan)
+{
+    const IrBlock &L = f.blocks[size_t(bi)];
+    size_t n = L.instrs.size();
+    if (n < 3)
+        return false;
+    const IrInstr &br = L.instrs[n - 1];
+    if (br.op != IrOp::Br || br.succ0 != bi || br.succ1 == bi)
+        return false;
+    const IrInstr &cmp = L.instrs[n - 2];
+    if (cmp.op != IrOp::ICmp || cmp.cond != Cond::Lt ||
+        cmp.b >= 0 || cmp.dst != br.a || cmp.predVreg >= 0)
+        return false;
+    const IrInstr &inc = L.instrs[n - 3];
+    if (inc.op != IrOp::Add || inc.b >= 0 || inc.dst != inc.a ||
+        inc.dst != cmp.a || inc.imm <= 0 || inc.predVreg >= 0)
+        return false;
+    int iv = inc.dst, flag = cmp.dst;
+
+    // Whole-function accounting: the flag must exist only for this
+    // back edge, the induction variable must step only here, and the
+    // loop must be entered from exactly one outside block.
+    int flag_defs = 0, flag_uses = 0, iv_defs_in_loop = 0;
+    int outside_pred = -1;
+    std::vector<int> uses;
+    for (size_t b = 0; b < f.blocks.size(); b++) {
+        for (const IrInstr &i : f.blocks[b].instrs) {
+            if (i.dst == flag)
+                flag_defs++;
+            if (int(b) == bi && i.dst == iv)
+                iv_defs_in_loop++;
+            uses.clear();
+            irUses(i, uses);
+            for (int u : uses)
+                flag_uses += u == flag;
+        }
+        if (int(b) == bi)
+            continue;
+        const IrInstr &t = f.blocks[b].instrs.back();
+        bool edge = (t.op == IrOp::Jmp && t.succ0 == bi) ||
+                    (t.op == IrOp::Br &&
+                     (t.succ0 == bi || t.succ1 == bi));
+        if (edge) {
+            if (outside_pred >= 0)
+                return false;
+            outside_pred = int(b);
+        }
+    }
+    if (flag_defs != 1 || flag_uses != 1 || iv_defs_in_loop != 1)
+        return false;
+    if (outside_pred < 0)
+        return false;
+    const IrBlock &P = f.blocks[size_t(outside_pred)];
+    if (P.instrs.back().op != IrOp::Jmp ||
+        P.instrs.back().succ0 != bi)
+        return false;
+
+    // The reaching init: last write of iv in the preheader.
+    const IrInstr *init = nullptr;
+    for (const IrInstr &i : P.instrs) {
+        if (i.dst == iv)
+            init = &i;
+    }
+    if (!init || init->op != IrOp::ConstInt || init->predVreg >= 0)
+        return false;
+
+    int64_t lo = init->imm, step = inc.imm, bound = cmp.imm;
+    if (lo < 0 || bound < 0 || bound > kMaxBound || lo > kMaxBound)
+        return false;
+    int64_t trips = bound > lo ? (bound - lo + step - 1) / step : 1;
+    plan->block = bi;
+    plan->exit = br.succ1;
+    plan->trips = trips < 1 ? 1 : trips;
+    return true;
+}
+
+} // namespace
+
+UnrollStats
+runUnroll(IrFunction &f, const UnrollParams &p)
+{
+    UnrollStats stats;
+    for (size_t bi = 0; bi < f.blocks.size(); bi++) {
+        Plan plan;
+        if (!decode(f, int(bi), &plan))
+            continue;
+        IrBlock &L = f.blocks[bi];
+        size_t n = L.instrs.size();
+        // Body per trip = everything but the compare and branch;
+        // the flag's only consumer was the back edge, so both drop.
+        size_t expanded = size_t(plan.trips) * (n - 2) + 1;
+        if (plan.trips > int64_t(p.maxTrip) ||
+            expanded > size_t(p.maxExpandedInstrs)) {
+            stats.loopsRejected++;
+            continue;
+        }
+        std::vector<IrInstr> body(L.instrs.begin(),
+                                  L.instrs.end() - 2);
+        std::vector<IrInstr> out;
+        out.reserve(expanded);
+        for (int64_t t = 0; t < plan.trips; t++)
+            out.insert(out.end(), body.begin(), body.end());
+        IrInstr j;
+        j.op = IrOp::Jmp;
+        j.succ0 = plan.exit;
+        out.push_back(j);
+        stats.instrsAdded += int(out.size()) - int(n);
+        L.instrs = std::move(out);
+        L.isLoopHeader = false;
+        L.vectorizable = false;
+        L.tripCountHint = 0;
+        stats.loopsUnrolled++;
+    }
+    return stats;
+}
+
+} // namespace cisa

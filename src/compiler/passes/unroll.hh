@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bounded full unrolling of counted self-loops.
+ *
+ * Targets the same canonical shape the vectorizer recognizes: a
+ * single-block loop ending in `icmp.lt iv, #bound; br self, exit`
+ * whose induction variable is stepped once by a constant and
+ * initialized by a `const` in the unique outside predecessor. When
+ * the (do-while) trip count is small and the expansion fits the
+ * budget, the loop body is replicated trip-count times and the back
+ * edge disappears entirely — trading code bytes for the branches,
+ * compares and increment chains the paper's branch statistics are
+ * sensitive to. Loops that fail the pattern or the budget are left
+ * untouched (the remainder loops the vectorizer emits, whose lower
+ * bound is computed, fail the const-init test by construction).
+ */
+
+#ifndef CISA_COMPILER_PASSES_UNROLL_HH
+#define CISA_COMPILER_PASSES_UNROLL_HH
+
+#include "compiler/ir.hh"
+
+namespace cisa
+{
+
+/** Unrolling budget. */
+struct UnrollParams
+{
+    int maxTrip = 8;            ///< full-unroll trip-count ceiling
+    int maxExpandedInstrs = 96; ///< cap on instrs after replication
+};
+
+/** Statistics of one unroll run. */
+struct UnrollStats
+{
+    int loopsUnrolled = 0;
+    int loopsRejected = 0; ///< counted loops over budget
+    int instrsAdded = 0;   ///< net instruction-count growth
+};
+
+/** Fully unroll eligible loops of @p f under @p p's budget. */
+UnrollStats runUnroll(IrFunction &f, const UnrollParams &p);
+
+} // namespace cisa
+
+#endif // CISA_COMPILER_PASSES_UNROLL_HH

@@ -16,9 +16,8 @@ CompiledRun
 compileAndRun(const IrModule &module, const FeatureSet &isa,
               const CompileOptions *options)
 {
-    CompileOptions opts;
-    if (options)
-        opts = *options;
+    CompileOptions opts =
+        options ? *options : CompileOptions::fromEnv();
     opts.target = isa;
 
     CompiledRun out;
@@ -38,7 +37,7 @@ evaluatePhase(int phase_idx, const FeatureSet &isa,
 {
     const IrModule &mod = phaseModule(phase_idx);
 
-    CompileOptions opts;
+    CompileOptions opts = CompileOptions::fromEnv();
     opts.target = isa;
     CompileReport rep;
     IrModule ir;

@@ -53,7 +53,11 @@ Campaign::budgetKeyFor(uint64_t simUops, uint64_t warmupUops)
 {
     uint64_t h = fnv1a("cisa-dse-budget");
     h = hashCombine(h, simUops);
-    return hashCombine(h, warmupUops);
+    h = hashCombine(h, warmupUops);
+    // Results depend on the compile pipeline as much as on the
+    // budget: slabs built at different opt levels (or with a pass
+    // override) must never alias in the store.
+    return hashCombine(h, CompileOptions::fromEnv().pipelineKey());
 }
 
 Campaign::Campaign()
@@ -74,6 +78,17 @@ Campaign::Campaign()
     if (ready) {
         inform("loaded %d/%d DSE slabs from %s", ready, kSlabs,
                store_.path().c_str());
+    }
+    CompileOptions copts = CompileOptions::fromEnv();
+    if (copts.optLevel != 1 || !copts.passOverride.empty()) {
+        PipelineSpec spec =
+            copts.passOverride.empty()
+                ? PipelineSpec::forLevel(copts.optLevel, copts)
+                : PipelineSpec::parse(copts.passOverride);
+        inform("non-default compile pipeline (CISA_OPT=%d%s): %s",
+               copts.optLevel,
+               copts.passOverride.empty() ? "" : ", CISA_PASSES set",
+               spec.str().c_str());
     }
 }
 
@@ -319,7 +334,7 @@ computeSlabPerf(int slab, SlabEngine engine,
         checkCancel(cancel);
         int ph = int(p);
         const IrModule &mod = phaseModule(ph);
-        CompileOptions opts;
+        CompileOptions opts = CompileOptions::fromEnv();
         opts.target = fs;
         IrModule ir;
         MachineProgram prog = compile(mod, opts, nullptr, &ir);

@@ -17,12 +17,15 @@ measureDowngrade(int phase_idx, const FeatureSet &code_fs,
 {
     const IrModule &m = phaseModule(phase_idx);
 
-    CompileOptions opts;
+    // Share the campaign's pipeline configuration (opt level, pass
+    // override, verify mode) so downgrade costs are measured on the
+    // same code the explorer scores.
+    CompileOptions opts = CompileOptions::fromEnv();
     opts.target = code_fs;
     // Any reasonable scheduler keeps vector-heavy regions off
     // SIMD-less cores, so the downgrade experiment measures the
     // scalar build (Section VII.D).
-    opts.enableVectorize = code_fs.simd() && core_fs.simd();
+    opts.enableVectorize &= code_fs.simd() && core_fs.simd();
     IrModule ir;
     MachineProgram prog = compile(m, opts, nullptr, &ir);
 

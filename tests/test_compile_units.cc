@@ -9,11 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include "compiler/analysis.hh"
 #include "compiler/compiler.hh"
 #include "compiler/exec.hh"
 #include "compiler/interp.hh"
 #include "compiler/passes/dce.hh"
+#include "compiler/passes/licm.hh"
 #include "compiler/passes/lvn.hh"
+#include "compiler/passes/sccp.hh"
+#include "compiler/passes/unroll.hh"
 
 namespace cisa
 {
@@ -344,6 +348,386 @@ TEST(IfConvert, ConvertsUnpredictableDiamond)
     // Identical result with and without predication.
     EXPECT_EQ(runBoth(m, FeatureSet::parse("x86-32D-64W-F")),
               runBoth(m, FeatureSet::parse("x86-32D-64W-P")));
+}
+
+/** Interpret a module standalone (fresh image) for a retval. */
+int64_t
+interpRet(const IrModule &m)
+{
+    MemImage img = MemImage::build(m, 64);
+    ExecResult r = interpret(m, img);
+    EXPECT_FALSE(r.ranOut);
+    return r.retVal;
+}
+
+/** Build the analysis bundle LICM wants and run it on funcs[0]. */
+LicmStats
+licmOn(IrModule &m)
+{
+    IrFunction &f = m.funcs[0];
+    Cfg cfg = Cfg::build(f);
+    DomTree dom = DomTree::build(f, cfg);
+    LoopInfo li = LoopInfo::build(f, cfg, dom);
+    Liveness lv = Liveness::build(f, cfg);
+    return runLicm(f, cfg, li, lv);
+}
+
+TEST(Dce, RunsWithLvnDisabled)
+{
+    // The historical bug: dead-code elimination was nested under the
+    // LVN flag, so disabling LVN silently disabled cleanup too.
+    IrModule m = shell();
+    IrBuilder b(m);
+    b.startFunc("main");
+    int base = b.baseAddr(0);
+    int addr = b.gep(base, -1, 1, 4);
+    int x = b.load(addr, Type::I32);
+    b.arithImm(IrOp::Mul, x, 3, Type::I32); // dead
+    int s = b.arithImm(IrOp::Add, x, 1, Type::I32);
+    b.ret(s);
+    m.validate();
+
+    CompileOptions opts;
+    opts.target = FeatureSet::superset();
+    opts.enableLvn = false;
+    opts.optLevel = 1;
+    CompileReport rep;
+    IrModule ir;
+    compile(m, opts, &rep, &ir);
+    EXPECT_EQ(rep.pipeline, "dce,vectorize,ifconvert,dce");
+    EXPECT_GT(rep.dceRemoved, 0);
+    for (const auto &i : ir.funcs[0].blocks[0].instrs)
+        EXPECT_NE(i.op, IrOp::Mul);
+    runBoth(m, opts.target);
+}
+
+TEST(Dce, CleansUpAfterIfConversion)
+{
+    // A convertible diamond plus a dead multiply in the join block:
+    // the fixed pipeline must run DCE again after if-conversion.
+    auto build = [] {
+        IrModule m = shell();
+        IrBuilder b(m);
+        b.startFunc("main");
+        int base = b.baseAddr(0);
+        int acc = b.constInt(0, Type::I32);
+        int i = b.constInt(0, Type::PtrInt);
+        int loop = b.newBlock();
+        int t = b.newBlock();
+        int f = b.newBlock();
+        int join = b.newBlock();
+        int exit = b.newBlock();
+        b.jmp(loop);
+        b.setBlock(loop);
+        int v = b.load(b.gep(base, i, 4, 0), Type::I32);
+        int bit = b.arithImm(IrOp::And, v, 1, Type::I32);
+        int c = b.icmpImm(Cond::Ne, bit, 0);
+        b.br(c, t, f, 0.5, false);
+        b.setBlock(t);
+        b.arithInto(acc, IrOp::Add, acc, v, Type::I32);
+        b.jmp(join);
+        b.setBlock(f);
+        b.arithInto(acc, IrOp::Sub, acc, v, Type::I32);
+        b.jmp(join);
+        b.setBlock(join);
+        b.arith(IrOp::Mul, v, v, Type::I32); // dead
+        b.arithImmInto(i, IrOp::Add, i, 1, Type::PtrInt);
+        int cc = b.icmpImm(Cond::Lt, i, 64);
+        b.br(cc, loop, exit, 0.98, true);
+        b.setBlock(exit);
+        b.ret(acc);
+        m.validate();
+        return m;
+    };
+    FeatureSet fs = FeatureSet::parse("x86-32D-64W-F");
+
+    IrModule m = build();
+    CompileOptions opts;
+    opts.target = fs;
+    opts.passOverride = "ifconvert";
+    CompileReport rep1;
+    compile(m, opts, &rep1);
+    EXPECT_EQ(rep1.ifc.diamondsConverted, 1);
+    EXPECT_EQ(rep1.dceRemoved, 0); // no DCE stage ran at all
+
+    opts.passOverride = "ifconvert,dce";
+    CompileReport rep2;
+    IrModule ir2;
+    compile(m, opts, &rep2, &ir2);
+    EXPECT_EQ(rep2.ifc.diamondsConverted, 1);
+    EXPECT_GT(rep2.dceRemoved, 0); // the dead multiply falls here
+    runBoth(m, fs);
+}
+
+TEST(Licm, HoistsInvariantArithmetic)
+{
+    IrModule m = shell();
+    IrBuilder b(m);
+    b.startFunc("main");
+    int k = b.constInt(12, Type::I32);
+    int acc = b.constInt(0, Type::I32);
+    int i = b.constInt(0, Type::I32);
+    int loop = b.newBlock();
+    int exit = b.newBlock();
+    b.jmp(loop);
+    b.setBlock(loop);
+    int inv = b.arithImm(IrOp::Mul, k, 3, Type::I32);
+    b.arithInto(acc, IrOp::Add, acc, inv, Type::I32);
+    b.arithImmInto(i, IrOp::Add, i, 1, Type::I32);
+    int c = b.icmpImm(Cond::Lt, i, 8);
+    b.br(c, loop, exit, 0.9, true);
+    b.setBlock(exit);
+    b.ret(acc);
+    m.validate();
+
+    size_t loop_before = m.funcs[0].blocks[1].instrs.size();
+    LicmStats st = licmOn(m);
+    EXPECT_GE(st.hoisted, 1);
+    EXPECT_EQ(st.loopsSkipped, 0);
+    EXPECT_LT(m.funcs[0].blocks[1].instrs.size(), loop_before);
+    m.validate();
+    EXPECT_EQ(interpRet(m), 8 * 12 * 3);
+}
+
+TEST(Licm, RefusesToClobberLiveInRedefinition)
+{
+    // x carries 7 into the first iteration, then is redefined to 36
+    // inside the loop. Hoisting the redefinition would lose the 7.
+    IrModule m = shell();
+    IrBuilder b(m);
+    b.startFunc("main");
+    int k = b.constInt(12, Type::I32);
+    int x = b.constInt(7, Type::I32);
+    int acc = b.constInt(0, Type::I32);
+    int i = b.constInt(0, Type::I32);
+    int loop = b.newBlock();
+    int exit = b.newBlock();
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.arithInto(acc, IrOp::Add, acc, x, Type::I32); // uses old x
+    b.arithImmInto(x, IrOp::Mul, k, 3, Type::I32);  // redefines x
+    b.arithImmInto(i, IrOp::Add, i, 1, Type::I32);
+    int c = b.icmpImm(Cond::Lt, i, 8);
+    b.br(c, loop, exit, 0.9, true);
+    b.setBlock(exit);
+    b.ret(acc);
+    m.validate();
+
+    LicmStats st = licmOn(m);
+    EXPECT_EQ(st.hoisted, 0);
+    EXPECT_EQ(interpRet(m), 7 + 7 * 12 * 3);
+}
+
+TEST(Licm, HoistsHeaderLoadOnlyWithoutStores)
+{
+    auto build = [](bool with_store) {
+        IrModule m = shell();
+        IrBuilder b(m);
+        b.startFunc("main");
+        int base = b.baseAddr(0);
+        int addr = b.gep(base, -1, 1, 8);
+        int out = b.gep(base, -1, 1, 512);
+        int acc = b.constInt(0, Type::I32);
+        int i = b.constInt(0, Type::I32);
+        int loop = b.newBlock();
+        int exit = b.newBlock();
+        b.jmp(loop);
+        b.setBlock(loop);
+        int v = b.load(addr, Type::I32);
+        b.arithInto(acc, IrOp::Add, acc, v, Type::I32);
+        if (with_store)
+            b.store(out, acc, Type::I32);
+        b.arithImmInto(i, IrOp::Add, i, 1, Type::I32);
+        int c = b.icmpImm(Cond::Lt, i, 8);
+        b.br(c, loop, exit, 0.9, true);
+        b.setBlock(exit);
+        b.ret(acc);
+        m.validate();
+        return m;
+    };
+
+    IrModule clean = build(false);
+    int64_t want_clean = interpRet(clean);
+    LicmStats st1 = licmOn(clean);
+    EXPECT_EQ(st1.loadsHoisted, 1);
+    clean.validate();
+    EXPECT_EQ(interpRet(clean), want_clean);
+
+    IrModule stores = build(true);
+    int64_t want_stores = interpRet(stores);
+    LicmStats st2 = licmOn(stores);
+    EXPECT_EQ(st2.loadsHoisted, 0); // a store poisons the loop
+    EXPECT_EQ(interpRet(stores), want_stores);
+}
+
+TEST(Sccp, FoldsConstantChains)
+{
+    IrModule m = shell();
+    IrBuilder b(m);
+    b.startFunc("main");
+    int a = b.constInt(5, Type::I32);
+    int x = b.arithImm(IrOp::Mul, a, 3, Type::I32); // 15
+    int y = b.arithImm(IrOp::Add, x, 7, Type::I32); // 22
+    int z = b.arith(IrOp::Xor, y, x, Type::I32);    // 25
+    b.ret(z);
+    m.validate();
+
+    SccpStats st = runSccp(m.funcs[0], 64);
+    EXPECT_EQ(st.constsFolded, 3);
+    EXPECT_EQ(st.branchesFolded, 0);
+    for (const auto &i : m.funcs[0].blocks[0].instrs) {
+        if (i.hasDst()) {
+            EXPECT_EQ(i.op, IrOp::ConstInt);
+        }
+    }
+    m.validate();
+    EXPECT_EQ(interpRet(m), (22 ^ 15));
+}
+
+TEST(Sccp, FoldsBranchesAndPrunesUnreachable)
+{
+    IrModule m = shell();
+    IrBuilder b(m);
+    b.startFunc("main");
+    int a = b.constInt(3, Type::I32);
+    int bt = b.newBlock();
+    int bf = b.newBlock();
+    int c = b.icmpImm(Cond::Lt, a, 5); // always 1
+    b.br(c, bt, bf, 0.5, false);
+    b.setBlock(bt);
+    int x = b.constInt(111, Type::I32);
+    b.ret(x);
+    b.setBlock(bf);
+    int y = b.constInt(222, Type::I32);
+    b.ret(y);
+    m.validate();
+
+    SccpStats st = runSccp(m.funcs[0], 64);
+    EXPECT_EQ(st.branchesFolded, 1);
+    EXPECT_EQ(st.blocksUnreachable, 1);
+    EXPECT_EQ(m.funcs[0].blocks[0].terminator().op, IrOp::Jmp);
+    EXPECT_EQ(m.funcs[0].blocks[size_t(bf)].instrs.size(), 1u);
+    m.validate();
+    EXPECT_EQ(interpRet(m), 111);
+}
+
+TEST(Sccp, LeavesDivAndPredicatedDefsAlone)
+{
+    IrModule m = shell();
+    IrBuilder b(m);
+    b.startFunc("main");
+    int p = b.constInt(1, Type::I32);
+    int a = b.constInt(6, Type::I32);
+    b.arithImm(IrOp::Div, a, 3, Type::I32); // quotient not folded
+    int t = b.arithImm(IrOp::Add, a, 1, Type::I32);
+    // Hand-predicate the add: a false predicate would keep t's old
+    // value, so the def is a merge and must not fold.
+    IrInstr &pred = m.funcs[0].blocks[0].instrs.back();
+    pred.predVreg = p;
+    pred.predSense = true;
+    b.ret(t);
+    m.validate();
+
+    SccpStats st = runSccp(m.funcs[0], 64);
+    EXPECT_EQ(st.constsFolded, 0);
+    EXPECT_EQ(interpRet(m), 7);
+}
+
+TEST(Unroll, FullyUnrollsCountedLoop)
+{
+    IrModule m = shell();
+    IrBuilder b(m);
+    b.startFunc("main");
+    int acc = b.constInt(0, Type::I32);
+    int i = b.constInt(0, Type::I32);
+    int loop = b.newBlock();
+    int exit = b.newBlock();
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.arithInto(acc, IrOp::Add, acc, i, Type::I32);
+    b.arithImmInto(i, IrOp::Add, i, 1, Type::I32);
+    int c = b.icmpImm(Cond::Lt, i, 4);
+    b.br(c, loop, exit, 0.75, true);
+    b.setBlock(exit);
+    b.ret(acc);
+    m.validate();
+
+    UnrollStats st = runUnroll(m.funcs[0], UnrollParams{});
+    EXPECT_EQ(st.loopsUnrolled, 1);
+    EXPECT_EQ(st.loopsRejected, 0);
+    EXPECT_EQ(st.instrsAdded, 5); // 4*(body of 2) + jmp, was 4
+    for (const auto &ins : m.funcs[0].blocks[1].instrs)
+        EXPECT_NE(ins.op, IrOp::Br); // back edge is gone
+    m.validate();
+    EXPECT_EQ(interpRet(m), 0 + 1 + 2 + 3);
+    runBoth(m, FeatureSet::superset());
+}
+
+TEST(Unroll, RespectsTripAndSizeBudgets)
+{
+    auto build = [](int64_t bound) {
+        IrModule m = shell();
+        IrBuilder b(m);
+        b.startFunc("main");
+        int acc = b.constInt(0, Type::I32);
+        int i = b.constInt(0, Type::I32);
+        int loop = b.newBlock();
+        int exit = b.newBlock();
+        b.jmp(loop);
+        b.setBlock(loop);
+        b.arithInto(acc, IrOp::Add, acc, i, Type::I32);
+        b.arithImmInto(i, IrOp::Add, i, 1, Type::I32);
+        int c = b.icmpImm(Cond::Lt, i, bound);
+        b.br(c, loop, exit, 0.75, true);
+        b.setBlock(exit);
+        b.ret(acc);
+        m.validate();
+        return m;
+    };
+
+    // 100 trips exceeds the default trip ceiling.
+    IrModule big = build(100);
+    UnrollStats st1 = runUnroll(big.funcs[0], UnrollParams{});
+    EXPECT_EQ(st1.loopsUnrolled, 0);
+    EXPECT_EQ(st1.loopsRejected, 1);
+    EXPECT_TRUE(big.funcs[0].blocks[1].terminator().op == IrOp::Br);
+
+    // 4 trips fits the trip ceiling but not a tiny size budget.
+    IrModule tight = build(4);
+    UnrollParams p;
+    p.maxTrip = 16;
+    p.maxExpandedInstrs = 8; // expansion needs 9
+    UnrollStats st2 = runUnroll(tight.funcs[0], p);
+    EXPECT_EQ(st2.loopsUnrolled, 0);
+    EXPECT_EQ(st2.loopsRejected, 1);
+}
+
+TEST(Unroll, RequiresConstantInit)
+{
+    // The induction variable starts from a loaded value: the trip
+    // count is unknown, so the loop is not even a candidate.
+    IrModule m = shell();
+    IrBuilder b(m);
+    b.startFunc("main");
+    int base = b.baseAddr(0);
+    int acc = b.constInt(0, Type::I32);
+    int i = b.load(b.gep(base, -1, 1, 0), Type::I32);
+    b.arithImmInto(i, IrOp::And, i, 3, Type::I32);
+    int loop = b.newBlock();
+    int exit = b.newBlock();
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.arithInto(acc, IrOp::Add, acc, i, Type::I32);
+    b.arithImmInto(i, IrOp::Add, i, 1, Type::I32);
+    int c = b.icmpImm(Cond::Lt, i, 8);
+    b.br(c, loop, exit, 0.75, true);
+    b.setBlock(exit);
+    b.ret(acc);
+    m.validate();
+
+    UnrollStats st = runUnroll(m.funcs[0], UnrollParams{});
+    EXPECT_EQ(st.loopsUnrolled, 0);
+    EXPECT_EQ(st.loopsRejected, 0); // shape failure, not budget
 }
 
 } // namespace

@@ -12,6 +12,11 @@
 #include "compiler/compiler.hh"
 #include "compiler/exec.hh"
 #include "compiler/interp.hh"
+#include "compiler/passes/dce.hh"
+#include "compiler/passes/encode.hh"
+#include "compiler/passes/isel.hh"
+#include "compiler/passes/regalloc.hh"
+#include "compiler/passes/sched.hh"
 #include "workloads/profiles.hh"
 #include "workloads/synth.hh"
 
@@ -264,6 +269,181 @@ TEST(Trace, CarriesGenuineAddressesAndBranches)
     EXPECT_GT(branches, 100u);
     EXPECT_GT(taken, 0u);
     EXPECT_LT(taken, branches);
+}
+
+/**
+ * The pre-PassManager compiler, reproduced by direct pass calls: the
+ * fixed mid-end sequence (with DCE correctly un-nested from the LVN
+ * flag) followed by the unchanged backend. This is the golden
+ * reference the data-driven O1 pipeline must match byte for byte.
+ */
+MachineProgram
+legacyCompile(const IrModule &m, const FeatureSet &t)
+{
+    IrModule work = m;
+    for (auto &f : work.funcs) {
+        runLvn(f, t.regDepth);
+        runDce(f);
+        if (t.simd())
+            runVectorize(f);
+        if (t.fullPredication()) {
+            IfConvertParams p;
+            p.regDepth = t.regDepth;
+            runIfConvert(f, p);
+        }
+        runDce(f);
+    }
+    work.validate();
+
+    MachineProgram prog;
+    prog.name = work.name;
+    prog.target = t;
+    std::vector<uint64_t> bases = regionLayout(work, t.widthBits());
+    for (const auto &f : work.funcs) {
+        MachineFunction mf = runIsel(f, work, bases, t);
+        runRegalloc(mf, t);
+        runSchedule(mf);
+        prog.funcs.push_back(std::move(mf));
+    }
+    runEncode(prog);
+    return prog;
+}
+
+TEST(Pipeline, GoldenO1MatchesLegacyFixedSequence)
+{
+    const char *benches[] = {"hmmer", "sjeng", "milc"};
+    const char *sets[] = {"x86-64D-64W-F", "x86-32D-64W-P",
+                          "microx86-8D-32W-P", "x86-32D-64W-F"};
+    for (const char *bench : benches) {
+        IrModule m = buildPhase(smallProfile(bench));
+        for (const char *fs : sets) {
+            FeatureSet t = FeatureSet::parse(fs);
+            MachineProgram ref = legacyCompile(m, t);
+            CompileOptions opts;
+            opts.target = t;
+            opts.optLevel = 1;
+            MachineProgram got = compile(m, opts);
+            EXPECT_EQ(got.print(), ref.print())
+                << bench << " @ " << fs;
+            EXPECT_EQ(got.stats.codeBytes, ref.stats.codeBytes)
+                << bench << " @ " << fs;
+            EXPECT_EQ(got.stats.instrs, ref.stats.instrs)
+                << bench << " @ " << fs;
+            EXPECT_EQ(got.stats.spillStores, ref.stats.spillStores)
+                << bench << " @ " << fs;
+        }
+    }
+}
+
+TEST(Pipeline, O2ChangesCodegenAndPreservesSemantics)
+{
+    // sjeng's phases call leaf functions with small counted loops,
+    // giving the O2 extras (SCCP/LICM/unroll) something to chew on.
+    IrModule m = buildPhase(smallProfile("sjeng"));
+    FeatureSet fs = FeatureSet::parse("x86-32D-64W-P");
+
+    CompileOptions o1;
+    o1.target = fs;
+    o1.optLevel = 1;
+    MachineProgram p1 = compile(m, o1);
+
+    CompileOptions o2;
+    o2.target = fs;
+    o2.optLevel = 2;
+    CompileReport rep;
+    IrModule ir2;
+    MachineProgram p2 = compile(m, o2, &rep, &ir2);
+
+    // O2 is a genuinely different design point...
+    EXPECT_NE(p1.print(), p2.print());
+    EXPECT_GT(rep.sccp.constsFolded + rep.licm.hoisted +
+                  rep.unroll.loopsUnrolled,
+              0);
+
+    // ...that still computes the same thing: machine execution must
+    // match the interpretation of the transformed IR exactly.
+    MemImage i1 = MemImage::build(ir2, fs.widthBits());
+    ExecResult want = interpret(ir2, i1);
+    MemImage i2 = MemImage::build(ir2, fs.widthBits());
+    ExecResult got = executeMachine(p2, i2);
+    EXPECT_EQ(got.retVal, want.retVal);
+    EXPECT_EQ(got.intChecksum, want.intChecksum);
+}
+
+TEST(Pipeline, PassStringOverrideReplacesLevel)
+{
+    IrModule m = buildPhase(smallProfile("hmmer"));
+    CompileOptions opts;
+    opts.target = FeatureSet::superset();
+    opts.optLevel = 2;          // ignored: the override wins
+    opts.passOverride = "dce";
+    CompileReport rep;
+    compile(m, opts, &rep);
+    EXPECT_EQ(rep.pipeline, "dce");
+    // One mid-end stage plus the four backend stages.
+    ASSERT_EQ(rep.passRuns.size(), 5u);
+    EXPECT_EQ(rep.passRuns[0].name, "dce");
+    EXPECT_EQ(rep.passRuns[4].name, "encode");
+    for (const auto &pr : rep.passRuns)
+        EXPECT_GE(pr.micros, 0.0);
+    EXPECT_EQ(rep.lvn.exprsEliminated, 0);
+    EXPECT_EQ(rep.vec.loopsVectorized, 0);
+}
+
+TEST(Pipeline, ParseRejectsUnknownPassByName)
+{
+    EXPECT_EQ(PipelineSpec::parse(" lvn , dce ").str(), "lvn,dce");
+    EXPECT_EQ(PipelineSpec::parse("").passes.size(), 0u);
+    EXPECT_DEATH(PipelineSpec::parse("lvn,bogus"),
+                 "unknown pass 'bogus'");
+}
+
+TEST(Pipeline, AnalysisCacheComputesOnceAndReuses)
+{
+    IrModule m = buildPhase(smallProfile("sjeng"));
+    CompileOptions opts;
+    opts.target = FeatureSet::parse("x86-32D-64W-P");
+    opts.optLevel = 2;
+    CompileReport rep;
+    compile(m, opts, &rep);
+    // LICM pulls CFG + dominators + loops + liveness: the dependent
+    // analyses rebuild on the cached CFG rather than from scratch.
+    EXPECT_GT(rep.analysesComputed, 0);
+    EXPECT_GT(rep.analysesReused, 0);
+}
+
+TEST(Pipeline, VerifyModeIsTransparent)
+{
+    IrModule m = buildPhase(smallProfile("milc"));
+    for (int level : {1, 2}) {
+        CompileOptions opts;
+        opts.target = FeatureSet::superset();
+        opts.optLevel = level;
+        MachineProgram plain = compile(m, opts);
+        opts.verifyIr = true;
+        MachineProgram checked = compile(m, opts);
+        EXPECT_EQ(plain.print(), checked.print()) << "O" << level;
+    }
+}
+
+TEST(Pipeline, OptLevelZeroSkipsMidEnd)
+{
+    IrModule m = buildPhase(smallProfile("hmmer"));
+    CompileOptions opts;
+    opts.target = FeatureSet::superset();
+    opts.optLevel = 0;
+    CompileReport rep;
+    IrModule ir;
+    MachineProgram prog = compile(m, opts, &rep, &ir);
+    EXPECT_EQ(rep.pipeline, "");
+    EXPECT_EQ(rep.dceRemoved, 0);
+    EXPECT_EQ(rep.lvn.exprsEliminated, 0);
+    // Unoptimized code still runs correctly.
+    MemImage i1 = MemImage::build(ir, opts.target.widthBits());
+    ExecResult want = interpret(ir, i1);
+    MemImage i2 = MemImage::build(ir, opts.target.widthBits());
+    ExecResult got = executeMachine(prog, i2);
+    EXPECT_EQ(got.intChecksum, want.intChecksum);
 }
 
 } // namespace
